@@ -1,0 +1,312 @@
+//! Shared machinery for serverful (VM-cluster) metadata services: a fixed
+//! set of NameNode servers, a simple always-TCP client, per-second VM
+//! billing, and fixed-membership cache coherence.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambda_fs::{CoherenceHook, InvalidationSet, OpDone, RunMetrics};
+use lambda_namespace::{FsError, FsOp, MetadataCache, Partitioner};
+use lambda_sim::params::NetParams;
+use lambda_sim::{every, CostMeter, Sim, SimDuration, StationRef, VmPricing};
+
+/// How client requests are spread over the server cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Round-robin per client — vanilla HopsFS (any stateless NameNode
+    /// can serve any request).
+    RoundRobin,
+    /// Consistent-hash on the parent directory — HopsFS+Cache clients
+    /// route to the caching NameNode that owns the partition (and hot
+    /// directories can bottleneck a single server, §5.3.1).
+    HashParent,
+}
+
+/// One serverful metadata node.
+pub struct ServerNode {
+    /// The node's CPU.
+    pub cpu: StationRef,
+    /// Its operation engine (cache/coherence as configured).
+    pub engine: lambda_fs::OpEngine,
+}
+
+/// A fixed cluster of metadata servers with a TCP client library and VM
+/// billing — the substrate for the HopsFS-family baselines.
+pub struct ServerfulCluster {
+    nodes: Vec<ServerNode>,
+    routing: Routing,
+    partitioner: Rc<Partitioner>,
+    net: NetParams,
+    vcpus_total: u32,
+    pricing: VmPricing,
+    meter: Rc<RefCell<CostMeter>>,
+    metrics: Rc<RefCell<RunMetrics>>,
+    clients: u32,
+    max_retries: u32,
+    next_rr: Rc<RefCell<usize>>,
+    billing_on: Rc<std::cell::Cell<bool>>,
+}
+
+impl std::fmt::Debug for ServerfulCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerfulCluster")
+            .field("nodes", &self.nodes.len())
+            .field("routing", &self.routing)
+            .field("vcpus", &self.vcpus_total)
+            .finish()
+    }
+}
+
+impl ServerfulCluster {
+    /// Assembles a cluster from prebuilt nodes.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        nodes: Vec<ServerNode>,
+        routing: Routing,
+        partitioner: Rc<Partitioner>,
+        net: NetParams,
+        vcpus_total: u32,
+        clients: u32,
+        max_retries: u32,
+    ) -> Self {
+        ServerfulCluster {
+            nodes,
+            routing,
+            partitioner,
+            net,
+            vcpus_total,
+            pricing: VmPricing::default(),
+            meter: Rc::new(RefCell::new(CostMeter::new())),
+            metrics: Rc::new(RefCell::new(RunMetrics::new())),
+            clients: clients.max(1),
+            max_retries,
+            next_rr: Rc::new(RefCell::new(0)),
+            billing_on: Rc::new(std::cell::Cell::new(false)),
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total provisioned vCPUs (billed whether busy or idle).
+    #[must_use]
+    pub fn vcpus_total(&self) -> u32 {
+        self.vcpus_total
+    }
+
+    /// Number of clients.
+    #[must_use]
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// The client-observed metrics.
+    #[must_use]
+    pub fn metrics(&self) -> Rc<RefCell<RunMetrics>> {
+        Rc::clone(&self.metrics)
+    }
+
+    /// The VM cost meter (per-second series; the Fig. 9 HopsFS curve).
+    #[must_use]
+    pub fn cost_meter(&self) -> CostMeter {
+        self.meter.borrow().clone()
+    }
+
+    /// Total dollars billed so far.
+    #[must_use]
+    pub fn cost_total(&self) -> f64 {
+        self.meter.borrow().total()
+    }
+
+    /// Starts per-second VM billing: the whole provisioned cluster is
+    /// billed every second, idle or not (§5.2.5). Idempotent.
+    pub fn start_billing(&self, sim: &mut Sim) {
+        if self.billing_on.replace(true) {
+            return;
+        }
+        let meter = Rc::clone(&self.meter);
+        let pricing = self.pricing;
+        let vcpus = f64::from(self.vcpus_total);
+        let on = Rc::clone(&self.billing_on);
+        every(sim, sim.now() + SimDuration::from_secs(1), SimDuration::from_secs(1), move |sim| {
+            if !on.get() {
+                return false;
+            }
+            meter.borrow_mut().charge_vm(sim.now(), &pricing, vcpus, SimDuration::from_secs(1));
+            true
+        });
+    }
+
+    /// Stops billing at its next tick.
+    pub fn stop_billing(&self) {
+        self.billing_on.set(false);
+    }
+
+    fn pick_node(&self, client: usize, op: &FsOp) -> usize {
+        match self.routing {
+            Routing::RoundRobin => {
+                let mut rr = self.next_rr.borrow_mut();
+                *rr = (*rr + client) % self.nodes.len().max(1);
+                *rr
+            }
+            Routing::HashParent => {
+                self.partitioner.deployment_for_path(op.primary_path()) as usize
+                    % self.nodes.len().max(1)
+            }
+        }
+    }
+
+    /// Submits `op` with transparent retry of transient failures.
+    pub fn submit(&self, sim: &mut Sim, client: usize, op: FsOp, done: OpDone) {
+        self.metrics.borrow_mut().issued += 1;
+        self.attempt(sim, client, op, 0, sim.now(), done);
+    }
+
+    fn attempt(
+        &self,
+        sim: &mut Sim,
+        client: usize,
+        op: FsOp,
+        tries: u32,
+        started: lambda_sim::SimTime,
+        done: OpDone,
+    ) {
+        let node = self.pick_node(client, &op);
+        let engine = self.nodes[node].engine.clone();
+        let hop = sim.rng().sample_duration(&self.net.tcp_one_way);
+        let net = self.net.clone();
+        let metrics = Rc::clone(&self.metrics);
+        metrics.borrow_mut().tcp_rpcs += 1;
+        let this = self.clone_handle();
+        let max_retries = self.max_retries;
+        sim.schedule(hop, move |sim| {
+            let op2 = op.clone();
+            engine.execute(
+                sim,
+                op,
+                true,
+                Box::new(move |sim, result| {
+                    let back = sim.rng().sample_duration(&net.tcp_one_way);
+                    sim.schedule(back, move |sim| match result {
+                        Err(FsError::Retryable(_)) | Err(FsError::SubtreeLocked(_))
+                            if tries < max_retries =>
+                        {
+                            metrics.borrow_mut().retries += 1;
+                            let delay =
+                                SimDuration::from_millis(20).mul_f64((1 << tries.min(6)) as f64);
+                            let this2 = this.clone_handle();
+                            sim.schedule(delay, move |sim| {
+                                this2.attempt(sim, client, op2, tries + 1, started, done);
+                            });
+                        }
+                        result => {
+                            let latency = sim.now().saturating_since(started);
+                            match &result {
+                                Ok(_) => metrics.borrow_mut().record_success(
+                                    sim.now(),
+                                    op2.class(),
+                                    latency,
+                                ),
+                                Err(e) => metrics
+                                    .borrow_mut()
+                                    .record_failure(matches!(e, FsError::Timeout)),
+                            }
+                            done(sim, result);
+                        }
+                    });
+                }),
+            );
+        });
+    }
+
+    fn clone_handle(&self) -> ServerfulCluster {
+        ServerfulCluster {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| ServerNode { cpu: Rc::clone(&n.cpu), engine: n.engine.clone() })
+                .collect(),
+            routing: self.routing,
+            partitioner: Rc::clone(&self.partitioner),
+            net: self.net.clone(),
+            vcpus_total: self.vcpus_total,
+            pricing: self.pricing,
+            meter: Rc::clone(&self.meter),
+            metrics: Rc::clone(&self.metrics),
+            clients: self.clients,
+            max_retries: self.max_retries,
+            next_rr: Rc::clone(&self.next_rr),
+            billing_on: Rc::clone(&self.billing_on),
+        }
+    }
+}
+
+/// Fixed-membership cache coherence for a serverful caching cluster
+/// (HopsFS+Cache): the writer sends INVs directly to every peer NameNode
+/// over TCP and proceeds once all round trips complete.
+pub struct PeerCoherence {
+    peers: Vec<Rc<RefCell<MetadataCache>>>,
+    own: usize,
+    net: NetParams,
+}
+
+impl PeerCoherence {
+    /// Creates the hook for node `own` with the given peer caches.
+    #[must_use]
+    pub fn new(peers: Vec<Rc<RefCell<MetadataCache>>>, own: usize, net: NetParams) -> Self {
+        PeerCoherence { peers, own, net }
+    }
+}
+
+impl CoherenceHook for PeerCoherence {
+    fn invalidate(&self, sim: &mut Sim, inv: InvalidationSet, done: Box<dyn FnOnce(&mut Sim)>) {
+        let targets: Vec<Rc<RefCell<MetadataCache>>> = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.own)
+            .map(|(_, c)| Rc::clone(c))
+            .collect();
+        if targets.is_empty() {
+            sim.schedule(SimDuration::ZERO, done);
+            return;
+        }
+        let remaining = Rc::new(std::cell::Cell::new(targets.len()));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for cache in targets {
+            // One round trip per peer: INV there, ACK back.
+            let rtt = sim.rng().sample_duration(&self.net.tcp_one_way)
+                + sim.rng().sample_duration(&self.net.tcp_one_way);
+            let inv = inv.clone();
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            sim.schedule(rtt, move |sim| {
+                {
+                    let mut cache = cache.borrow_mut();
+                    for id in &inv.inodes {
+                        cache.invalidate_inode(*id);
+                    }
+                    for dir in &inv.listings {
+                        cache.invalidate_listing(*dir);
+                    }
+                    for (dir, name, present) in &inv.listing_updates {
+                        cache.update_listing(*dir, name, *present);
+                    }
+                    if let Some(prefix) = &inv.prefix {
+                        cache.invalidate_prefix(prefix);
+                    }
+                }
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(d) = done.borrow_mut().take() {
+                        d(sim);
+                    }
+                }
+            });
+        }
+    }
+}

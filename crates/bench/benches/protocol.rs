@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the full protocol stack: wall-clock cost of
+//! simulating end-to-end λFS operations (how much real time one simulated
+//! metadata operation costs the harness), plus a scaled-down industrial
+//! slice — the figure-regeneration workhorse.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, SamplingMode};
+use lambda_fs::{DfsService, LambdaFs, LambdaFsConfig};
+use lambda_namespace::FsOp;
+use lambda_sim::params::StoreParams;
+use lambda_sim::{Sim, SimDuration};
+use lambda_workload::{run_spotify, SpotifyConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A warmed λFS system ready to serve operations.
+fn warmed() -> (Sim, Rc<LambdaFs>, Vec<lambda_namespace::DfsPath>) {
+    let mut sim = Sim::new(5);
+    let fs = Rc::new(LambdaFs::build(
+        &mut sim,
+        LambdaFsConfig { deployments: 4, clients: 8, client_vms: 2, ..Default::default() },
+    ));
+    fs.start(&mut sim);
+    let dirs = fs.bootstrap_tree(&"/".parse().unwrap(), 16, 8);
+    fs.prewarm_with(&mut sim, &dirs);
+    sim.run_for(SimDuration::from_secs(8));
+    (sim, fs, dirs)
+}
+
+fn run_one(sim: &mut Sim, fs: &LambdaFs, op: FsOp) {
+    let done = Rc::new(RefCell::new(false));
+    let d = Rc::clone(&done);
+    fs.submit(sim, 0, op, Box::new(move |_s, r| {
+        r.unwrap();
+        *d.borrow_mut() = true;
+    }));
+    while !*done.borrow() {
+        assert!(sim.step());
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lambda_fs_ops");
+    g.sampling_mode(SamplingMode::Flat).sample_size(20);
+    g.bench_function("cached_read", |b| {
+        let (mut sim, fs, dirs) = warmed();
+        let path = dirs[0].join("file00000").unwrap();
+        run_one(&mut sim, &fs, FsOp::ReadFile(path.clone())); // fill
+        b.iter(|| run_one(&mut sim, &fs, FsOp::ReadFile(path.clone())));
+    });
+    g.bench_function("create_with_coherence", |b| {
+        let (mut sim, fs, dirs) = warmed();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            run_one(&mut sim, &fs, FsOp::CreateFile(dirs[0].join(&format!("b{i}")).unwrap()));
+        });
+    });
+    g.bench_function("ls_cached_listing", |b| {
+        let (mut sim, fs, dirs) = warmed();
+        run_one(&mut sim, &fs, FsOp::Ls(dirs[1].clone())); // fill
+        b.iter(|| run_one(&mut sim, &fs, FsOp::Ls(dirs[1].clone())));
+    });
+    g.finish();
+}
+
+fn bench_industrial_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("industrial_slice");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    g.bench_function("spotify_10s_at_500ops", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Sim::new(9);
+                let fs = Rc::new(LambdaFs::build(
+                    &mut sim,
+                    LambdaFsConfig {
+                        deployments: 4,
+                        clients: 16,
+                        client_vms: 2,
+                        store: StoreParams::default().slowed(10.0),
+                        ..Default::default()
+                    },
+                ));
+                fs.start(&mut sim);
+                let cfg = SpotifyConfig {
+                    base_throughput: 500.0,
+                    duration: SimDuration::from_secs(10),
+                    dirs: 32,
+                    files_per_dir: 16,
+                    ..Default::default()
+                };
+                let dirs = fs.bootstrap_tree(&"/".parse().unwrap(), cfg.dirs, cfg.files_per_dir);
+                fs.prewarm_with(&mut sim, &dirs);
+                sim.run_for(SimDuration::from_secs(8));
+                (sim, fs, cfg)
+            },
+            |(mut sim, fs, cfg)| {
+                let run = run_spotify(&mut sim, Rc::clone(&fs), cfg);
+                fs.stop(&mut sim);
+                assert!(run.generated > 0);
+                run.generated
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_industrial_slice);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks of the substrate data structures: the DES
+//! kernel, queueing stations, the metadata-cache trie, the namespace
+//! partitioner, the LSM tree, and the transactional store.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lambda_lsm::{LsmConfig, LsmTree};
+use lambda_namespace::{DfsPath, Inode, MetadataCache, Partitioner};
+use lambda_sim::params::StoreParams;
+use lambda_sim::{Sim, SimDuration, Station};
+use lambda_store::{Db, LockMode};
+use std::hint::black_box;
+
+fn bench_des_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.bench_function("schedule_and_run_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            for i in 0..10_000u64 {
+                sim.schedule(SimDuration::from_nanos(i * 100), move |_| {});
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        });
+    });
+    g.bench_function("station_10k_jobs", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let station = Station::new("s", 8);
+            for _ in 0..10_000 {
+                Station::submit(&station, &mut sim, SimDuration::from_micros(100), |_| {});
+            }
+            sim.run();
+            let completions = station.borrow().stats().completions;
+            black_box(completions)
+        });
+    });
+    g.finish();
+}
+
+fn chain(depth: u64, base: u64) -> (DfsPath, Vec<Inode>) {
+    let mut path = DfsPath::root();
+    let mut inodes = vec![Inode::root()];
+    let mut parent = 1;
+    for d in 0..depth {
+        path = path.join(&format!("c{base}_{d}")).unwrap();
+        let id = base * 100 + d + 2;
+        inodes.push(Inode::directory(id, parent, format!("c{base}_{d}")));
+        parent = id;
+    }
+    (path, inodes)
+}
+
+fn bench_cache_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_trie");
+    // Pre-populated cache of 10k 3-deep chains.
+    let build = || {
+        let mut cache = MetadataCache::new(1_000_000);
+        let mut paths = Vec::new();
+        for i in 0..10_000u64 {
+            let (p, ch) = chain(3, i);
+            cache.insert_chain(&p, &ch);
+            paths.push(p);
+        }
+        (cache, paths)
+    };
+    let (mut cache, paths) = build();
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % paths.len();
+            black_box(cache.lookup(&paths[i]))
+        });
+    });
+    let missing: DfsPath = "/does/not/exist".parse().unwrap();
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| black_box(cache.lookup(&missing)));
+    });
+    g.bench_function("insert_chain", |b| {
+        let mut i = 0;
+        b.iter_batched(
+            || {
+                i += 1;
+                chain(3, 20_000 + i)
+            },
+            |(p, ch)| cache.insert_chain(&p, &ch),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("invalidate_and_refill", |b| {
+        let (p, ch) = chain(3, 5);
+        let id = ch.last().unwrap().id;
+        b.iter(|| {
+            cache.invalidate_inode(id);
+            cache.insert_chain(&p, &ch);
+        });
+    });
+    g.bench_function("prefix_invalidate_subtree_of_100", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = MetadataCache::new(1_000_000);
+                for i in 0..100u64 {
+                    let (p, ch) = chain(3, i);
+                    cache.insert_chain(&p, &ch);
+                }
+                cache
+            },
+            |mut cache| {
+                black_box(cache.invalidate_prefix(&DfsPath::root()));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let ring = Partitioner::new(10);
+    let paths: Vec<DfsPath> =
+        (0..1000).map(|i| format!("/dir{i:05}/file").parse().unwrap()).collect();
+    c.bench_function("partitioner/deployment_for_path", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % paths.len();
+            black_box(ring.deployment_for_path(&paths[i]))
+        });
+    });
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsm");
+    g.bench_function("put", |b| {
+        let mut tree = LsmTree::new(LsmConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tree.put(format!("key{i:012}").as_bytes(), b"value-payload-64-bytes");
+        });
+    });
+    g.bench_function("get_warm", |b| {
+        let mut tree = LsmTree::new(LsmConfig::default());
+        for i in 0..50_000u64 {
+            tree.put(format!("key{i:012}").as_bytes(), b"value-payload");
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 50_000;
+            black_box(tree.get(format!("key{i:012}").as_bytes()))
+        });
+    });
+    g.bench_function("scan_100", |b| {
+        let mut tree = LsmTree::new(LsmConfig::default());
+        for i in 0..10_000u64 {
+            tree.put(format!("key{i:012}").as_bytes(), b"v");
+        }
+        b.iter(|| black_box(tree.scan(b"key000000001000", b"key000000001100")));
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("store/locked_read_write_commit", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new(1);
+                let db = Db::new(&StoreParams::default(), SimDuration::from_secs(5));
+                let t = db.create_table::<u64, u64>("t");
+                (sim, db, t)
+            },
+            |(mut sim, db, t)| {
+                for i in 0..100u64 {
+                    let txn = db.begin();
+                    let db2 = db.clone();
+                    db.read_locked(&mut sim, txn, t, vec![i], LockMode::Exclusive, move |sim, r| {
+                        r.unwrap();
+                        db2.upsert(txn, t, i, i).unwrap();
+                        db2.commit(sim, txn, |_s, r| r.unwrap());
+                    });
+                }
+                sim.run();
+                black_box(db.stats().commits)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_des_kernel,
+    bench_cache_trie,
+    bench_partitioner,
+    bench_lsm,
+    bench_store
+);
+criterion_main!(benches);

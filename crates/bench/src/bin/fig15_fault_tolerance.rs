@@ -1,0 +1,59 @@
+//! Fig. 15: fault tolerance under the 25k industrial workload — one active
+//! NameNode killed every 30 seconds, round-robin across deployments.
+
+use lambda_bench::*;
+use lambda_sim::SimDuration;
+
+fn main() {
+    let scale = scale_from_args();
+    let seed = arg_f64("seed", 52.0) as u64;
+    let jobs: Vec<Box<dyn FnOnce() -> IndustrialReport + Send>> = vec![
+        Box::new(move || {
+            run_industrial(SystemKind::Lambda, &IndustrialParams::spotify(25_000.0, scale, seed))
+        }),
+        Box::new(move || {
+            let mut p = IndustrialParams::spotify(25_000.0, scale, seed);
+            p.kill_every = Some(SimDuration::from_secs(30));
+            run_industrial(SystemKind::Lambda, &p)
+        }),
+    ];
+    let reports = run_parallel(jobs);
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .zip(["lambda-fs", "lambda-fs + failures"])
+        .map(|(r, label)| {
+            vec![
+                label.to_string(),
+                fmt_ops(r.avg_throughput * scale),
+                fmt_ops(r.peak_sustained * scale),
+                fmt_ms(r.avg_latency_ms),
+                format!("{}/{}", r.completed, r.generated),
+                r.timeouts.to_string(),
+                r.retries.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 15 summary (scale 1/{scale}; kill 1 NN / 30s round-robin)"),
+        &["run", "avg tp", "peak 15s", "avg latency", "done/gen", "timeouts", "retries"],
+        &rows,
+    );
+    print_series(
+        "Fig. 15: ops/sec over time",
+        &["offered", "no failures", "with failures"],
+        &[
+            reports[0].offered_per_sec.clone(),
+            reports[0].throughput_per_sec.clone(),
+            reports[1].throughput_per_sec.clone(),
+        ],
+        10,
+    );
+    print_series(
+        "Fig. 15: active NameNodes",
+        &["no failures", "with failures"],
+        &[reports[0].namenodes_per_sec.clone(), reports[1].namenodes_per_sec.clone()],
+        10,
+    );
+    println!("\npaper: despite a kill every 30s, λFS completed the workload as generated,");
+    println!("       including the 163,996 ops/s burst, with brief dips after each kill.");
+}

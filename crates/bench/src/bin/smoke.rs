@@ -1,0 +1,25 @@
+//! Quick smoke run of the industrial experiment (dev aid).
+use lambda_bench::{run_industrial, IndustrialParams, SystemKind};
+
+fn main() {
+    let scale = lambda_bench::arg_f64("scale", 20.0);
+    for kind in [SystemKind::Lambda, SystemKind::Hops, SystemKind::HopsCache] {
+        let t0 = std::time::Instant::now();
+        let r = run_industrial(kind, &IndustrialParams::spotify(25_000.0, scale, 42));
+        println!(
+            "{:<28} gen={:>8} done={:>8} avg_tp={:>9.0} peak15={:>9.0} lat={:>8.2}ms cost=${:.4} nn_peak={:.0} wall={:?}",
+            r.system, r.generated, r.completed, r.avg_throughput, r.peak_sustained,
+            r.avg_latency_ms, r.cost_total,
+            r.namenodes_per_sec.iter().copied().fold(0.0, f64::max),
+            t0.elapsed()
+        );
+        println!(
+            "    retries={} straggler={} anti_thrash={} http={} tcp={} timeouts={}",
+            r.retries, r.straggler_resubmits, r.anti_thrash_entries, r.http_rpcs, r.tcp_rpcs,
+            r.timeouts
+        );
+        for (class, mean, p50, p99) in &r.latency_by_class {
+            println!("    {class:<8} mean={mean:>9.2}ms p50={p50:>9.2}ms p99={p99:>9.2}ms");
+        }
+    }
+}

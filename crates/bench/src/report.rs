@@ -1,0 +1,159 @@
+//! Reporting utilities: ASCII tables, series printers, argument parsing,
+//! and a bounded parallel runner for experiment sweeps.
+
+use std::thread;
+
+/// Formats an ops/sec magnitude compactly ("45.7k", "1.2M").
+#[must_use]
+pub fn fmt_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats milliseconds with sensible precision.
+#[must_use]
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}ms")
+    } else {
+        format!("{:.0}us", ms * 1000.0)
+    }
+}
+
+/// Prints an aligned ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints one or more aligned per-second series, sampling every
+/// `stride` buckets.
+pub fn print_series(title: &str, labels: &[&str], series: &[Vec<f64>], stride: usize) {
+    let stride = stride.max(1);
+    let len = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut headers = vec!["t(s)"];
+    headers.extend_from_slice(labels);
+    let rows: Vec<Vec<String>> = (0..len)
+        .step_by(stride)
+        .map(|t| {
+            let mut row = vec![t.to_string()];
+            for s in series {
+                row.push(s.get(t).map_or("-".to_string(), |v| fmt_ops(*v)));
+            }
+            row
+        })
+        .collect();
+    print_table(title, &headers, &rows);
+}
+
+/// Reads `--name=value` from the process arguments, with a default.
+#[must_use]
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Reads a `--flag` boolean from the process arguments.
+#[must_use]
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// The experiment scale factor: 1.0 = the paper's full scale. Defaults to
+/// a 5× reduction (load, resources, and store capacity shrink together, so
+/// the figures' shapes are preserved); `--full` forces 1.0.
+#[must_use]
+pub fn scale_from_args() -> f64 {
+    if arg_flag("full") {
+        1.0
+    } else {
+        arg_f64("scale", 5.0).max(1.0)
+    }
+}
+
+/// Runs jobs on up to `available_parallelism` threads, preserving order.
+///
+/// Each job builds its own simulation, so jobs are fully independent.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let width = thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    let mut jobs: Vec<Option<F>> = jobs.into_iter().map(Some).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let jobs_ref = std::sync::Mutex::new(&mut jobs);
+    let results_ref = std::sync::Mutex::new(&mut results);
+    thread::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let job = {
+                    let mut jobs = jobs_ref.lock().expect("jobs lock");
+                    match jobs.get_mut(idx) {
+                        Some(slot) => slot.take(),
+                        None => return,
+                    }
+                };
+                let Some(job) = job else { return };
+                let out = job();
+                results_ref.lock().expect("results lock")[idx] = Some(out);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_picks_units() {
+        assert_eq!(fmt_ops(532.0), "532");
+        assert_eq!(fmt_ops(45_690.0), "45.7k");
+        assert_eq!(fmt_ops(1_230_000.0), "1.23M");
+        assert_eq!(fmt_ms(0.5), "500us");
+        assert_eq!(fmt_ms(10.58), "10.58ms");
+        assert_eq!(fmt_ms(163.0), "163ms");
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..32usize).map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>).collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

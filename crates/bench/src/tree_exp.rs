@@ -1,0 +1,96 @@
+//! λIndexFS vs IndexFS experiment runner behind Fig. 16 (§5.7).
+
+use std::rc::Rc;
+
+use lambda_baselines::{IndexFs, IndexFsConfig, LambdaIndexFs, LambdaIndexFsConfig};
+use lambda_sim::Sim;
+use lambda_workload::{run_tree_test, TreeTestConfig};
+
+/// Which §5.7 system a tree-test run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeSystem {
+    /// Vanilla IndexFS on BeeGFS.
+    IndexFs,
+    /// λIndexFS.
+    LambdaIndexFs,
+}
+
+impl TreeSystem {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TreeSystem::IndexFs => "indexfs",
+            TreeSystem::LambdaIndexFs => "lambda-indexfs",
+        }
+    }
+}
+
+/// One Fig. 16 data point.
+#[derive(Debug, Clone)]
+pub struct TreePoint {
+    /// System label.
+    pub system: String,
+    /// Number of clients.
+    pub clients: u32,
+    /// Write (mknod) throughput, ops/sec.
+    pub write_throughput: f64,
+    /// Read (getattr) throughput, ops/sec.
+    pub read_throughput: f64,
+    /// Aggregate (writes-followed-by-reads) throughput, ops/sec.
+    pub aggregate_throughput: f64,
+}
+
+/// Runs one tree-test point. `ops_per_client == None` selects the
+/// fixed-sized workload (`fixed_total` split across clients).
+#[must_use]
+pub fn run_tree_point(
+    system: TreeSystem,
+    clients: u32,
+    ops_per_client: Option<usize>,
+    fixed_total: usize,
+    seed: u64,
+) -> TreePoint {
+    let mut sim = Sim::new(seed);
+    let cfg = match ops_per_client {
+        Some(n) => TreeTestConfig { ops_per_client: n, ..TreeTestConfig::variable() },
+        None => TreeTestConfig::fixed(fixed_total, clients as usize),
+    };
+    let run = match system {
+        TreeSystem::IndexFs => {
+            let fs =
+                Rc::new(IndexFs::build(&mut sim, IndexFsConfig { clients, ..Default::default() }));
+            run_tree_test(&mut sim, fs, cfg)
+        }
+        TreeSystem::LambdaIndexFs => {
+            let fs = Rc::new(LambdaIndexFs::build(
+                &mut sim,
+                LambdaIndexFsConfig { clients, ..Default::default() },
+            ));
+            fs.start(&mut sim);
+            // Warm every deployment before the measured phases: the
+            // paper's runs are long enough for cold starts to vanish in
+            // the average; scaled runs are not.
+            for d in 0..16 {
+                let path = format!("/warm_d{d}/probe").parse().expect("valid path");
+                fs.submit(
+                    &mut sim,
+                    0,
+                    lambda_baselines::TreeOp::Mknod(path),
+                    Box::new(|_sim, _ok| {}),
+                );
+            }
+            sim.run_for(lambda_sim::SimDuration::from_secs(5));
+            let run = run_tree_test(&mut sim, Rc::clone(&fs), cfg);
+            fs.stop(&mut sim);
+            run
+        }
+    };
+    TreePoint {
+        system: system.label().to_string(),
+        clients,
+        write_throughput: run.write_throughput,
+        read_throughput: run.read_throughput,
+        aggregate_throughput: run.aggregate_throughput,
+    }
+}

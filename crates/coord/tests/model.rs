@@ -1,0 +1,162 @@
+//! Model-based property test: the Coordinator's session/group/KV state
+//! machine against a flat reference model, driven by random operation
+//! sequences over both transports (ZooKeeper-style and NDB event API).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lambda_coord::{Coordinator, SessionId};
+use lambda_sim::params::{NetParams, StoreParams};
+use lambda_sim::{Sim, SimDuration, Station};
+use proptest::prelude::*;
+
+const GROUPS: [&str; 3] = ["nn-deployment-0", "nn-deployment-1", "nn-all"];
+const KEYS: [&str; 3] = ["/locks/a", "/locks/b", "/config/x"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Close(usize),
+    Join(usize, usize),
+    Leave(usize, usize),
+    SetEphemeral(usize, usize),
+    SetPersistent(usize),
+    Delete(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Op::Create),
+            (0..8usize).prop_map(Op::Close),
+            (0..8usize, 0..GROUPS.len()).prop_map(|(s, g)| Op::Join(s, g)),
+            (0..8usize, 0..GROUPS.len()).prop_map(|(s, g)| Op::Leave(s, g)),
+            (0..8usize, 0..KEYS.len()).prop_map(|(s, k)| Op::SetEphemeral(s, k)),
+            (0..KEYS.len()).prop_map(Op::SetPersistent),
+            (0..KEYS.len()).prop_map(Op::Delete),
+        ],
+        1..60,
+    )
+}
+
+/// Reference model: sessions with their groups and ephemeral keys.
+#[derive(Default)]
+struct Model {
+    alive: BTreeSet<SessionId>,
+    groups: BTreeMap<&'static str, Vec<SessionId>>,
+    /// key → ephemeral owner (None = persistent).
+    kv: BTreeMap<&'static str, Option<SessionId>>,
+}
+
+impl Model {
+    fn close(&mut self, s: SessionId) {
+        self.alive.remove(&s);
+        for members in self.groups.values_mut() {
+            members.retain(|m| *m != s);
+        }
+        self.kv.retain(|_, owner| *owner != Some(s));
+    }
+}
+
+fn check_model<M: Clone + 'static>(coord: &Coordinator<M>, model: &Model) {
+    for group in GROUPS {
+        let members = coord.members(group);
+        let expect = model.groups.get(group).cloned().unwrap_or_default();
+        assert_eq!(members, expect, "membership of {group} diverged");
+        // The leader is the longest-lived (minimum-id) member.
+        assert_eq!(coord.leader(group), expect.iter().min().copied());
+    }
+    for key in KEYS {
+        assert_eq!(
+            coord.get_data(key).is_some(),
+            model.kv.contains_key(key),
+            "presence of {key} diverged"
+        );
+    }
+}
+
+fn drive<M: Clone + 'static>(coord: Coordinator<M>, ops: Vec<Op>) {
+    let mut sim = Sim::new(99);
+    let mut sessions: Vec<SessionId> = Vec::new();
+    let mut model = Model::default();
+    for op in ops {
+        match op {
+            Op::Create => {
+                let s = coord.create_session(&mut sim);
+                sessions.push(s);
+                model.alive.insert(s);
+            }
+            Op::Close(i) if !sessions.is_empty() => {
+                let s = sessions[i % sessions.len()];
+                coord.close_session(&mut sim, s);
+                model.close(s);
+            }
+            Op::Join(i, g) if !sessions.is_empty() => {
+                let s = sessions[i % sessions.len()];
+                coord.join_group(&mut sim, s, GROUPS[g]);
+                if model.alive.contains(&s) {
+                    let members = model.groups.entry(GROUPS[g]).or_default();
+                    if !members.contains(&s) {
+                        members.push(s);
+                    }
+                }
+            }
+            Op::Leave(i, g) if !sessions.is_empty() => {
+                let s = sessions[i % sessions.len()];
+                coord.leave_group(&mut sim, s, GROUPS[g]);
+                if let Some(members) = model.groups.get_mut(GROUPS[g]) {
+                    members.retain(|m| *m != s);
+                }
+            }
+            Op::SetEphemeral(i, k) if !sessions.is_empty() => {
+                let s = sessions[i % sessions.len()];
+                coord.set_data(&mut sim, KEYS[k], b"v".to_vec(), Some(s));
+                if model.alive.contains(&s) {
+                    model.kv.insert(KEYS[k], Some(s));
+                }
+            }
+            Op::SetPersistent(k) => {
+                coord.set_data(&mut sim, KEYS[k], b"v".to_vec(), None);
+                model.kv.insert(KEYS[k], None);
+            }
+            Op::Delete(k) => {
+                coord.delete_data(&mut sim, KEYS[k]);
+                model.kv.remove(KEYS[k]);
+            }
+            _ => {} // op on an empty session list
+        }
+        // Heartbeat everyone alive so timeouts never interfere, then let
+        // in-flight notifications and store charges drain — bounded, so
+        // the 60 s expiry timers never fire (`sim.run()` would drain all
+        // the way to them).
+        let live: Vec<SessionId> = model.alive.iter().copied().collect();
+        for s in live {
+            coord.heartbeat(&mut sim, s);
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        check_model(&coord, &model);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zookeeper_transport_matches_the_model(ops in ops()) {
+        let coord: Coordinator<String> =
+            Coordinator::new(&NetParams::default(), SimDuration::from_secs(60));
+        drive(coord, ops);
+    }
+
+    #[test]
+    fn ndb_transport_matches_the_model(ops in ops()) {
+        let shards: Vec<_> =
+            (0..4).map(|i| Station::new(format!("ndb-{i}"), 10)).collect();
+        let coord: Coordinator<String> = Coordinator::over_ndb(
+            shards,
+            &StoreParams::default(),
+            SimDuration::from_millis(10),
+            SimDuration::from_secs(60),
+        );
+        drive(coord, ops);
+    }
+}

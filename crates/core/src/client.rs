@@ -1,0 +1,566 @@
+//! The λFS client library (paper §3.2, Appendices B and C).
+//!
+//! Clients submit metadata RPCs through a hybrid transport:
+//!
+//! * **TCP** whenever a connection to the owning deployment exists — one
+//!   network hop, 1–2 ms end-to-end;
+//! * **HTTP** through the FaaS API gateway otherwise — 8–20 ms, but
+//!   FaaS-visible, so it is also the auto-scaling trigger. Each TCP RPC is
+//!   probabilistically *replaced* by an HTTP RPC (≤ 1 %) so bursts keep
+//!   scaling out (§3.4).
+//!
+//! The library also implements:
+//!
+//! * **connection registration**: a NameNode that serves a request
+//!   "establishes a TCP connection back" — modeled by recording the
+//!   serving instance against the client's TCP server;
+//! * **connection sharing** (Fig. 4): a client with no connection of its
+//!   own borrows one from another TCP server on its VM;
+//! * **retries with exponential backoff + jitter** on timeout, avoiding
+//!   the request storms of §3.2;
+//! * **straggler mitigation** (Appendix B): requests outliving
+//!   `threshold ×` the moving-average latency are resubmitted early;
+//! * **anti-thrashing mode** (Appendix C): when latency blows past `T ×`
+//!   the moving average — the thrashing signature — the client stops
+//!   issuing HTTP invocations entirely, reusing any live TCP connection
+//!   (even to a foreign deployment, which then serves without caching).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use lambda_faas::{DeploymentId, InstanceId, Platform};
+use lambda_namespace::{FsError, FsOp, Partitioner};
+use lambda_sim::{Sim, SimDuration, SimTime};
+
+use crate::config::LambdaFsConfig;
+use crate::fsops::OpDone;
+use crate::messages::{ClientId, NnRequest, NnResponse, RequestId};
+use crate::metrics::RunMetrics;
+use crate::namenode::NameNode;
+
+/// Floor for the straggler-resubmission deadline (the paper observes 1–5 ms
+/// TCP RPCs and resubmits at ≥ 50 ms with the default threshold of 10).
+const STRAGGLER_FLOOR: SimDuration = SimDuration::from_millis(50);
+/// Floor for entering anti-thrashing mode: thrash manifests as
+/// cold-start-scale latencies, not single-digit-millisecond jitter.
+const ANTI_THRASH_FLOOR_SECS: f64 = 0.025;
+/// Base delay for exponential backoff after a timeout.
+const BACKOFF_BASE: SimDuration = SimDuration::from_millis(20);
+
+#[derive(Debug, Default)]
+struct TcpServer {
+    /// deployment index → connected instances.
+    connections: HashMap<u32, Vec<InstanceId>>,
+    /// Round-robin cursor so a server spreads load over every connected
+    /// instance of a deployment rather than funneling into the first.
+    next: std::cell::Cell<usize>,
+}
+
+impl TcpServer {
+    fn connection_to(&self, deployment: u32) -> Option<InstanceId> {
+        let conns = self.connections.get(&deployment)?;
+        if conns.is_empty() {
+            return None;
+        }
+        let idx = self.next.get();
+        self.next.set(idx.wrapping_add(1));
+        Some(conns[idx % conns.len()])
+    }
+
+    fn any_connection(&self) -> Option<(u32, InstanceId)> {
+        self.connections
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .min_by_key(|(d, _)| **d)
+            .map(|(d, v)| (*d, v[0]))
+    }
+
+    fn register(&mut self, deployment: u32, instance: InstanceId) {
+        let conns = self.connections.entry(deployment).or_default();
+        if !conns.contains(&instance) {
+            conns.push(instance);
+        }
+    }
+
+    fn remove(&mut self, deployment: u32, instance: InstanceId) {
+        if let Some(conns) = self.connections.get_mut(&deployment) {
+            conns.retain(|i| *i != instance);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Vm {
+    servers: Vec<TcpServer>,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    id: ClientId,
+    vm: usize,
+    server: usize,
+    next_seq: u64,
+    /// Moving window of recent end-to-end latencies (seconds).
+    window: VecDeque<f64>,
+    anti_thrash: bool,
+}
+
+impl ClientState {
+    fn avg_latency(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+        }
+    }
+}
+
+struct LibInner {
+    config: Rc<LambdaFsConfig>,
+    platform: Platform<NameNode>,
+    deployments: Vec<DeploymentId>,
+    partitioner: Rc<Partitioner>,
+    vms: Vec<Vm>,
+    clients: Vec<ClientState>,
+    metrics: Rc<RefCell<RunMetrics>>,
+}
+
+/// The client library handle; one instance serves all simulated clients.
+#[derive(Clone)]
+pub struct ClientLib {
+    inner: Rc<RefCell<LibInner>>,
+}
+
+impl std::fmt::Debug for ClientLib {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("ClientLib")
+            .field("clients", &inner.clients.len())
+            .field("vms", &inner.vms.len())
+            .finish()
+    }
+}
+
+struct Attempt {
+    op: FsOp,
+    id: RequestId,
+    client: usize,
+    started: SimTime,
+    tries: u32,
+    completed: bool,
+    done: Option<OpDone>,
+}
+
+impl ClientLib {
+    /// Builds the library for `config.clients` clients spread over
+    /// `config.client_vms` VMs.
+    #[must_use]
+    pub fn new(
+        config: Rc<LambdaFsConfig>,
+        platform: Platform<NameNode>,
+        deployments: Vec<DeploymentId>,
+        partitioner: Rc<Partitioner>,
+        metrics: Rc<RefCell<RunMetrics>>,
+    ) -> Self {
+        let vm_count = config.client_vms.max(1) as usize;
+        let per_server = config.clients_per_tcp_server.max(1) as usize;
+        let clients: Vec<ClientState> = (0..config.clients.max(1))
+            .map(|i| {
+                let vm = i as usize % vm_count;
+                let index_on_vm = i as usize / vm_count;
+                ClientState {
+                    id: ClientId(i),
+                    vm,
+                    server: index_on_vm / per_server,
+                    next_seq: 0,
+                    window: VecDeque::new(),
+                    anti_thrash: false,
+                }
+            })
+            .collect();
+        let mut vms: Vec<Vm> = (0..vm_count).map(|_| Vm { servers: Vec::new() }).collect();
+        for c in &clients {
+            while vms[c.vm].servers.len() <= c.server {
+                vms[c.vm].servers.push(TcpServer::default());
+            }
+        }
+        ClientLib {
+            inner: Rc::new(RefCell::new(LibInner {
+                config,
+                platform,
+                deployments,
+                partitioner,
+                vms,
+                clients,
+            metrics,
+            })),
+        }
+    }
+
+    /// Number of simulated clients.
+    #[must_use]
+    pub fn client_count(&self) -> usize {
+        self.inner.borrow().clients.len()
+    }
+
+    /// Submits `op` on behalf of client `client`, calling `done` with the
+    /// final result after transparent retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn submit(&self, sim: &mut Sim, client: usize, op: FsOp, done: OpDone) {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.metrics.borrow_mut().issued += 1;
+            let state = &mut inner.clients[client];
+            state.next_seq += 1;
+            RequestId { client: state.id, seq: state.next_seq }
+        };
+        let attempt = Rc::new(RefCell::new(Attempt {
+            op,
+            id,
+            client,
+            started: sim.now(),
+            tries: 0,
+            completed: false,
+            done: Some(done),
+        }));
+        self.try_send(sim, &attempt);
+    }
+
+    /// Routing decision + dispatch for one (re)try.
+    fn try_send(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>) {
+        if attempt.borrow().completed {
+            return;
+        }
+        enum Route {
+            Tcp { deployment: u32, instance: InstanceId, owned: bool, shared: bool },
+            Http { deployment: u32 },
+        }
+        let sim_now = sim.now();
+        let (route, request, timeout) = {
+            let target = {
+                let inner = self.inner.borrow();
+                let a = attempt.borrow();
+                inner.partitioner.deployment_for_path(a.op.primary_path())
+            };
+            // Probabilistic HTTP replacement keeps auto-scaling alive
+            // (§3.4); suspended in anti-thrashing mode (Appendix C).
+            let replace = {
+                let inner = self.inner.borrow();
+                let anti_thrash = inner.clients[attempt.borrow().client].anti_thrash;
+                let p = inner.config.http_replace_prob;
+                drop(inner);
+                !anti_thrash && sim.rng().gen_bool(p)
+            };
+            let inner = self.inner.borrow();
+            let a = attempt.borrow();
+            let state = &inner.clients[a.client];
+            let vm = &inner.vms[state.vm];
+            // 1) A connection from the client's own TCP server.
+            let own = vm.servers[state.server].connection_to(target);
+            // 2) Connection sharing: borrow from a sibling server (Fig. 4).
+            let borrowed = own.is_none().then(|| {
+                vm.servers
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != state.server)
+                    .find_map(|(_, s)| s.connection_to(target))
+            }).flatten();
+            let conn = own.or(borrowed);
+            let route = match conn {
+                Some(instance) if !replace => Route::Tcp {
+                    deployment: target,
+                    instance,
+                    owned: true,
+                    shared: own.is_none(),
+                },
+                Some(_) /* replaced */ => {
+                    inner.metrics.borrow_mut().http_replaced += 1;
+                    Route::Http { deployment: target }
+                }
+                None if state.anti_thrash => {
+                    // TCP-only mode: reuse *any* live connection rather
+                    // than invoking HTTP (which would add containers).
+                    match vm.servers.iter().find_map(TcpServer::any_connection) {
+                        Some((dep, instance)) => Route::Tcp {
+                            deployment: dep,
+                            instance,
+                            owned: dep == target,
+                            shared: true,
+                        },
+                        None => {
+                            let mut m = inner.metrics.borrow_mut();
+                            m.http_no_connection += 1;
+                            m.no_conn_timeline.add(sim_now, 1.0);
+                            Route::Http { deployment: target } // bootstrap
+                        }
+                    }
+                }
+                None => {
+                    let mut m = inner.metrics.borrow_mut();
+                    m.http_no_connection += 1;
+                    m.no_conn_timeline.add(sim_now, 1.0);
+                    Route::Http { deployment: target }
+                }
+            };
+            let via_http = matches!(route, Route::Http { .. });
+            let request = NnRequest::Op {
+                id: a.id,
+                op: a.op.clone(),
+                via_http,
+                client_vm: state.vm as u32,
+                owned: match &route {
+                    Route::Tcp { owned, .. } => *owned,
+                    Route::Http { .. } => true,
+                },
+            };
+            // Straggler mitigation (Appendix B): resubmit early when the
+            // request outlives threshold × the moving average. The moving
+            // average tracks read-class latency, so early resubmission is
+            // applied to read-class operations only — duplicating a slow
+            // (store-bound) write wastes store capacity for no benefit.
+            let is_read = !attempt.borrow().op.is_write();
+            let straggler = if is_read {
+                state.avg_latency().map(|avg| {
+                    SimDuration::from_secs_f64(avg * inner.config.straggler_threshold)
+                        .max(STRAGGLER_FLOOR)
+                })
+            } else {
+                None
+            };
+            let full = inner.config.client_timeout;
+            let timeout = straggler.map_or(full, |s| s.min(full));
+            (route, request, timeout)
+        };
+        // Dispatch.
+        let tries_at_send = attempt.borrow().tries;
+        match route {
+            Route::Tcp { deployment, instance, shared, .. } => {
+                {
+                    let inner = self.inner.borrow();
+                    let mut m = inner.metrics.borrow_mut();
+                    m.tcp_rpcs += 1;
+                    if shared {
+                        m.connection_shares += 1;
+                    }
+                }
+                let this = self.clone();
+                let attempt2 = Rc::clone(attempt);
+                let platform = self.inner.borrow().platform.clone();
+                // One network hop to the NameNode, one back — charged
+                // around the delivery.
+                let hop = {
+                    let net = self.inner.borrow().config.net.clone();
+                    sim.rng().sample_duration(&net.tcp_one_way)
+                };
+                let this2 = this.clone();
+                let attempt3 = Rc::clone(attempt);
+                sim.schedule(hop, move |sim| {
+                    let back = {
+                        let net = this2.inner.borrow().config.net.clone();
+                        sim.rng().sample_duration(&net.tcp_one_way)
+                    };
+                    let this3 = this2.clone();
+                    let ok = platform.deliver_tcp(
+                        sim,
+                        instance,
+                        request,
+                        Box::new(move |sim, resp| {
+                            let this4 = this3.clone();
+                            let attempt4 = Rc::clone(&attempt3);
+                            sim.schedule(back, move |sim| {
+                                this4.on_response(sim, &attempt4, resp);
+                            });
+                        }),
+                    );
+                    if !ok {
+                        // Dead connection: forget it and reroute now
+                        // (§3.2's transparent TCP-failure handling).
+                        this2.remove_connection(deployment, instance);
+                        this2.try_send(sim, &attempt2);
+                    }
+                });
+            }
+            Route::Http { deployment } => {
+                self.inner.borrow().metrics.borrow_mut().http_rpcs += 1;
+                let (platform, dep_id) = {
+                    let inner = self.inner.borrow();
+                    (inner.platform.clone(), inner.deployments[deployment as usize])
+                };
+                let this = self.clone();
+                let attempt2 = Rc::clone(attempt);
+                platform.invoke_http(
+                    sim,
+                    dep_id,
+                    request,
+                    Box::new(move |sim, resp| this.on_response(sim, &attempt2, resp)),
+                );
+            }
+        }
+        // Arm the (re)submission timer.
+        let this = self.clone();
+        let attempt2 = Rc::clone(attempt);
+        let is_straggler_deadline = timeout < self.inner.borrow().config.client_timeout;
+        sim.schedule(timeout, move |sim| {
+            let should_retry = {
+                let a = attempt2.borrow();
+                !a.completed && a.tries == tries_at_send
+            };
+            if !should_retry {
+                return;
+            }
+            let (max_retries, exhausted) = {
+                let inner = this.inner.borrow();
+                let mut a = attempt2.borrow_mut();
+                a.tries += 1;
+                let mut m = inner.metrics.borrow_mut();
+                m.retries += 1;
+                if is_straggler_deadline {
+                    m.straggler_resubmits += 1;
+                }
+                (inner.config.max_retries, a.tries > inner.config.max_retries)
+            };
+            let _ = max_retries;
+            if exhausted {
+                this.complete(sim, &attempt2, Err(FsError::Timeout));
+                return;
+            }
+            // Exponential backoff with jitter (anti-request-storm, §3.2).
+            let tries = attempt2.borrow().tries;
+            let factor = (1u64 << tries.min(6)) as f64 * sim.rng().gen_range(0.5..1.5);
+            let delay = BACKOFF_BASE.mul_f64(factor);
+            let this2 = this.clone();
+            let attempt3 = Rc::clone(&attempt2);
+            sim.schedule(delay, move |sim| this2.try_send(sim, &attempt3));
+        });
+    }
+
+    fn on_response(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>, resp: NnResponse) {
+        let NnResponse::Op { result, served_by, deployment, .. } = resp else {
+            return; // offload replies never reach clients
+        };
+        // Register the NameNode's connection-back even for duplicate
+        // responses — more routes is strictly better.
+        {
+            let client = attempt.borrow().client;
+            let mut inner = self.inner.borrow_mut();
+            let (vm, server) = {
+                let st = &inner.clients[client];
+                (st.vm, st.server)
+            };
+            inner.vms[vm].servers[server].register(deployment, served_by);
+        }
+        if attempt.borrow().completed {
+            return; // duplicate (straggler resubmission raced the original)
+        }
+        match result {
+            Err(FsError::Retryable(_)) | Err(FsError::SubtreeLocked(_)) => {
+                let exhausted = {
+                    let inner = self.inner.borrow();
+                    let mut a = attempt.borrow_mut();
+                    a.tries += 1;
+                    inner.metrics.borrow_mut().retries += 1;
+                    a.tries > inner.config.max_retries
+                };
+                if exhausted {
+                    self.complete(sim, attempt, Err(FsError::Timeout));
+                } else {
+                    let tries = attempt.borrow().tries;
+                    let factor = (1u64 << tries.min(6)) as f64 * sim.rng().gen_range(0.5..1.5);
+                    let delay = BACKOFF_BASE.mul_f64(factor);
+                    let this = self.clone();
+                    let attempt2 = Rc::clone(attempt);
+                    sim.schedule(delay, move |sim| this.try_send(sim, &attempt2));
+                }
+            }
+            other => self.complete(sim, attempt, other),
+        }
+    }
+
+    fn complete(
+        &self,
+        sim: &mut Sim,
+        attempt: &Rc<RefCell<Attempt>>,
+        result: lambda_namespace::OpResult,
+    ) {
+        let done = {
+            let mut a = attempt.borrow_mut();
+            if a.completed {
+                return;
+            }
+            a.completed = true;
+            let latency = sim.now().saturating_since(a.started);
+            let mut inner = self.inner.borrow_mut();
+            let metrics = Rc::clone(&inner.metrics);
+            match &result {
+                Ok(_) => {
+                    metrics.borrow_mut().record_success(sim.now(), a.op.class(), latency);
+                }
+                Err(e) => {
+                    metrics.borrow_mut().record_failure(matches!(e, FsError::Timeout));
+                }
+            }
+            // Moving-average window + anti-thrashing transitions
+            // (Appendix C). Only read-class latencies feed the window:
+            // writes are store-bound and 10-100× slower by design, so
+            // mixing them in would flap anti-thrashing on every write.
+            if !a.op.is_write() {
+                let window_size = inner.config.latency_window;
+                let thresh = inner.config.anti_thrash_threshold;
+                let state = &mut inner.clients[a.client];
+                let avg = state.avg_latency();
+                let lat = latency.as_secs_f64();
+                if let Some(avg) = avg {
+                    if state.window.len() >= window_size / 2 {
+                        if !state.anti_thrash
+                            && lat > (thresh * avg).max(ANTI_THRASH_FLOOR_SECS)
+                        {
+                            state.anti_thrash = true;
+                            metrics.borrow_mut().anti_thrash_entries += 1;
+                        } else if state.anti_thrash && lat <= 1.2 * avg {
+                            state.anti_thrash = false;
+                        }
+                    }
+                }
+                state.window.push_back(lat);
+                if state.window.len() > window_size {
+                    state.window.pop_front();
+                }
+            }
+            a.done.take()
+        };
+        if let Some(done) = done {
+            done(sim, result);
+        }
+    }
+
+    /// Per-VM, per-server connection counts by deployment (diagnostics).
+    #[must_use]
+    pub fn connection_snapshot(&self) -> Vec<Vec<(u32, usize)>> {
+        let inner = self.inner.borrow();
+        inner
+            .vms
+            .iter()
+            .flat_map(|vm| {
+                vm.servers.iter().map(|s| {
+                    let mut v: Vec<(u32, usize)> =
+                        s.connections.iter().map(|(d, c)| (*d, c.len())).collect();
+                    v.sort_unstable();
+                    v
+                })
+            })
+            .collect()
+    }
+
+    fn remove_connection(&self, deployment: u32, instance: InstanceId) {
+        let mut inner = self.inner.borrow_mut();
+        for vm in &mut inner.vms {
+            for server in &mut vm.servers {
+                server.remove(deployment, instance);
+            }
+        }
+    }
+}

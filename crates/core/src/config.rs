@@ -1,0 +1,165 @@
+//! λFS system configuration.
+
+use lambda_sim::params::{CpuParams, FaasParams, NetParams, StoreParams};
+use lambda_sim::{LambdaPricing, SimDuration};
+
+/// Complete configuration for a [`LambdaFs`](crate::LambdaFs) system.
+///
+/// Defaults reproduce the evaluation's common setup: 10 NameNode
+/// deployments, 5-vCPU / 6 GB NameNodes, `ConcurrencyLevel` 4, 1 %
+/// HTTP-TCP replacement, 512-vCPU cluster cap.
+#[derive(Debug, Clone)]
+pub struct LambdaFsConfig {
+    /// Number of serverless NameNode deployments (`n` in §3.1). Fixed at
+    /// registration time; determines the namespace partitioning.
+    pub deployments: u32,
+    /// vCPUs per NameNode instance.
+    pub nn_vcpus: u32,
+    /// Memory per NameNode instance (GB).
+    pub nn_mem_gb: f64,
+    /// `ConcurrencyLevel`: simultaneous HTTP requests per instance (§3.4,
+    /// coarse-grained auto-scaling control).
+    pub concurrency_level: u32,
+    /// Maximum instances per deployment (`u32::MAX` = platform limits;
+    /// Fig. 14's ablations lower this).
+    pub max_instances_per_deployment: u32,
+    /// Minimum instances kept warm per deployment — the
+    /// provisioned-concurrency mitigation for warm-function reclamation
+    /// that the paper leaves as future work. 0 = pure scale-to-zero.
+    pub min_warm_per_deployment: u32,
+    /// Cluster-wide vCPU cap for the FaaS platform (the evaluation's
+    /// fairness control; 512 in most experiments).
+    pub cluster_vcpus: u32,
+    /// Metadata-cache capacity per NameNode, in inodes. The
+    /// "reduced-cache λFS" run (§5.2.3) sets this below the working-set
+    /// size.
+    pub cache_capacity: usize,
+    /// Directory-listing cache capacity per NameNode, in directories.
+    pub listing_cache_capacity: usize,
+    /// Probability that a client replaces a TCP RPC with an HTTP RPC
+    /// (fine-grained auto-scaling control; §3.4 finds ≤ 1 % works best).
+    pub http_replace_prob: f64,
+    /// Client-side request timeout before resubmission.
+    pub client_timeout: SimDuration,
+    /// Maximum client retries before reporting [`FsError::Timeout`](lambda_namespace::FsError).
+    pub max_retries: u32,
+    /// Straggler-mitigation threshold: a request outliving `threshold ×`
+    /// the client's moving-average latency is cancelled and resubmitted
+    /// (Appendix B; default 10).
+    pub straggler_threshold: f64,
+    /// Minimum samples in the moving average before straggler mitigation
+    /// and anti-thrashing activate.
+    pub latency_window: usize,
+    /// Anti-thrashing threshold `T` (Appendix C; 2–3 works best): a
+    /// latency above `T ×` the moving average puts the client in
+    /// TCP-only mode.
+    pub anti_thrash_threshold: f64,
+    /// Sub-operation batch size for subtree operations (Appendix D;
+    /// default 512).
+    pub subtree_batch_size: usize,
+    /// Offload subtree batches to helper NameNodes (Appendix D's
+    /// "serverless offloading").
+    pub subtree_offload: bool,
+    /// Maximum concurrent in-flight subtree batches per executor.
+    pub subtree_parallelism: usize,
+    /// Run the cache-coherence protocol on writes. Disabling this is an
+    /// *unsafe ablation* used to measure the protocol's overhead.
+    pub coherence_enabled: bool,
+    /// Number of client VMs (TCP-server hosts); the evaluation used 8.
+    pub client_vms: u32,
+    /// Total client processes across the VMs.
+    pub clients: u32,
+    /// At most this many clients share one TCP server on a VM (§3.2:
+    /// "users can optionally configure λFS to assign at-most n clients to
+    /// each TCP server"); smaller values exercise connection sharing
+    /// (Fig. 4).
+    pub clients_per_tcp_server: u32,
+    /// Coordinator session timeout (crash-detection latency).
+    pub session_timeout: SimDuration,
+    /// Which Coordinator implementation to run (§3.5: ZooKeeper, the
+    /// evaluation's default, or MySQL Cluster NDB's event API — the
+    /// latter needs no extra service but rides the metadata store).
+    pub coordinator: lambda_coord::CoordinatorKind,
+    /// NDB event-API flush epoch (only used with
+    /// [`CoordinatorKind::Ndb`](lambda_coord::CoordinatorKind::Ndb)).
+    pub ndb_event_epoch: SimDuration,
+    /// Number of simulated DataNodes publishing reports.
+    pub datanodes: u32,
+    /// Interval between DataNode reports.
+    pub datanode_report_every: SimDuration,
+    /// Network latency model.
+    pub net: NetParams,
+    /// NameNode CPU service-time model.
+    pub cpu: CpuParams,
+    /// Persistent metadata store capacity model.
+    pub store: StoreParams,
+    /// FaaS platform behavior (cold starts, reclamation).
+    pub faas: FaasParams,
+    /// Pay-per-use prices.
+    pub pricing: LambdaPricing,
+    /// Store lock-wait timeout (aborts the waiter).
+    pub lock_timeout: SimDuration,
+}
+
+impl Default for LambdaFsConfig {
+    fn default() -> Self {
+        LambdaFsConfig {
+            deployments: 10,
+            nn_vcpus: 5,
+            nn_mem_gb: 6.0,
+            concurrency_level: 4,
+            max_instances_per_deployment: u32::MAX,
+            min_warm_per_deployment: 0,
+            cluster_vcpus: 512,
+            cache_capacity: 2_000_000,
+            listing_cache_capacity: 100_000,
+            http_replace_prob: 0.01,
+            client_timeout: SimDuration::from_secs(5),
+            max_retries: 6,
+            straggler_threshold: 10.0,
+            latency_window: 64,
+            anti_thrash_threshold: 2.5,
+            subtree_batch_size: 512,
+            subtree_offload: true,
+            subtree_parallelism: 4,
+            coherence_enabled: true,
+            client_vms: 8,
+            clients: 64,
+            clients_per_tcp_server: 128,
+            session_timeout: SimDuration::from_secs(4),
+            coordinator: lambda_coord::CoordinatorKind::ZooKeeper,
+            ndb_event_epoch: SimDuration::from_nanos(10_000_000),
+            datanodes: 8,
+            datanode_report_every: SimDuration::from_secs(10),
+            net: NetParams::default(),
+            cpu: CpuParams::default(),
+            store: StoreParams::default(),
+            faas: FaasParams::default(),
+            pricing: LambdaPricing::default(),
+            lock_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl LambdaFsConfig {
+    /// Total vCPUs λFS would use if every deployment ran one instance.
+    #[must_use]
+    pub fn baseline_vcpus(&self) -> u32 {
+        self.deployments * self.nn_vcpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_setup() {
+        let c = LambdaFsConfig::default();
+        assert_eq!(c.cluster_vcpus, 512);
+        assert!(c.http_replace_prob <= 0.01);
+        assert_eq!(c.subtree_batch_size, 512);
+        assert!((2.0..=3.0).contains(&c.anti_thrash_threshold));
+        assert_eq!(c.straggler_threshold, 10.0);
+    }
+}

@@ -1,0 +1,883 @@
+//! The metadata-operation engine.
+//!
+//! [`OpEngine`] executes the seven DFS metadata operations against the
+//! persistent store, optionally through a local [`MetadataCache`]
+//! (λFS / HopsFS+Cache) and optionally guarded by a cache-coherence hook
+//! (§3.5). The same engine drives:
+//!
+//! * λFS serverless NameNodes — cache + Coordinator-based coherence;
+//! * HopsFS stateless NameNodes — no cache, no coherence (every operation
+//!   hits the store, the behavior whose cost Figs. 8/11/12 expose);
+//! * HopsFS+Cache — cache + fixed-membership coherence;
+//! * the InfiniCache-style baseline — cache + coherence, but only ever
+//!   invoked per-operation over HTTP.
+//!
+//! ## Locking discipline (deadlock-free by construction + timeout net)
+//!
+//! 1. Path resolution takes **shared** locks on the existing chain, in one
+//!    sorted batch, and releases them at the end of the read (the
+//!    single-batch resolution that HopsFS's INode-hint cache enables).
+//! 2. Write operations then take **exclusive** locks on their write set in
+//!    one sorted batch (never upgrading a held shared lock — resolution
+//!    and write-set locking use separate transactions), re-validate under
+//!    the locks, run the coherence hook, apply, and commit.
+//! 3. Any residual cross-operation ordering violation is caught by the
+//!    store's lock-wait timeout and surfaces as a retryable error, which
+//!    the client library resubmits — exactly HopsFS's deadlock-victim
+//!    behavior.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambda_namespace::{
+    DfsPath, FsError, FsOp, Inode, InodeId, MetadataCache, MetadataSchema, OpOutcome, OpResult,
+};
+use lambda_sim::params::CpuParams;
+use lambda_sim::{Sim, SimDuration, Station, StationRef};
+use lambda_store::{Db, LockMode, StoreError};
+
+/// Completion callback for one operation.
+pub type OpDone = Box<dyn FnOnce(&mut Sim, OpResult)>;
+
+/// Everything a write must invalidate before it commits, plus the paths
+/// that determine which deployments must be told (§3.5: `D` is the set of
+/// deployments caching at least one piece of affected metadata).
+#[derive(Debug, Clone, Default)]
+pub struct InvalidationSet {
+    /// Inodes whose cached copies must be dropped.
+    pub inodes: Vec<InodeId>,
+    /// Directories whose cached listings must be dropped wholesale
+    /// (subtree operations; single-child changes use `listing_updates`).
+    pub listings: Vec<InodeId>,
+    /// In-place listing deltas `(dir, child name, present-after-write)` —
+    /// an INV that names the changed child lets caches patch their
+    /// listing instead of dropping it.
+    pub listing_updates: Vec<(InodeId, String, bool)>,
+    /// Subtree prefix invalidation (Appendix D), if any.
+    pub prefix: Option<DfsPath>,
+    /// Paths whose owning deployments must receive the INV.
+    pub paths: Vec<DfsPath>,
+}
+
+impl InvalidationSet {
+    /// Whether there is nothing to invalidate.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inodes.is_empty()
+            && self.listings.is_empty()
+            && self.listing_updates.is_empty()
+            && self.prefix.is_none()
+    }
+}
+
+/// The coherence protocol entry point a write calls **after** taking its
+/// exclusive store locks and **before** persisting anything (§3.5,
+/// Algorithm 1). `done` fires once every required ACK arrived.
+pub trait CoherenceHook {
+    /// Runs one invalidation round.
+    fn invalidate(&self, sim: &mut Sim, inv: InvalidationSet, done: Box<dyn FnOnce(&mut Sim)>);
+}
+
+/// Subtree-operation settings (Appendix D).
+#[derive(Clone)]
+pub struct SubtreeSettings {
+    /// Sub-operation batch size (default 512).
+    pub batch_size: usize,
+    /// Concurrent in-flight batches.
+    pub parallelism: usize,
+    /// Batch offloading to helper NameNodes ("serverless offloading"), if
+    /// available.
+    pub offloader: Option<Rc<dyn Offloader>>,
+    /// Tag identifying this executor as a subtree-lock holder (λFS uses
+    /// the NameNode's coordinator-session id).
+    pub holder_tag: u64,
+    /// Liveness oracle for subtree-lock holders: stale locks left by
+    /// crashed NameNodes are reclaimed (paper §3.6). `None` = assume
+    /// alive.
+    pub holder_alive: Option<Rc<dyn Fn(u64) -> bool>>,
+}
+
+impl Default for SubtreeSettings {
+    fn default() -> Self {
+        SubtreeSettings {
+            batch_size: 512,
+            parallelism: 8,
+            offloader: None,
+            holder_tag: 0,
+            holder_alive: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SubtreeSettings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubtreeSettings")
+            .field("batch_size", &self.batch_size)
+            .field("parallelism", &self.parallelism)
+            .field("offload", &self.offloader.is_some())
+            .finish()
+    }
+}
+
+/// Ships a subtree batch to a helper NameNode (Appendix D's elastically
+/// offloaded batched operations). Returns `false` if no helper is
+/// available — the caller runs the batch locally.
+pub trait Offloader {
+    /// Attempts to offload; `done` fires when the helper reports
+    /// completion.
+    fn offload(
+        &self,
+        sim: &mut Sim,
+        batch: crate::messages::SubtreeBatch,
+        done: Box<dyn FnOnce(&mut Sim)>,
+    ) -> bool;
+}
+
+/// The shared metadata-operation engine. Cloning is cheap; clones share
+/// the cache and stats.
+#[derive(Clone)]
+pub struct OpEngine {
+    /// The persistent metadata store.
+    pub db: Db,
+    /// Table handles.
+    pub schema: MetadataSchema,
+    /// The CPU this engine runs on (a NameNode instance's station).
+    pub cpu: StationRef,
+    /// CPU service-time model.
+    pub cpu_params: CpuParams,
+    /// The local metadata cache, if this service has one.
+    pub cache: Option<Rc<RefCell<MetadataCache>>>,
+    /// The coherence hook, if this service caches and shares metadata.
+    pub coherence: Option<Rc<dyn CoherenceHook>>,
+    /// Subtree-operation settings.
+    pub subtree: SubtreeSettings,
+}
+
+impl std::fmt::Debug for OpEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpEngine")
+            .field("cached", &self.cache.is_some())
+            .field("coherent", &self.coherence.is_some())
+            .finish()
+    }
+}
+
+/// Outcome of path resolution: the inode chain root→target.
+type ChainResult = Result<Vec<Inode>, FsError>;
+
+impl OpEngine {
+    /// Builds an engine without cache or coherence (a stateless HopsFS
+    /// NameNode).
+    #[must_use]
+    pub fn stateless(db: Db, schema: MetadataSchema, cpu: StationRef, cpu_params: CpuParams) -> Self {
+        OpEngine {
+            db,
+            schema,
+            cpu,
+            cpu_params,
+            cache: None,
+            coherence: None,
+            subtree: SubtreeSettings::default(),
+        }
+    }
+
+    /// Executes `op`, charging NameNode CPU, store capacity, and (for
+    /// writes) the coherence protocol. `allow_cache` is false when a
+    /// foreign deployment serves the request under anti-thrashing
+    /// (Appendix C) — it must not cache metadata it does not own.
+    pub fn execute(&self, sim: &mut Sim, op: FsOp, allow_cache: bool, done: OpDone) {
+        let overhead = sim.rng().sample_duration(&self.cpu_params.op_overhead);
+        let this = self.clone();
+        Station::submit(&self.cpu, sim, overhead, move |sim| {
+            match op {
+                FsOp::ReadFile(path) | FsOp::Stat(path) => {
+                    this.execute_read(sim, path, allow_cache, done);
+                }
+                FsOp::Ls(path) => this.execute_ls(sim, path, allow_cache, done),
+                FsOp::CreateFile(path) => this.execute_add(sim, path, false, allow_cache, done),
+                FsOp::Mkdir(path) => this.execute_add(sim, path, true, allow_cache, done),
+                FsOp::Delete(path) => this.execute_delete(sim, path, allow_cache, done),
+                FsOp::Mv(src, dst) => this.execute_mv(sim, src, dst, allow_cache, done),
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves `path` to its inode chain.
+    ///
+    /// Cache hit: zero store round trips (§3.3). Miss: one shared-locked
+    /// batch read of the hinted chain (the INode-hint-cache single-batch
+    /// resolution), after which the chain is cached (when permitted).
+    pub fn resolve_chain<F>(&self, sim: &mut Sim, path: DfsPath, allow_cache: bool, done: F)
+    where
+        F: FnOnce(&mut Sim, ChainResult) + 'static,
+    {
+        if let Some(cache) = &self.cache {
+            if let Some(chain) = cache.borrow_mut().lookup(&path) {
+                // Serving from NameNode memory: a small CPU charge, no
+                // store interaction.
+                let hit = sim.rng().sample_duration(&self.cpu_params.read_hit);
+                Station::submit(&self.cpu, sim, hit, move |sim| done(sim, Ok(chain)));
+                return;
+            }
+        }
+        // Miss: hint the ids (client INode-hint-cache model), then fetch
+        // and validate the *uncached suffix* of the chain in one
+        // shared-locked batch. The cached prefix (the root and hot
+        // ancestor directories) is served from memory — a partial fill —
+        // which keeps the store shard holding the root row from becoming
+        // a hotspot.
+        let Some(hinted) = self.schema.peek_chain(&self.db, &path) else {
+            done(sim, Err(FsError::NotFound(path.to_string())));
+            return;
+        };
+        let prefix: Vec<Inode> = match (&self.cache, allow_cache) {
+            (Some(cache), true) => {
+                let prefix = cache.borrow_mut().lookup_prefix(&path);
+                // The prefix is only usable if it agrees with the hints
+                // (a concurrent mv may have relinked an ancestor).
+                let agrees = prefix.iter().zip(hinted.iter()).all(|(c, h)| c.id == h.id);
+                if agrees {
+                    prefix
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        };
+        let missing_ids: Vec<InodeId> =
+            hinted.iter().skip(prefix.len()).map(|i| i.id).collect();
+        debug_assert!(!missing_ids.is_empty(), "full hits are handled above");
+        let txn = self.db.begin();
+        let this = self.clone();
+        self.db.read_locked(
+            sim,
+            txn,
+            self.schema.inodes,
+            missing_ids,
+            LockMode::Shared,
+            move |sim, rows| match rows {
+                Err(e) => {
+                    this.db.abort(sim, txn);
+                    done(sim, Err(store_error(&e)));
+                }
+                Ok(rows) => {
+                    let suffix: Option<Vec<Inode>> = rows.into_iter().collect();
+                    let chain: Option<Vec<Inode>> = suffix.map(|suffix| {
+                        let mut chain = prefix;
+                        chain.extend(suffix);
+                        chain
+                    });
+                    let valid =
+                        chain.as_ref().is_some_and(|chain| chain_matches(chain, &path));
+                    let this2 = this.clone();
+                    this.db.commit(sim, txn, move |sim, r| {
+                        if r.is_err() {
+                            done(sim, Err(FsError::Retryable("commit failed".into())));
+                            return;
+                        }
+                        match (chain, valid) {
+                            (Some(chain), true) => {
+                                if allow_cache {
+                                    if let Some(cache) = &this2.cache {
+                                        cache.borrow_mut().insert_chain(&path, &chain);
+                                    }
+                                }
+                                done(sim, Ok(chain));
+                            }
+                            // The path changed between hint and lock
+                            // (concurrent mv/delete): retry with fresh
+                            // hints.
+                            _ => done(sim, Err(FsError::Retryable("stale path hint".into()))),
+                        }
+                    });
+                }
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    fn execute_read(&self, sim: &mut Sim, path: DfsPath, allow_cache: bool, done: OpDone) {
+        self.resolve_chain(sim, path, allow_cache, move |sim, chain| match chain {
+            Err(e) => done(sim, Err(e)),
+            Ok(chain) => {
+                let target = chain.last().expect("chain non-empty").clone();
+                done(sim, Ok(OpOutcome::Meta(Box::new(target))));
+            }
+        });
+    }
+
+    fn execute_ls(&self, sim: &mut Sim, path: DfsPath, allow_cache: bool, done: OpDone) {
+        let this = self.clone();
+        self.resolve_chain(sim, path.clone(), allow_cache, move |sim, chain| {
+            let chain = match chain {
+                Err(e) => return done(sim, Err(e)),
+                Ok(c) => c,
+            };
+            let target = chain.last().expect("non-empty").clone();
+            if !target.is_dir() {
+                // `ls` of a file lists the file itself.
+                return done(sim, Ok(OpOutcome::Listing(vec![target.name])));
+            }
+            if allow_cache {
+                if let Some(cache) = &this.cache {
+                    if let Some(names) = cache.borrow_mut().listing(target.id) {
+                        let hit = sim.rng().sample_duration(&this.cpu_params.read_hit);
+                        let cpu = Rc::clone(&this.cpu);
+                        Station::submit(&cpu, sim, hit, move |sim| {
+                            done(sim, Ok(OpOutcome::Listing(names)));
+                        });
+                        return;
+                    }
+                }
+            }
+            // Store path: validate the directory under a short shared
+            // lock, release it, then scan read-committed. Holding the
+            // lock across the scan would convoy writers behind large
+            // listings; HDFS's relaxed (non-POSIX) semantics permit a
+            // listing concurrent with inserts (§2: "POSIX semantics are
+            // relaxed").
+            let txn = this.db.begin();
+            let this2 = this.clone();
+            this.db.read_locked(
+                sim,
+                txn,
+                this.schema.inodes,
+                vec![target.id],
+                LockMode::Shared,
+                move |sim, rows| {
+                    if rows.is_err() {
+                        this2.db.abort(sim, txn);
+                        return done(sim, Err(FsError::Retryable("ls lock timeout".into())));
+                    }
+                    let dir = target.id;
+                    let this3 = this2.clone();
+                    this2.db.commit(sim, txn, move |sim, r| {
+                        if r.is_err() {
+                            return done(sim, Err(FsError::Retryable("ls commit".into())));
+                        }
+                        let this4 = this3.clone();
+                        this3.db.scan(
+                            sim,
+                            this3.schema.children,
+                            (dir, String::new())..(dir + 1, String::new()),
+                            move |sim, rows| {
+                                let names: Vec<String> =
+                                    rows.into_iter().map(|((_, name), _)| name).collect();
+                                if allow_cache {
+                                    if let Some(cache) = &this4.cache {
+                                        cache.borrow_mut().cache_listing(dir, names.clone());
+                                    }
+                                }
+                                done(sim, Ok(OpOutcome::Listing(names)));
+                            },
+                        );
+                    });
+                },
+            );
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// `create file` / `mkdirs`.
+    fn execute_add(&self, sim: &mut Sim, path: DfsPath, dir: bool, allow_cache: bool, done: OpDone) {
+        let Some(parent_path) = path.parent() else {
+            return done(sim, Err(FsError::AlreadyExists("/".into())));
+        };
+        let name = path.file_name().expect("non-root").to_string();
+        let this = self.clone();
+        self.check_subtree_locks(sim, path.clone(), move |sim, blocked| {
+            if let Some(p) = blocked {
+                return done(sim, Err(FsError::SubtreeLocked(p)));
+            }
+            let this2 = this.clone();
+            this.resolve_chain(sim, parent_path.clone(), allow_cache, move |sim, chain| {
+                let chain = match chain {
+                    Err(e) => return done(sim, Err(e)),
+                    Ok(c) => c,
+                };
+                let parent = chain.last().expect("non-empty").clone();
+                if !parent.is_dir() {
+                    return done(sim, Err(FsError::NotADirectory(parent_path.to_string())));
+                }
+                let new_id = this2.schema.next_id();
+                // Exclusive write set: parent row, the (parent, name)
+                // children slot, and the new inode row.
+                let mut keys = vec![
+                    this2.db.lock_key(this2.schema.inodes, &parent.id),
+                    this2.db.lock_key(this2.schema.inodes, &new_id),
+                    this2.db.lock_key(this2.schema.children, &(parent.id, name.clone())),
+                ];
+                keys.sort();
+                let txn = this2.db.begin();
+                let this3 = this2.clone();
+                let path2 = path.clone();
+                let parent_path2 = parent_path.clone();
+                this2.db.lock(sim, txn, keys, LockMode::Exclusive, move |sim, res| {
+                    if let Err(e) = res {
+                        this3.db.abort(sim, txn);
+                        return done(sim, Err(store_error(&e)));
+                    }
+                    // Re-validate under the exclusive locks.
+                    let parent_now = this3.db.peek(this3.schema.inodes, &parent.id);
+                    let slot = this3.db.peek(this3.schema.children, &(parent.id, name.clone()));
+                    match (&parent_now, &slot) {
+                        (None, _) => {
+                            this3.db.abort(sim, txn);
+                            return done(sim, Err(FsError::Retryable("parent vanished".into())));
+                        }
+                        (Some(p), _) if !p.is_dir() => {
+                            this3.db.abort(sim, txn);
+                            return done(
+                                sim,
+                                Err(FsError::NotADirectory(parent_path2.to_string())),
+                            );
+                        }
+                        (_, Some(_)) => {
+                            this3.db.abort(sim, txn);
+                            return done(sim, Err(FsError::AlreadyExists(path2.to_string())));
+                        }
+                        _ => {}
+                    }
+                    let mut parent_now = parent_now.expect("checked");
+                    // Structural change: the parent's *listing* gains a
+                    // name. The parent inode row is rewritten too (mtime),
+                    // but attribute-only updates deliberately do not
+                    // invalidate cached ancestors: every create would
+                    // otherwise invalidate its parent on every caching
+                    // NameNode, collapsing the hit rates the paper's read
+                    // latencies demonstrate. Cached mtimes are therefore
+                    // at-most-briefly stale; namespace *structure* stays
+                    // strongly consistent.
+                    let inv = InvalidationSet {
+                        inodes: Vec::new(),
+                        listings: Vec::new(),
+                        listing_updates: vec![(parent.id, name.clone(), true)],
+                        prefix: None,
+                        paths: vec![path2.clone(), parent_path2.clone()],
+                    };
+                    let this4 = this3.clone();
+                    let name2 = name.clone();
+                    this3.with_coherence(sim, inv, move |sim| {
+                        parent_now.mtime_nanos = sim.now().as_nanos();
+                        let inode = if dir {
+                            Inode::directory(new_id, parent.id, name2.clone())
+                        } else {
+                            Inode::file(new_id, parent.id, name2.clone())
+                        };
+                        let writes = this4
+                            .db
+                            .upsert(txn, this4.schema.inodes, parent.id, parent_now)
+                            .and_then(|()| {
+                                this4.db.upsert(txn, this4.schema.inodes, new_id, inode.clone())
+                            })
+                            .and_then(|()| {
+                                this4.db.upsert(
+                                    txn,
+                                    this4.schema.children,
+                                    (parent.id, name2),
+                                    new_id,
+                                )
+                            });
+                        if writes.is_err() {
+                            this4.db.abort(sim, txn);
+                            return done(sim, Err(FsError::Retryable("write failed".into())));
+                        }
+                        let this5 = this4.clone();
+                        this4.db.commit(sim, txn, move |sim, r| {
+                            if r.is_err() {
+                                return done(sim, Err(FsError::Retryable("commit failed".into())));
+                            }
+                            if allow_cache {
+                                if let Some(cache) = &this5.cache {
+                                    let mut cache = cache.borrow_mut();
+                                    let mut chain2 = chain.clone();
+                                    chain2.push(inode.clone());
+                                    cache.insert_chain(&path2, &chain2);
+                                    cache.update_listing(parent.id, &inode.name, true);
+                                }
+                            }
+                            done(sim, Ok(OpOutcome::Created(Box::new(inode))));
+                        });
+                    });
+                });
+            });
+        });
+    }
+
+    /// `delete file/dir`. Non-empty directories take the subtree path
+    /// (Appendix D), handled by the caller via [`OpEngine::classify_delete`].
+    fn execute_delete(&self, sim: &mut Sim, path: DfsPath, allow_cache: bool, done: OpDone) {
+        if path.is_root() {
+            return done(sim, Err(FsError::Retryable("cannot delete root".into())));
+        }
+        let this = self.clone();
+        self.check_subtree_locks(sim, path.clone(), move |sim, blocked| {
+            if let Some(p) = blocked {
+                return done(sim, Err(FsError::SubtreeLocked(p)));
+            }
+            let this2 = this.clone();
+            this.resolve_chain(sim, path.clone(), allow_cache, move |sim, chain| {
+                let chain = match chain {
+                    Err(e) => return done(sim, Err(e)),
+                    Ok(c) => c,
+                };
+                let target = chain.last().expect("non-empty").clone();
+                if target.is_dir()
+                    && !this2
+                        .db
+                        .peek_range(
+                            this2.schema.children,
+                            (target.id, String::new())..(target.id + 1, String::new()),
+                        )
+                        .is_empty()
+                {
+                    // Non-empty directory: subtree operation.
+                    let sub = crate::subtree::SubtreeExecutor::new(this2.clone());
+                    return sub.delete(sim, path.clone(), done);
+                }
+                this2.delete_single(sim, path, target, allow_cache, done);
+            });
+        });
+    }
+
+    /// Deletes one file or empty directory under exclusive locks.
+    fn delete_single(
+        &self,
+        sim: &mut Sim,
+        path: DfsPath,
+        target: Inode,
+        allow_cache: bool,
+        done: OpDone,
+    ) {
+        let parent_path = path.parent().expect("non-root");
+        let name = target.name.clone();
+        let mut keys = vec![
+            self.db.lock_key(self.schema.inodes, &target.parent),
+            self.db.lock_key(self.schema.inodes, &target.id),
+            self.db.lock_key(self.schema.children, &(target.parent, name.clone())),
+        ];
+        keys.sort();
+        let txn = self.db.begin();
+        let this = self.clone();
+        self.db.lock(sim, txn, keys, LockMode::Exclusive, move |sim, res| {
+            if let Err(e) = res {
+                this.db.abort(sim, txn);
+                return done(sim, Err(store_error(&e)));
+            }
+            // Re-validate: target still present, still leaf.
+            let target_now = this.db.peek(this.schema.inodes, &target.id);
+            let parent_now = this.db.peek(this.schema.inodes, &target.parent);
+            let still_leaf = this
+                .db
+                .peek_range(
+                    this.schema.children,
+                    (target.id, String::new())..(target.id + 1, String::new()),
+                )
+                .is_empty();
+            if target_now.is_none() || parent_now.is_none() || !still_leaf {
+                this.db.abort(sim, txn);
+                return done(sim, Err(FsError::Retryable("delete target changed".into())));
+            }
+            let inv = InvalidationSet {
+                inodes: vec![target.id],
+                listings: Vec::new(),
+                listing_updates: vec![(target.parent, name.clone(), false)],
+                prefix: None,
+                paths: vec![path.clone(), parent_path.clone()],
+            };
+            let this2 = this.clone();
+            this.with_coherence(sim, inv, move |sim| {
+                let mut parent_now = parent_now.expect("checked");
+                parent_now.mtime_nanos = sim.now().as_nanos();
+                let writes = this2
+                    .db
+                    .remove(txn, this2.schema.children, (target.parent, name.clone()))
+                    .map(|_| ())
+                    .and_then(|()| this2.db.remove(txn, this2.schema.inodes, target.id).map(|_| ()))
+                    .and_then(|()| {
+                        this2.db.upsert(txn, this2.schema.inodes, target.parent, parent_now)
+                    });
+                if writes.is_err() {
+                    this2.db.abort(sim, txn);
+                    return done(sim, Err(FsError::Retryable("write failed".into())));
+                }
+                let this3 = this2.clone();
+                this2.db.commit(sim, txn, move |sim, r| {
+                    if r.is_err() {
+                        return done(sim, Err(FsError::Retryable("commit failed".into())));
+                    }
+                    if allow_cache {
+                        if let Some(cache) = &this3.cache {
+                            let mut cache = cache.borrow_mut();
+                            cache.invalidate_inode(target.id);
+                            cache.update_listing(target.parent, &target.name, false);
+                        }
+                    }
+                    done(sim, Ok(OpOutcome::Deleted(1)));
+                });
+            });
+        });
+    }
+
+    /// `mv file/dir`. Directories take the subtree path.
+    fn execute_mv(&self, sim: &mut Sim, src: DfsPath, dst: DfsPath, allow_cache: bool, done: OpDone) {
+        if src.is_root() || dst.starts_with(&src) {
+            return done(sim, Err(FsError::Retryable("invalid mv".into())));
+        }
+        let this = self.clone();
+        self.check_subtree_locks(sim, src.clone(), move |sim, blocked| {
+            if let Some(p) = blocked {
+                return done(sim, Err(FsError::SubtreeLocked(p)));
+            }
+            let this2 = this.clone();
+            let src2 = src.clone();
+            let dst2 = dst.clone();
+            this.resolve_chain(sim, src.clone(), allow_cache, move |sim, chain| {
+                let chain = match chain {
+                    Err(e) => return done(sim, Err(e)),
+                    Ok(c) => c,
+                };
+                let target = chain.last().expect("non-empty").clone();
+                if target.is_dir() {
+                    let sub = crate::subtree::SubtreeExecutor::new(this2.clone());
+                    return sub.mv(sim, src2, dst2, done);
+                }
+                this2.mv_single(sim, src2, dst2, target, allow_cache, done);
+            });
+        });
+    }
+
+    /// Moves one file under exclusive locks.
+    pub(crate) fn mv_single(
+        &self,
+        sim: &mut Sim,
+        src: DfsPath,
+        dst: DfsPath,
+        target: Inode,
+        allow_cache: bool,
+        done: OpDone,
+    ) {
+        let Some(dst_parent_path) = dst.parent() else {
+            return done(sim, Err(FsError::AlreadyExists("/".into())));
+        };
+        let dst_name = dst.file_name().expect("non-root").to_string();
+        let src_parent_path = src.parent().expect("non-root");
+        let this = self.clone();
+        self.resolve_chain(sim, dst_parent_path.clone(), allow_cache, move |sim, dchain| {
+            let dchain = match dchain {
+                Err(e) => return done(sim, Err(e)),
+                Ok(c) => c,
+            };
+            let dst_parent = dchain.last().expect("non-empty").clone();
+            if !dst_parent.is_dir() {
+                return done(sim, Err(FsError::NotADirectory(dst_parent_path.to_string())));
+            }
+            let mut keys = vec![
+                this.db.lock_key(this.schema.inodes, &target.parent),
+                this.db.lock_key(this.schema.inodes, &target.id),
+                this.db.lock_key(this.schema.children, &(target.parent, target.name.clone())),
+                this.db.lock_key(this.schema.children, &(dst_parent.id, dst_name.clone())),
+            ];
+            if dst_parent.id != target.parent {
+                keys.push(this.db.lock_key(this.schema.inodes, &dst_parent.id));
+            }
+            keys.sort();
+            keys.dedup();
+            let txn = this.db.begin();
+            let this2 = this.clone();
+            this.db.lock(sim, txn, keys, LockMode::Exclusive, move |sim, res| {
+                if let Err(e) = res {
+                    this2.db.abort(sim, txn);
+                    return done(sim, Err(store_error(&e)));
+                }
+                // Re-validate.
+                let still_there = this2
+                    .db
+                    .peek(this2.schema.children, &(target.parent, target.name.clone()))
+                    == Some(target.id);
+                let dst_free =
+                    this2.db.peek(this2.schema.children, &(dst_parent.id, dst_name.clone())).is_none();
+                let dst_parent_now = this2.db.peek(this2.schema.inodes, &dst_parent.id);
+                if !still_there || dst_parent_now.as_ref().is_none_or(|p| !p.is_dir()) {
+                    this2.db.abort(sim, txn);
+                    return done(sim, Err(FsError::Retryable("mv source/dest changed".into())));
+                }
+                if !dst_free {
+                    this2.db.abort(sim, txn);
+                    return done(sim, Err(FsError::AlreadyExists(dst.to_string())));
+                }
+                let inv = InvalidationSet {
+                    inodes: vec![target.id],
+                    listings: Vec::new(),
+                    listing_updates: vec![
+                        (target.parent, target.name.clone(), false),
+                        (dst_parent.id, dst_name.clone(), true),
+                    ],
+                    prefix: None,
+                    paths: vec![
+                        src.clone(),
+                        dst.clone(),
+                        src_parent_path.clone(),
+                        dst_parent_path.clone(),
+                    ],
+                };
+                let this3 = this2.clone();
+                this2.with_coherence(sim, inv, move |sim| {
+                    let mut moved = target.clone();
+                    moved.parent = dst_parent.id;
+                    moved.name = dst_name.clone();
+                    moved.mtime_nanos = sim.now().as_nanos();
+                    let writes = this3
+                        .db
+                        .remove(txn, this3.schema.children, (target.parent, target.name.clone()))
+                        .map(|_| ())
+                        .and_then(|()| {
+                            this3.db.upsert(
+                                txn,
+                                this3.schema.children,
+                                (dst_parent.id, dst_name.clone()),
+                                target.id,
+                            )
+                        })
+                        .and_then(|()| {
+                            this3.db.upsert(txn, this3.schema.inodes, target.id, moved.clone())
+                        });
+                    if writes.is_err() {
+                        this3.db.abort(sim, txn);
+                        return done(sim, Err(FsError::Retryable("write failed".into())));
+                    }
+                    let this4 = this3.clone();
+                    this3.db.commit(sim, txn, move |sim, r| {
+                        if r.is_err() {
+                            return done(sim, Err(FsError::Retryable("commit failed".into())));
+                        }
+                        if allow_cache {
+                            if let Some(cache) = &this4.cache {
+                                let mut cache = cache.borrow_mut();
+                                cache.invalidate_inode(target.id);
+                                cache.update_listing(target.parent, &target.name, false);
+                                cache.update_listing(dst_parent.id, &dst_name, true);
+                            }
+                        }
+                        done(sim, Ok(OpOutcome::Moved(1)));
+                    });
+                });
+            });
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Shared machinery
+    // ------------------------------------------------------------------
+
+    /// Runs the coherence hook if configured, else proceeds immediately.
+    pub(crate) fn with_coherence<F>(&self, sim: &mut Sim, inv: InvalidationSet, done: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        match &self.coherence {
+            Some(hook) if !inv.is_empty() => hook.invalidate(sim, inv, Box::new(done)),
+            _ => sim.schedule(SimDuration::ZERO, done),
+        }
+    }
+
+    /// Rejects writes under an active overlapping subtree operation. The
+    /// check is free when no subtree op is active (NameNodes keep an
+    /// in-memory hint, modeled by the zero-length fast path) and one
+    /// read-committed scan otherwise.
+    pub(crate) fn check_subtree_locks<F>(&self, sim: &mut Sim, path: DfsPath, done: F)
+    where
+        F: FnOnce(&mut Sim, Option<String>) + 'static,
+    {
+        if self.db.table_len(self.schema.subtree_locks) == 0 {
+            done(sim, None);
+            return;
+        }
+        let this = self.clone();
+        self.db.scan(sim, self.schema.subtree_locks, .., move |sim, rows| {
+            let _ = &this;
+            let blocked = rows.into_iter().find_map(|(_, row)| {
+                let locked: DfsPath = row.path.parse().ok()?;
+                (path.starts_with(&locked) || locked.starts_with(&path))
+                    .then(|| locked.to_string())
+            });
+            done(sim, blocked);
+        });
+    }
+}
+
+/// Whether a fetched chain matches the path's names and parent links.
+fn chain_matches(chain: &[Inode], path: &DfsPath) -> bool {
+    if chain.len() != path.depth() + 1 {
+        return false;
+    }
+    let mut prev_id = chain[0].id;
+    if chain[0].id != lambda_namespace::ROOT_INODE_ID {
+        return false;
+    }
+    for (inode, comp) in chain[1..].iter().zip(path.components()) {
+        if inode.name != comp || inode.parent != prev_id {
+            return false;
+        }
+        prev_id = inode.id;
+    }
+    // Every non-terminal component must be a directory.
+    chain[..chain.len() - 1].iter().all(Inode::is_dir)
+}
+
+/// Maps store-level failures onto client-visible retryable errors.
+fn store_error(e: &StoreError) -> FsError {
+    FsError::Retryable(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_matching_validates_names_parents_and_kinds() {
+        let path: DfsPath = "/a/b".parse().unwrap();
+        let good = vec![
+            Inode::root(),
+            Inode::directory(2, 1, "a"),
+            Inode::file(3, 2, "b"),
+        ];
+        assert!(chain_matches(&good, &path));
+        // Wrong name.
+        let mut bad = good.clone();
+        bad[2].name = "x".into();
+        assert!(!chain_matches(&bad, &path));
+        // Broken parent link.
+        let mut bad = good.clone();
+        bad[2].parent = 9;
+        assert!(!chain_matches(&bad, &path));
+        // Non-terminal file.
+        let mut bad = good.clone();
+        bad[1] = Inode::file(2, 1, "a");
+        assert!(!chain_matches(&bad, &path));
+        // Wrong length.
+        assert!(!chain_matches(&good[..2], &path));
+    }
+
+    #[test]
+    fn invalidation_set_emptiness() {
+        assert!(InvalidationSet::default().is_empty());
+        let inv = InvalidationSet { inodes: vec![1], ..Default::default() };
+        assert!(!inv.is_empty());
+        let inv = InvalidationSet {
+            prefix: Some("/x".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(!inv.is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! The serverless NameNode: the λFS function body (paper §2
+//! "Terminology": one NameNode runs per function instance).
+//!
+//! On cold start a NameNode opens a Coordinator session, joins its
+//! deployment's membership group, wires its coherence endpoint, and starts
+//! its heartbeat and DataNode-discovery loops. Per request it runs the
+//! shared [`OpEngine`], serving reads from its metadata-cache trie when
+//! possible and running the coherence protocol before any write persists.
+//!
+//! NameNodes also keep a small **result cache** keyed by client request id
+//! (§3.2): when a client resubmits a request after a timeout, the NameNode
+//! returns the cached result instead of re-executing the operation — this
+//! is what makes client retries safe for non-idempotent operations such as
+//! `create`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use lambda_coord::{Coordinator, SessionId};
+use lambda_faas::{DeploymentId, Function, InstanceCtx, Platform, Responder};
+use lambda_namespace::{DataNodeId, MetadataCache, MetadataSchema, Partitioner};
+use lambda_sim::{every, Sim, SimDuration, Station};
+use lambda_store::Db;
+
+use crate::coherence::{deployment_group, CoordCoherence};
+use crate::config::LambdaFsConfig;
+use crate::fsops::{OpEngine, Offloader, SubtreeSettings};
+use crate::messages::{CoherenceMsg, NnRequest, NnResponse, RequestId, SubtreeBatch};
+use crate::subtree::SubtreeExecutor;
+
+/// How many recent results a NameNode retains for retry deduplication.
+const RESULT_CACHE_CAPACITY: usize = 4096;
+
+/// Shared services a NameNode needs; cheap to clone per instance.
+///
+/// The platform and deployment list are late-bound (filled after the
+/// deployments are registered) because the factory that builds NameNodes
+/// is itself registered with the platform.
+#[derive(Clone)]
+pub struct NnServices {
+    /// The persistent metadata store.
+    pub db: Db,
+    /// Table handles.
+    pub schema: MetadataSchema,
+    /// The Coordinator.
+    pub coord: Coordinator<CoherenceMsg>,
+    /// The namespace partitioner.
+    pub partitioner: Rc<Partitioner>,
+    /// System configuration.
+    pub config: Rc<LambdaFsConfig>,
+    /// The hosting platform (late-bound).
+    pub platform: Rc<RefCell<Option<Platform<NameNode>>>>,
+    /// All NameNode deployments, by partition index (late-bound).
+    pub deployments: Rc<RefCell<Vec<DeploymentId>>>,
+    /// Every cache ever created by a NameNode of this system (for
+    /// aggregate hit-ratio reporting; includes dead instances' caches).
+    pub cache_registry: Rc<RefCell<Vec<Rc<RefCell<MetadataCache>>>>>,
+}
+
+impl std::fmt::Debug for NnServices {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NnServices").finish_non_exhaustive()
+    }
+}
+
+struct NnState {
+    session: Option<SessionId>,
+    engine: Option<OpEngine>,
+    coherence: Option<CoordCoherence>,
+    results: HashMap<RequestId, NnResponse>,
+    result_order: VecDeque<RequestId>,
+}
+
+/// One serverless NameNode (the λFS function body).
+pub struct NameNode {
+    services: NnServices,
+    deployment_index: u32,
+    state: Rc<RefCell<NnState>>,
+}
+
+impl std::fmt::Debug for NameNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameNode").field("deployment", &self.deployment_index).finish()
+    }
+}
+
+impl NameNode {
+    /// Builds the function body for an instance of deployment
+    /// `deployment_index`. Called by the platform's factory; does not
+    /// touch the platform.
+    #[must_use]
+    pub fn new(services: NnServices, deployment_index: u32) -> Self {
+        NameNode {
+            services,
+            deployment_index,
+            state: Rc::new(RefCell::new(NnState {
+                session: None,
+                engine: None,
+                coherence: None,
+                results: HashMap::new(),
+                result_order: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// This instance's Coordinator session, once started.
+    #[must_use]
+    pub fn session(&self) -> Option<SessionId> {
+        self.state.borrow().session
+    }
+
+    fn remember_result(state: &Rc<RefCell<NnState>>, id: RequestId, resp: NnResponse) {
+        let mut st = state.borrow_mut();
+        if st.results.insert(id, resp).is_none() {
+            st.result_order.push_back(id);
+            if st.result_order.len() > RESULT_CACHE_CAPACITY {
+                if let Some(old) = st.result_order.pop_front() {
+                    st.results.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn handle_op(
+        &self,
+        sim: &mut Sim,
+        ctx: &InstanceCtx,
+        id: RequestId,
+        op: lambda_namespace::FsOp,
+        owned: bool,
+        respond: Responder<NnResponse>,
+    ) {
+        // Retry deduplication (§3.2): a resubmitted request is answered
+        // from the result cache without re-executing.
+        if let Some(cached) = self.state.borrow().results.get(&id).cloned() {
+            sim.schedule(SimDuration::ZERO, move |sim| respond(sim, cached));
+            return;
+        }
+        let engine = self.state.borrow().engine.clone();
+        let Some(engine) = engine else {
+            // Not fully started (should not happen: the platform only
+            // routes to warm instances). Drop; the client retries.
+            return;
+        };
+        let state = Rc::clone(&self.state);
+        let instance = ctx.instance;
+        let deployment = self.deployment_index;
+        engine.execute(
+            sim,
+            op,
+            owned,
+            Box::new(move |sim, result| {
+                let resp = NnResponse::Op { id, result, served_by: instance, deployment };
+                Self::remember_result(&state, id, resp.clone());
+                respond(sim, resp);
+            }),
+        );
+    }
+
+    fn handle_offload(
+        &self,
+        sim: &mut Sim,
+        batch_id: u64,
+        batch: SubtreeBatch,
+        respond: Responder<NnResponse>,
+    ) {
+        let engine = self.state.borrow().engine.clone();
+        let Some(engine) = engine else { return };
+        let executor = SubtreeExecutor::new(engine);
+        executor.run_batch_local(
+            sim,
+            batch,
+            Box::new(move |sim| respond(sim, NnResponse::OffloadDone { batch_id })),
+        );
+    }
+}
+
+impl Function for NameNode {
+    type Req = NnRequest;
+    type Resp = NnResponse;
+
+    fn on_start(&mut self, sim: &mut Sim, ctx: &InstanceCtx) {
+        let services = self.services.clone();
+        let config = Rc::clone(&services.config);
+        let session = services.coord.create_session(sim);
+        services.coord.join_group(sim, session, &deployment_group(self.deployment_index));
+
+        // The metadata cache and coherence endpoint.
+        let cache = Rc::new(RefCell::new(MetadataCache::with_listing_capacity(
+            config.cache_capacity,
+            config.listing_cache_capacity,
+        )));
+        services.cache_registry.borrow_mut().push(Rc::clone(&cache));
+        let coherence = CoordCoherence::new(
+            services.coord.clone(),
+            session,
+            Rc::clone(&services.partitioner),
+            Rc::clone(&cache),
+        );
+        // Incoming INV/ACK traffic.
+        let inbox_coherence = coherence.clone();
+        services.coord.register_inbox(
+            session,
+            Box::new(move |sim, msg| inbox_coherence.handle(sim, msg)),
+        );
+        // Membership watches feed death notifications into open rounds.
+        for d in 0..services.partitioner.deployments() {
+            let watch_coherence = coherence.clone();
+            services.coord.watch_group(
+                &deployment_group(d),
+                Rc::new(move |sim, event| {
+                    if let lambda_coord::GroupEvent::Left(member) = event {
+                        watch_coherence.on_member_left(sim, member);
+                    }
+                }),
+            );
+        }
+        // Heartbeats keep the session alive while the instance lives; a
+        // crash stops them and the session expires (crash detection).
+        let hb_coord = services.coord.clone();
+        let hb_ctx = ctx.clone();
+        every(sim, sim.now() + SimDuration::from_secs(1), SimDuration::from_secs(1), move |sim| {
+            if !hb_ctx.is_alive() {
+                return false;
+            }
+            hb_coord.heartbeat(sim, session);
+            true
+        });
+        // Leader-elected maintenance: the longest-lived NameNode sweeps
+        // subtree-lock flags abandoned by crashed holders ("the easy
+        // removal of locks held by crashed NameNodes", §3.6). Every
+        // NameNode is a candidate; the Coordinator's election picks one.
+        services.coord.join_group(sim, session, "nn-all");
+        let sweep_coord = services.coord.clone();
+        let sweep_db = services.db.clone();
+        let sweep_schema = services.schema.clone();
+        let sweep_ctx = ctx.clone();
+        every(
+            sim,
+            sim.now() + SimDuration::from_secs(20),
+            SimDuration::from_secs(20),
+            move |sim| {
+                if !sweep_ctx.is_alive() {
+                    return false;
+                }
+                if sweep_coord.leader("nn-all") != Some(session) {
+                    return true;
+                }
+                if sweep_db.table_len(sweep_schema.subtree_locks) == 0 {
+                    return true;
+                }
+                let db = sweep_db.clone();
+                let schema = sweep_schema.clone();
+                let coord = sweep_coord.clone();
+                sweep_db.scan(sim, sweep_schema.subtree_locks, .., move |sim, rows| {
+                    for (root, row) in rows {
+                        if coord.is_alive(SessionId::from_raw(row.holder)) {
+                            continue;
+                        }
+                        let txn = db.begin();
+                        let key = db.lock_key(schema.subtree_locks, &root);
+                        let db2 = db.clone();
+                        let schema2 = schema.clone();
+                        db.lock(
+                            sim,
+                            txn,
+                            vec![key],
+                            lambda_store::LockMode::Exclusive,
+                            move |sim, r| {
+                                if r.is_err() {
+                                    db2.abort(sim, txn);
+                                    return;
+                                }
+                                let _ = db2.remove(txn, schema2.subtree_locks, root);
+                                db2.commit(sim, txn, |_sim, _r| {});
+                            },
+                        );
+                    }
+                });
+                true
+            },
+        );
+        // Periodic DataNode discovery through the store (§1: maintenance
+        // via the persistent store).
+        let dn_db = services.db.clone();
+        let dn_schema = services.schema.clone();
+        let dn_count = config.datanodes;
+        let dn_ctx = ctx.clone();
+        every(
+            sim,
+            sim.now() + SimDuration::from_secs(30),
+            SimDuration::from_secs(30),
+            move |sim| {
+                if !dn_ctx.is_alive() {
+                    return false;
+                }
+                let ids: Vec<DataNodeId> = (1..=u64::from(dn_count)).collect();
+                dn_db.read_committed(sim, dn_schema.datanodes, ids, |_sim, _rows| {});
+                true
+            },
+        );
+
+        let offloader = NnOffloader {
+            platform: Rc::clone(&services.platform),
+            deployments: Rc::clone(&services.deployments),
+            own: self.deployment_index,
+            next: Cell::new(self.deployment_index as usize + 1),
+        };
+        let coord_for_alive = services.coord.clone();
+        let engine = OpEngine {
+            db: services.db.clone(),
+            schema: services.schema.clone(),
+            cpu: Rc::clone(&ctx.cpu),
+            cpu_params: config.cpu.clone(),
+            cache: Some(Rc::clone(&cache)),
+            coherence: config
+                .coherence_enabled
+                .then(|| Rc::new(coherence.clone()) as Rc<dyn crate::fsops::CoherenceHook>),
+            subtree: SubtreeSettings {
+                batch_size: config.subtree_batch_size,
+                parallelism: config.subtree_parallelism,
+                offloader: config.subtree_offload.then(|| Rc::new(offloader) as Rc<dyn Offloader>),
+                holder_tag: session.raw(),
+                holder_alive: Some(Rc::new(move |tag| {
+                    coord_for_alive.is_alive(SessionId::from_raw(tag))
+                })),
+            },
+        };
+        let mut st = self.state.borrow_mut();
+        st.session = Some(session);
+        st.coherence = Some(coherence);
+        st.engine = Some(engine);
+    }
+
+    fn on_request(
+        &mut self,
+        sim: &mut Sim,
+        ctx: &InstanceCtx,
+        req: NnRequest,
+        respond: Responder<NnResponse>,
+    ) {
+        match req {
+            NnRequest::Op { id, op, via_http, client_vm: _, owned } => {
+                if via_http {
+                    // HTTP (de)serialization burns extra NameNode CPU.
+                    let handling =
+                        sim.rng().sample_duration(&self.services.config.cpu.http_handling);
+                    let this = self.clone_handle();
+                    let ctx = ctx.clone();
+                    Station::submit(&ctx.cpu.clone(), sim, handling, move |sim| {
+                        this.handle_op(sim, &ctx, id, op, owned, respond);
+                    });
+                } else {
+                    self.handle_op(sim, ctx, id, op, owned, respond);
+                }
+            }
+            NnRequest::Offload { batch_id, batch } => {
+                self.handle_offload(sim, batch_id, batch, respond);
+            }
+        }
+    }
+
+    fn on_terminate(&mut self, sim: &mut Sim, _ctx: &InstanceCtx, graceful: bool) {
+        if graceful {
+            if let Some(session) = self.state.borrow().session {
+                self.services.coord.close_session(sim, session);
+            }
+        }
+        // A crash closes nothing: the session expires on its own and the
+        // Coordinator's watches clean up (paper §3.6).
+    }
+}
+
+impl NameNode {
+    /// A cheap handle to the same NameNode state, for continuations.
+    fn clone_handle(&self) -> NameNode {
+        NameNode {
+            services: self.services.clone(),
+            deployment_index: self.deployment_index,
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// Offloads subtree batches to warm instances of other deployments,
+/// round-robin (Appendix D's serverless offloading).
+struct NnOffloader {
+    platform: Rc<RefCell<Option<Platform<NameNode>>>>,
+    deployments: Rc<RefCell<Vec<DeploymentId>>>,
+    own: u32,
+    next: Cell<usize>,
+}
+
+impl Offloader for NnOffloader {
+    fn offload(
+        &self,
+        sim: &mut Sim,
+        batch: SubtreeBatch,
+        done: Box<dyn FnOnce(&mut Sim)>,
+    ) -> bool {
+        let Some(platform) = self.platform.borrow().clone() else { return false };
+        let deployments = self.deployments.borrow().clone();
+        if deployments.len() < 2 {
+            return false;
+        }
+        let done = Rc::new(RefCell::new(Some(done)));
+        let start = self.next.get();
+        for k in 0..deployments.len() {
+            let idx = (start + k) % deployments.len();
+            if idx == self.own as usize {
+                continue;
+            }
+            let Some(&instance) = platform.warm_instances(deployments[idx]).first() else {
+                continue;
+            };
+            self.next.set(idx + 1);
+            let done2 = Rc::clone(&done);
+            let accepted = platform.deliver_tcp(
+                sim,
+                instance,
+                NnRequest::Offload { batch_id: 0, batch: batch.clone() },
+                Box::new(move |sim, _resp| {
+                    if let Some(d) = done2.borrow_mut().take() {
+                        d(sim);
+                    }
+                }),
+            );
+            if accepted {
+                return true;
+            }
+        }
+        false
+    }
+}

@@ -1,0 +1,356 @@
+//! System assembly: one call builds the whole λFS stack inside a
+//! simulation — store, Coordinator, FaaS platform, `n` NameNode
+//! deployments, DataNode fleet, and the client library.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambda_coord::Coordinator;
+use lambda_faas::{DeploymentId, FunctionConfig, InstanceId, Platform, PlatformConfig};
+use lambda_namespace::{DataNodeFleet, DfsPath, FsOp, MetadataSchema, Partitioner};
+use lambda_sim::{CostMeter, GaugeSeries, Sim};
+use lambda_store::Db;
+
+use crate::client::ClientLib;
+use crate::config::LambdaFsConfig;
+use crate::fsops::OpDone;
+use crate::messages::CoherenceMsg;
+use crate::metrics::RunMetrics;
+use crate::namenode::{NameNode, NnServices};
+use crate::service::DfsService;
+
+/// A fully assembled λFS system.
+///
+/// # Examples
+///
+/// Building a small system and creating a file end-to-end:
+///
+/// ```
+/// use lambda_fs::{LambdaFs, LambdaFsConfig};
+/// use lambda_namespace::FsOp;
+/// use lambda_sim::Sim;
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(7);
+/// let config = LambdaFsConfig { deployments: 4, clients: 4, ..Default::default() };
+/// let fs = LambdaFs::build(&mut sim, config);
+/// fs.start(&mut sim);
+///
+/// let ok = Rc::new(Cell::new(false));
+/// let flag = Rc::clone(&ok);
+/// fs.submit(&mut sim, 0, FsOp::Mkdir("/data".parse().unwrap()), Box::new(move |_sim, r| {
+///     r.unwrap();
+///     flag.set(true);
+/// }));
+/// sim.run_for(lambda_sim::SimDuration::from_secs(30));
+/// assert!(ok.get());
+/// fs.stop(&mut sim);
+/// ```
+pub struct LambdaFs {
+    cache_registry: Rc<RefCell<Vec<Rc<RefCell<lambda_namespace::MetadataCache>>>>>,
+    config: Rc<LambdaFsConfig>,
+    db: Db,
+    schema: MetadataSchema,
+    coord: Coordinator<CoherenceMsg>,
+    platform: Platform<NameNode>,
+    deployments: Vec<DeploymentId>,
+    partitioner: Rc<Partitioner>,
+    clients: ClientLib,
+    fleet: DataNodeFleet,
+    metrics: Rc<RefCell<RunMetrics>>,
+}
+
+impl std::fmt::Debug for LambdaFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LambdaFs")
+            .field("deployments", &self.deployments.len())
+            .field("instances", &self.platform.total_instances())
+            .finish()
+    }
+}
+
+impl LambdaFs {
+    /// Builds the system (no background activity yet; see
+    /// [`LambdaFs::start`]).
+    #[must_use]
+    pub fn build(sim: &mut Sim, config: LambdaFsConfig) -> Self {
+        let _ = &sim; // future: seed-forked sub-streams per component
+        let config = Rc::new(config);
+        let db = Db::new(&config.store, config.lock_timeout);
+        let schema = MetadataSchema::install(&db);
+        let coord: Coordinator<CoherenceMsg> = match config.coordinator {
+            lambda_coord::CoordinatorKind::ZooKeeper => {
+                Coordinator::new(&config.net, config.session_timeout)
+            }
+            lambda_coord::CoordinatorKind::Ndb => Coordinator::over_ndb(
+                db.shards(),
+                &config.store,
+                config.ndb_event_epoch,
+                config.session_timeout,
+            ),
+        };
+        let partitioner = Rc::new(Partitioner::new(config.deployments));
+        let platform: Platform<NameNode> = Platform::new(&PlatformConfig {
+            cluster_vcpus: config.cluster_vcpus,
+            faas: config.faas.clone(),
+            net: config.net.clone(),
+            pricing: config.pricing,
+            request_ttl: config.client_timeout * 2,
+        });
+        let services = NnServices {
+            db: db.clone(),
+            schema: schema.clone(),
+            coord: coord.clone(),
+            partitioner: Rc::clone(&partitioner),
+            config: Rc::clone(&config),
+            platform: Rc::new(RefCell::new(None)),
+            deployments: Rc::new(RefCell::new(Vec::new())),
+            cache_registry: Rc::new(RefCell::new(Vec::new())),
+        };
+        let deployments: Vec<DeploymentId> = (0..config.deployments)
+            .map(|d| {
+                let services = services.clone();
+                platform.register_deployment(
+                    format!("namenode-{d}"),
+                    FunctionConfig {
+                        vcpus: config.nn_vcpus,
+                        mem_gb: config.nn_mem_gb,
+                        concurrency: config.concurrency_level,
+                        max_instances: config.max_instances_per_deployment,
+                        min_instances: config.min_warm_per_deployment,
+                    },
+                    Box::new(move |_ctx| NameNode::new(services.clone(), d)),
+                )
+            })
+            .collect();
+        // Close the late-bound loop: NameNodes can now reach the platform
+        // (for subtree offloading).
+        *services.platform.borrow_mut() = Some(platform.clone());
+        *services.deployments.borrow_mut() = deployments.clone();
+
+        let fleet =
+            DataNodeFleet::new(&db, &schema, config.datanodes, config.datanode_report_every);
+        let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+        let clients = ClientLib::new(
+            Rc::clone(&config),
+            platform.clone(),
+            deployments.clone(),
+            Rc::clone(&partitioner),
+            Rc::clone(&metrics),
+        );
+        LambdaFs {
+            cache_registry: Rc::clone(&services.cache_registry),
+            config,
+            db,
+            schema,
+            coord,
+            platform,
+            deployments,
+            partitioner,
+            clients,
+            fleet,
+            metrics,
+        }
+    }
+
+    /// Starts background activity: platform maintenance (reclamation +
+    /// billing) and DataNode reporting. Drive the simulation with
+    /// `run_until`/`run_for` afterwards.
+    pub fn start(&self, sim: &mut Sim) {
+        self.platform.run_maintenance(sim);
+        self.fleet.start(sim);
+    }
+
+    /// Stops background activity so the event queue can drain.
+    pub fn stop(&self, _sim: &mut Sim) {
+        self.platform.stop_maintenance();
+        self.fleet.stop();
+    }
+
+    /// Issues one warm-up request per deployment (a `stat /` over HTTP),
+    /// provisioning an initial instance in each — the evaluation's steady
+    /// starting state.
+    pub fn prewarm(&self, sim: &mut Sim) {
+        for (i, _) in self.deployments.iter().enumerate() {
+            // Submitting via a rotating client spreads the warm-up and
+            // registers connections.
+            let client = i % self.clients.client_count();
+            self.submit(sim, client, FsOp::Stat(DfsPath::root()), Box::new(|_sim, _r| {}));
+        }
+    }
+
+    /// Warms **every** deployment and registers a TCP connection on
+    /// **every** client VM before the workload starts — the evaluation's
+    /// warm steady state (Fig. 8(a) begins with 22 NameNodes already
+    /// active, not a cold platform).
+    ///
+    /// `paths` should cover the namespace (e.g. the bootstrap
+    /// directories): for each deployment the first owned path is stat'ed
+    /// once from a client on each VM.
+    pub fn prewarm_with(&self, sim: &mut Sim, paths: &[DfsPath]) {
+        let vm_count = self.config.client_vms.max(1) as usize;
+        // Directory paths all hash to the root's deployment (partitioning
+        // keys on the parent), so probe both each path and a child of it.
+        let mut candidates: Vec<DfsPath> = Vec::with_capacity(paths.len() * 2);
+        for p in paths {
+            candidates.push(p.clone());
+            if let Ok(child) = p.join("file00000") {
+                candidates.push(child);
+            }
+        }
+        for d in 0..self.config.deployments {
+            let Some(path) =
+                candidates.iter().find(|p| self.partitioner.deployment_for_path(p) == d)
+            else {
+                continue;
+            };
+            for vm in 0..vm_count {
+                // Client `vm` lives on VM `vm` (clients are striped over
+                // VMs round-robin).
+                let client = vm % self.clients.client_count();
+                self.submit(sim, client, FsOp::Stat(path.clone()), Box::new(|_sim, _r| {}));
+            }
+        }
+    }
+
+    /// Submits `op` as client `client`; `done` receives the final result
+    /// (after transparent retries).
+    pub fn submit(&self, sim: &mut Sim, client: usize, op: FsOp, done: OpDone) {
+        self.clients.submit(sim, client, op, done);
+    }
+
+    /// The persistent store (for bootstrap loading and verification).
+    #[must_use]
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// The store schema.
+    #[must_use]
+    pub fn schema(&self) -> &MetadataSchema {
+        &self.schema
+    }
+
+    /// The FaaS platform (for fault injection and scale observation).
+    #[must_use]
+    pub fn platform(&self) -> &Platform<NameNode> {
+        &self.platform
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &LambdaFsConfig {
+        &self.config
+    }
+
+    /// The coordination service (liveness, membership, INV/ACK traffic).
+    #[must_use]
+    pub fn coordinator(&self) -> &Coordinator<CoherenceMsg> {
+        &self.coord
+    }
+
+    /// The namespace partitioner.
+    #[must_use]
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Client-observed metrics.
+    #[must_use]
+    pub fn metrics(&self) -> Rc<RefCell<RunMetrics>> {
+        Rc::clone(&self.metrics)
+    }
+
+    /// The client library (diagnostics).
+    #[must_use]
+    pub fn client_lib(&self) -> &ClientLib {
+        &self.clients
+    }
+
+    /// Aggregate metadata-cache statistics over every NameNode this
+    /// system ever ran (including reclaimed ones).
+    #[must_use]
+    pub fn cache_stats(&self) -> lambda_namespace::CacheStats {
+        let mut total = lambda_namespace::CacheStats::default();
+        for cache in self.cache_registry.borrow().iter() {
+            let s = cache.borrow().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.invalidations += s.invalidations;
+            total.prefix_invalidations += s.prefix_invalidations;
+            total.listing_hits += s.listing_hits;
+            total.listing_misses += s.listing_misses;
+        }
+        total
+    }
+
+    /// Number of currently provisioned NameNodes.
+    #[must_use]
+    pub fn active_namenodes(&self) -> usize {
+        self.platform.total_instances()
+    }
+
+    /// Time series of provisioned NameNode counts (Fig. 8's secondary
+    /// axis).
+    #[must_use]
+    pub fn namenode_gauge(&self) -> GaugeSeries {
+        self.platform.instance_gauge()
+    }
+
+    /// Pay-per-use cost meter (Fig. 9's λFS curve).
+    #[must_use]
+    pub fn pay_meter(&self) -> CostMeter {
+        self.platform.pay_meter()
+    }
+
+    /// Provisioned-cost meter (Fig. 9's "λFS (Simplified)" curve).
+    #[must_use]
+    pub fn simplified_meter(&self) -> CostMeter {
+        self.platform.prov_meter()
+    }
+
+    /// Kills one active NameNode of the given deployment index, if any —
+    /// the §5.6 fault-injection primitive. Returns the victim.
+    pub fn kill_one_namenode(&self, sim: &mut Sim, deployment: u32) -> Option<InstanceId> {
+        let dep = *self.deployments.get(deployment as usize)?;
+        let victim = *self.platform.warm_instances(dep).first()?;
+        self.platform.kill_instance(sim, victim);
+        Some(victim)
+    }
+
+    /// Namespace well-formedness violations (empty = consistent).
+    #[must_use]
+    pub fn check_consistency(&self) -> Vec<String> {
+        self.schema.check_consistency(&self.db)
+    }
+}
+
+impl DfsService for LambdaFs {
+    fn service_name(&self) -> &'static str {
+        "lambda-fs"
+    }
+
+    fn submit_op(&self, sim: &mut Sim, client: usize, op: FsOp, done: OpDone) {
+        self.submit(sim, client, op, done);
+    }
+
+    fn client_count(&self) -> usize {
+        self.clients.client_count()
+    }
+
+    fn run_metrics(&self) -> Rc<RefCell<RunMetrics>> {
+        self.metrics()
+    }
+
+    fn bootstrap_tree(&self, root: &DfsPath, dirs: usize, files_per_dir: usize) -> Vec<DfsPath> {
+        self.schema.bootstrap_tree(&self.db, root, dirs, files_per_dir)
+    }
+
+    fn bootstrap_file(&self, path: &DfsPath) {
+        self.schema.bootstrap_create(&self.db, path);
+    }
+}
+

@@ -1,0 +1,505 @@
+//! End-to-end tests of the assembled λFS system: every operation type,
+//! cache behavior, coherence, subtree operations, fault tolerance, and
+//! determinism.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambda_fs::{DfsService, LambdaFs, LambdaFsConfig};
+use lambda_namespace::{DfsPath, FsError, FsOp, OpOutcome, OpResult};
+use lambda_sim::{Sim, SimDuration, SimTime};
+
+fn p(s: &str) -> DfsPath {
+    s.parse().unwrap()
+}
+
+fn small_config() -> LambdaFsConfig {
+    LambdaFsConfig { deployments: 4, clients: 8, client_vms: 2, datanodes: 2, ..Default::default() }
+}
+
+/// Submits `op` and runs the simulation until its callback fires,
+/// returning the result. Panics if the op does not complete within 60 s of
+/// simulated time.
+fn run_op(sim: &mut Sim, fs: &LambdaFs, client: usize, op: FsOp) -> OpResult {
+    let slot: Rc<RefCell<Option<OpResult>>> = Rc::new(RefCell::new(None));
+    let out = Rc::clone(&slot);
+    fs.submit(sim, client, op, Box::new(move |_sim, r| *out.borrow_mut() = Some(r)));
+    let deadline = sim.now() + SimDuration::from_secs(60);
+    while slot.borrow().is_none() && sim.now() < deadline {
+        if !sim.step() {
+            break;
+        }
+    }
+    let result = slot.borrow_mut().take();
+    result.expect("operation did not complete within 60s of simulated time")
+}
+
+#[test]
+fn full_lifecycle_of_every_operation_type() {
+    let mut sim = Sim::new(42);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+
+    assert!(matches!(
+        run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/projects"))).unwrap(),
+        OpOutcome::Created(_)
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 1, FsOp::Mkdir(p("/projects/lambda"))).unwrap(),
+        OpOutcome::Created(_)
+    ));
+    let created = run_op(&mut sim, &fs, 2, FsOp::CreateFile(p("/projects/lambda/paper.pdf")))
+        .unwrap();
+    let OpOutcome::Created(inode) = created else { panic!("expected Created") };
+    assert!(!inode.is_dir());
+
+    // Read and stat see the file.
+    let meta = run_op(&mut sim, &fs, 3, FsOp::ReadFile(p("/projects/lambda/paper.pdf"))).unwrap();
+    let OpOutcome::Meta(read_inode) = meta else { panic!("expected Meta") };
+    assert_eq!(read_inode.id, inode.id);
+    assert!(matches!(
+        run_op(&mut sim, &fs, 4, FsOp::Stat(p("/projects/lambda"))).unwrap(),
+        OpOutcome::Meta(_)
+    ));
+
+    // Ls lists the child.
+    let OpOutcome::Listing(names) =
+        run_op(&mut sim, &fs, 5, FsOp::Ls(p("/projects/lambda"))).unwrap()
+    else {
+        panic!("expected Listing")
+    };
+    assert_eq!(names, vec!["paper.pdf"]);
+
+    // Mv relocates it; the old path disappears.
+    assert!(matches!(
+        run_op(
+            &mut sim,
+            &fs,
+            6,
+            FsOp::Mv(p("/projects/lambda/paper.pdf"), p("/projects/final.pdf"))
+        )
+        .unwrap(),
+        OpOutcome::Moved(1)
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 7, FsOp::ReadFile(p("/projects/lambda/paper.pdf"))),
+        Err(FsError::NotFound(_))
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 0, FsOp::ReadFile(p("/projects/final.pdf"))).unwrap(),
+        OpOutcome::Meta(_)
+    ));
+
+    // Delete the file, then the (now empty) directory.
+    assert!(matches!(
+        run_op(&mut sim, &fs, 1, FsOp::Delete(p("/projects/final.pdf"))).unwrap(),
+        OpOutcome::Deleted(1)
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 2, FsOp::Delete(p("/projects/lambda"))).unwrap(),
+        OpOutcome::Deleted(1)
+    ));
+
+    assert!(fs.check_consistency().is_empty());
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn duplicate_create_fails_and_missing_paths_are_not_found() {
+    let mut sim = Sim::new(7);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/d"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/d/f"))).unwrap();
+    assert!(matches!(
+        run_op(&mut sim, &fs, 1, FsOp::CreateFile(p("/d/f"))),
+        Err(FsError::AlreadyExists(_))
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 2, FsOp::Stat(p("/nope/x"))),
+        Err(FsError::NotFound(_))
+    ));
+    // Creating under a file is rejected.
+    assert!(matches!(
+        run_op(&mut sim, &fs, 3, FsOp::CreateFile(p("/d/f/sub"))),
+        Err(FsError::NotADirectory(_)) | Err(FsError::NotFound(_))
+    ));
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn repeated_reads_hit_the_serverless_cache() {
+    let mut sim = Sim::new(11);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/hot"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/hot/file"))).unwrap();
+
+    let store_reads_before = fs.db().stats().locked_reads;
+    // Same client so the request routes to the same deployment over TCP.
+    for _ in 0..50 {
+        run_op(&mut sim, &fs, 0, FsOp::ReadFile(p("/hot/file"))).unwrap();
+    }
+    let store_reads_after = fs.db().stats().locked_reads;
+    // The first read may fill the cache; the rest must be hits. Retries
+    // and stragglers can add a couple of fills, but 50 reads must not
+    // cause anywhere near 50 store round trips.
+    assert!(
+        store_reads_after - store_reads_before <= 5,
+        "cache ineffective: {} store reads for 50 repeats",
+        store_reads_after - store_reads_before
+    );
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn writes_invalidate_caches_everywhere_no_stale_reads() {
+    let mut sim = Sim::new(13);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/shared"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/shared/doc"))).unwrap();
+
+    // Warm caches on several NameNodes via different clients.
+    for c in 0..8 {
+        run_op(&mut sim, &fs, c, FsOp::Ls(p("/shared"))).unwrap();
+    }
+    // Now delete the file. Afterward *every* client must see it gone.
+    run_op(&mut sim, &fs, 0, FsOp::Delete(p("/shared/doc"))).unwrap();
+    for c in 0..8 {
+        assert!(
+            matches!(
+                run_op(&mut sim, &fs, c, FsOp::ReadFile(p("/shared/doc"))),
+                Err(FsError::NotFound(_))
+            ),
+            "client {c} read a deleted file (stale cache)"
+        );
+        let OpOutcome::Listing(names) = run_op(&mut sim, &fs, c, FsOp::Ls(p("/shared"))).unwrap()
+        else {
+            panic!("expected Listing")
+        };
+        assert!(names.is_empty(), "client {c} saw stale listing {names:?}");
+    }
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn subtree_delete_removes_everything_atomically() {
+    let mut sim = Sim::new(17);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+
+    // Build /tree with nested children through the API.
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/tree"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/tree/sub"))).unwrap();
+    for i in 0..10 {
+        run_op(&mut sim, &fs, 0, FsOp::CreateFile(p(&format!("/tree/f{i}")))).unwrap();
+        run_op(&mut sim, &fs, 0, FsOp::CreateFile(p(&format!("/tree/sub/g{i}")))).unwrap();
+    }
+    let inodes_before = fs.schema().inode_count(fs.db());
+
+    let OpOutcome::Deleted(n) = run_op(&mut sim, &fs, 1, FsOp::Delete(p("/tree"))).unwrap()
+    else {
+        panic!("expected Deleted")
+    };
+    // /tree + /tree/sub + 20 files.
+    assert_eq!(n, 22);
+    assert_eq!(fs.schema().inode_count(fs.db()), inodes_before - 22);
+    assert!(matches!(
+        run_op(&mut sim, &fs, 2, FsOp::Stat(p("/tree"))),
+        Err(FsError::NotFound(_))
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 3, FsOp::Stat(p("/tree/sub/g3"))),
+        Err(FsError::NotFound(_))
+    ));
+    assert!(fs.check_consistency().is_empty());
+    // The subtree lock was released.
+    assert_eq!(fs.db().table_len(fs.schema().subtree_locks), 0);
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn subtree_mv_relocates_the_whole_tree() {
+    let mut sim = Sim::new(19);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/src"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/src/inner"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/src/inner/deep"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/dst"))).unwrap();
+
+    let OpOutcome::Moved(n) =
+        run_op(&mut sim, &fs, 1, FsOp::Mv(p("/src"), p("/dst/moved"))).unwrap()
+    else {
+        panic!("expected Moved")
+    };
+    assert_eq!(n, 3); // inner + deep + the root itself
+    assert!(matches!(
+        run_op(&mut sim, &fs, 2, FsOp::ReadFile(p("/dst/moved/inner/deep"))).unwrap(),
+        OpOutcome::Meta(_)
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 3, FsOp::Stat(p("/src"))),
+        Err(FsError::NotFound(_))
+    ));
+    assert!(fs.check_consistency().is_empty());
+    assert_eq!(fs.db().table_len(fs.schema().subtree_locks), 0);
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn namenode_kill_is_survivable_and_leaves_namespace_consistent() {
+    let mut sim = Sim::new(23);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/ft"))).unwrap();
+
+    // Issue a stream of creates while killing NameNodes round-robin.
+    let completed = Rc::new(RefCell::new(0u32));
+    for i in 0..40 {
+        let c = Rc::clone(&completed);
+        fs.submit(
+            &mut sim,
+            i % 8,
+            FsOp::CreateFile(p(&format!("/ft/file{i}"))),
+            Box::new(move |_s, r| {
+                if r.is_ok() {
+                    *c.borrow_mut() += 1;
+                }
+            }),
+        );
+        if i % 10 == 5 {
+            // Kill a NameNode from whichever deployment currently has one
+            // warm (round-robin preference).
+            for k in 0..4u32 {
+                if fs.kill_one_namenode(&mut sim, (i as u32 + k) % 4).is_some() {
+                    break;
+                }
+            }
+        }
+        sim.run_for(SimDuration::from_millis(100));
+    }
+    sim.run_until(SimTime::from_secs(120));
+    assert!(fs.platform().stats().kills >= 1, "no kill actually happened");
+    // Clients retried through crashes: the vast majority completed.
+    assert!(
+        *completed.borrow() >= 35,
+        "only {}/40 creates completed despite retries",
+        completed.borrow()
+    );
+    assert!(fs.check_consistency().is_empty());
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn hybrid_rpc_uses_tcp_after_bootstrap() {
+    let mut sim = Sim::new(29);
+    let fs = LambdaFs::build(&mut sim, small_config());
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/rpc"))).unwrap();
+    for i in 0..200 {
+        run_op(&mut sim, &fs, 0, FsOp::Stat(p("/rpc"))).unwrap();
+        let _ = i;
+    }
+    let m = fs.metrics();
+    let m = m.borrow();
+    assert!(m.tcp_rpcs > 0, "no TCP RPCs at all");
+    // With a 1% replacement probability, TCP must dominate heavily once
+    // connections exist.
+    assert!(
+        m.tcp_rpcs > 10 * m.http_rpcs.max(1) || m.http_rpcs < 20,
+        "tcp {} vs http {}",
+        m.tcp_rpcs,
+        m.http_rpcs
+    );
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    fn run_once(seed: u64) -> (u64, u64, f64, usize) {
+        let mut sim = Sim::new(seed);
+        let fs = LambdaFs::build(&mut sim, small_config());
+        fs.start(&mut sim);
+        run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/det"))).unwrap();
+        for i in 0..30 {
+            run_op(&mut sim, &fs, i % 8, FsOp::CreateFile(p(&format!("/det/f{i}")))).unwrap();
+            run_op(&mut sim, &fs, (i + 1) % 8, FsOp::ReadFile(p(&format!("/det/f{i}")))).unwrap();
+        }
+        fs.stop(&mut sim);
+        let m = fs.metrics();
+        let m = m.borrow();
+        (m.completed, m.tcp_rpcs, m.mean_latency().as_secs_f64(), fs.active_namenodes())
+    }
+    assert_eq!(run_once(777), run_once(777));
+}
+
+#[test]
+fn coherence_disabled_is_faster_but_unsafe_knob_exists() {
+    // The ablation knob: with coherence off, writes skip INV/ACK rounds.
+    let mut config = small_config();
+    config.coherence_enabled = false;
+    let mut sim = Sim::new(31);
+    let fs = LambdaFs::build(&mut sim, config);
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/unsafe"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/unsafe/f"))).unwrap();
+    let (invs, _acks) = {
+        // No INV traffic at all.
+        fs.coordinator().message_stats()
+    };
+    assert_eq!(invs, 0, "coherence traffic despite ablation");
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn crashed_subtree_lock_holder_is_swept_by_the_leader() {
+    let mut config = small_config();
+    config.client_timeout = SimDuration::from_secs(600);
+    config.straggler_threshold = f64::INFINITY;
+    let mut sim = Sim::new(37);
+    let fs = LambdaFs::build(&mut sim, config);
+    fs.start(&mut sim);
+    // A directory big enough that its recursive delete spans real time.
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/victim"))).unwrap();
+    for i in 0..400 {
+        fs.bootstrap_file(&p(&format!("/victim/f{i:04}")));
+    }
+    // Ensure every deployment is warm so the op starts promptly.
+    let dirs: Vec<lambda_namespace::DfsPath> = vec![p("/victim")];
+    fs.prewarm_with(&mut sim, &dirs);
+    sim.run_for(SimDuration::from_secs(8));
+
+    let done: Rc<RefCell<Option<OpResult>>> = Rc::new(RefCell::new(None));
+    let out = Rc::clone(&done);
+    fs.submit(&mut sim, 0, FsOp::Delete(p("/victim")), Box::new(move |_s, r| {
+        *out.borrow_mut() = Some(r);
+    }));
+    // Let the subtree operation take its persistent lock flag, then crash
+    // every NameNode so the holder definitely dies mid-protocol.
+    sim.run_for(SimDuration::from_millis(80));
+    assert_eq!(fs.db().table_len(fs.schema().subtree_locks), 1, "flag not yet taken");
+    for d in 0..fs.config().deployments {
+        while fs.kill_one_namenode(&mut sim, d).is_some() {}
+    }
+    // New NameNodes spin up (the retried delete re-warms the platform), a
+    // leader emerges, and the stale flag is swept, letting the retried
+    // operation finish.
+    sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(
+        fs.db().table_len(fs.schema().subtree_locks),
+        0,
+        "stale subtree lock was never swept"
+    );
+    assert!(fs.check_consistency().is_empty());
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn connection_sharing_borrows_sibling_servers_connections() {
+    // One client per TCP server: with 8 clients on 2 VMs there are 4
+    // servers per VM, so most lookups must borrow a sibling server's
+    // connection (Fig. 4's sharing path).
+    let mut config = small_config();
+    config.clients_per_tcp_server = 1;
+    let mut sim = Sim::new(61);
+    let fs = LambdaFs::build(&mut sim, config);
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/shared-conn"))).unwrap();
+    run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/shared-conn/f"))).unwrap();
+    // Client 0 established the connection; clients 2, 4, 6 live on the
+    // same VM (clients are striped over VMs) but own different servers.
+    for c in [2usize, 4, 6] {
+        run_op(&mut sim, &fs, c, FsOp::ReadFile(p("/shared-conn/f"))).unwrap();
+    }
+    let m = fs.metrics();
+    let m = m.borrow();
+    assert!(
+        m.connection_shares > 0,
+        "no request ever borrowed a sibling server's connection"
+    );
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn result_cache_deduplicates_resubmitted_creates() {
+    // Force a straggler resubmission of a create by making the straggler
+    // threshold trivially aggressive... creates are exempt from straggler
+    // mitigation, so instead exercise the dedup path directly: a timeout
+    // retry of a create that actually completed must not yield
+    // AlreadyExists. We simulate that by a very short client timeout.
+    let mut config = small_config();
+    config.client_timeout = SimDuration::from_millis(8); // below write latency
+    config.max_retries = 10;
+    let mut sim = Sim::new(67);
+    let fs = LambdaFs::build(&mut sim, config);
+    fs.start(&mut sim);
+    run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/dedup"))).unwrap();
+    // The create takes ~10-15ms (store writes + coherence); the client
+    // resubmits at 8ms. The first execution completes and the resubmitted
+    // copy must be answered from the NameNode's result cache — the final
+    // outcome is success, not AlreadyExists.
+    let r = run_op(&mut sim, &fs, 0, FsOp::CreateFile(p("/dedup/once")));
+    assert!(
+        matches!(r, Ok(OpOutcome::Created(_))),
+        "resubmitted create was re-executed instead of deduplicated: {r:?}"
+    );
+    let m = fs.metrics();
+    assert!(m.borrow().retries > 0, "the timeout retry never fired");
+    fs.stop(&mut sim);
+}
+
+#[test]
+fn the_ndb_coordinator_runs_the_full_system() {
+    // §3.5: the Coordinator is pluggable; run the same lifecycle over the
+    // MySQL-Cluster-NDB event-API transport, where coherence traffic
+    // shares the metadata store's shards.
+    let mut sim = Sim::new(43);
+    let fs = LambdaFs::build(
+        &mut sim,
+        LambdaFsConfig {
+            coordinator: lambda_coord::CoordinatorKind::Ndb,
+            ..small_config()
+        },
+    );
+    fs.start(&mut sim);
+
+    assert!(matches!(
+        run_op(&mut sim, &fs, 0, FsOp::Mkdir(p("/ndb"))).unwrap(),
+        OpOutcome::Created(_)
+    ));
+    for i in 0..8 {
+        let path = p(&format!("/ndb/file{i}"));
+        assert!(matches!(
+            run_op(&mut sim, &fs, i, FsOp::CreateFile(path)).unwrap(),
+            OpOutcome::Created(_)
+        ));
+    }
+    // A write from one client invalidates a sibling's cached read — the
+    // INV/ACK round now travels through the store's event API.
+    assert!(matches!(
+        run_op(&mut sim, &fs, 1, FsOp::ReadFile(p("/ndb/file0"))).unwrap(),
+        OpOutcome::Meta(_)
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 2, FsOp::Delete(p("/ndb/file0"))).unwrap(),
+        OpOutcome::Deleted(_)
+    ));
+    assert!(matches!(
+        run_op(&mut sim, &fs, 1, FsOp::ReadFile(p("/ndb/file0"))).unwrap_err(),
+        FsError::NotFound(_)
+    ));
+    // Coordination traffic demonstrably hits the store: NameNode
+    // session heartbeats are lease-row writes under this transport.
+    let deadline = sim.now() + SimDuration::from_secs(10);
+    sim.run_until(deadline);
+    assert!(
+        fs.coordinator().store_ops() > 0,
+        "NDB transport never charged the store"
+    );
+    assert!(fs.check_consistency().is_empty());
+    fs.stop(&mut sim);
+}

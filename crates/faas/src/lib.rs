@@ -1,0 +1,446 @@
+//! # lambda-faas
+//!
+//! A serverless-platform emulator — the reproduction's stand-in for the
+//! Apache OpenWhisk deployment that hosts λFS's NameNodes (paper §4), with
+//! the extensions the paper made to it (per-instance HTTP concurrency
+//! control) and the behaviors its evaluation depends on:
+//!
+//! * **Deployments** of a user-supplied [`Function`] type, each with its own
+//!   resource configuration and auto-scaling bounds;
+//! * an **API gateway / invoker** path: HTTP invocations pay the gateway
+//!   overhead, are routed to a warm instance with a free concurrency slot,
+//!   or trigger a **cold start** when capacity allows (this is the
+//!   platform-side half of λFS's agile auto-scaling policy, §3.4);
+//! * **direct TCP delivery** to a specific warm instance — the fast path of
+//!   λFS's hybrid RPC (§3.2) — which deliberately bypasses the gateway and
+//!   therefore never triggers scale-out;
+//! * **idle reclamation** (scale-in), **forceful kills** (fault injection,
+//!   §5.6), a **cluster vCPU cap** (the evaluation's fairness control), and
+//!   **pay-per-use + provisioned billing** (§5.2.5, Fig. 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod platform;
+
+pub use platform::{
+    DeploymentId, Function, FunctionConfig, InstanceCtx, InstanceId, Platform, PlatformConfig,
+    PlatformStats, Responder,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_sim::{Sim, SimDuration, SimTime, Station};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A trivial function: replies `req + 1` after `work` CPU time.
+    struct Echo {
+        work: SimDuration,
+        started: Rc<RefCell<u32>>,
+        terminated: Rc<RefCell<Vec<bool>>>,
+    }
+
+    impl Function for Echo {
+        type Req = u64;
+        type Resp = u64;
+
+        fn on_start(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx) {
+            *self.started.borrow_mut() += 1;
+        }
+
+        fn on_request(
+            &mut self,
+            sim: &mut Sim,
+            ctx: &InstanceCtx,
+            req: u64,
+            respond: Responder<u64>,
+        ) {
+            Station::submit(&ctx.cpu, sim, self.work, move |sim| respond(sim, req + 1));
+        }
+
+        fn on_terminate(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx, graceful: bool) {
+            self.terminated.borrow_mut().push(graceful);
+        }
+    }
+
+    struct Harness {
+        platform: Platform<Echo>,
+        deployment: DeploymentId,
+        started: Rc<RefCell<u32>>,
+        terminated: Rc<RefCell<Vec<bool>>>,
+    }
+
+    fn harness(cluster_vcpus: u32, concurrency: u32, max_instances: u32) -> Harness {
+        let cfg = PlatformConfig { cluster_vcpus, ..PlatformConfig::default() };
+        let platform = Platform::new(&cfg);
+        let started = Rc::new(RefCell::new(0));
+        let terminated = Rc::new(RefCell::new(Vec::new()));
+        let (s2, t2) = (Rc::clone(&started), Rc::clone(&terminated));
+        let deployment = platform.register_deployment(
+            "echo",
+            FunctionConfig { vcpus: 4, mem_gb: 6.0, concurrency, max_instances, min_instances: 0 },
+            Box::new(move |_ctx| Echo {
+                work: SimDuration::from_millis(1),
+                started: Rc::clone(&s2),
+                terminated: Rc::clone(&t2),
+            }),
+        );
+        Harness { platform, deployment, started, terminated }
+    }
+
+    #[test]
+    fn http_invocation_cold_starts_and_responds() {
+        let mut sim = Sim::new(1);
+        let h = harness(64, 4, u32::MAX);
+        let got = Rc::new(RefCell::new(None));
+        let out = Rc::clone(&got);
+        h.platform.invoke_http(&mut sim, h.deployment, 41, Box::new(move |sim, resp| {
+            *out.borrow_mut() = Some((sim.now(), resp));
+        }));
+        sim.run();
+        let (at, resp) = got.borrow().expect("response arrived");
+        assert_eq!(resp, 42);
+        // Gateway overhead + cold start + 1ms work: comfortably > 0.6s.
+        assert!(at > SimTime::from_nanos(600_000_000), "responded at {at}");
+        assert_eq!(*h.started.borrow(), 1);
+        assert_eq!(h.platform.stats().cold_starts, 1);
+        assert_eq!(h.platform.warm_instances(h.deployment).len(), 1);
+    }
+
+    #[test]
+    fn warm_instances_are_reused_not_restarted() {
+        let mut sim = Sim::new(2);
+        let h = harness(64, 4, u32::MAX);
+        let count = Rc::new(RefCell::new(0u32));
+        for _ in 0..10 {
+            let c = Rc::clone(&count);
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(move |_s, _r| {
+                *c.borrow_mut() += 1;
+            }));
+            sim.run();
+        }
+        assert_eq!(*count.borrow(), 10);
+        // Sequential requests fit in one instance's concurrency.
+        assert_eq!(h.platform.stats().cold_starts, 1);
+    }
+
+    #[test]
+    fn load_beyond_concurrency_scales_out() {
+        let mut sim = Sim::new(3);
+        let h = harness(64, 1, u32::MAX);
+        let count = Rc::new(RefCell::new(0u32));
+        // 8 concurrent requests, concurrency 1 -> up to 8 instances, but
+        // capped by vCPUs: 64/4 = 16, so all 8 can start.
+        for _ in 0..8 {
+            let c = Rc::clone(&count);
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(move |_s, _r| {
+                *c.borrow_mut() += 1;
+            }));
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 8);
+        assert!(h.platform.stats().cold_starts >= 2, "no scale-out happened");
+        assert!(h.platform.stats().cold_starts <= 8);
+    }
+
+    #[test]
+    fn vcpu_cap_limits_scale_out_and_queues_requests() {
+        let mut sim = Sim::new(4);
+        // Cap allows exactly 2 instances of 4 vCPUs.
+        let h = harness(8, 1, u32::MAX);
+        let count = Rc::new(RefCell::new(0u32));
+        for _ in 0..6 {
+            let c = Rc::clone(&count);
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(move |_s, _r| {
+                *c.borrow_mut() += 1;
+            }));
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 6, "queued requests must still complete");
+        assert_eq!(h.platform.stats().cold_starts, 2);
+        assert!(h.platform.peak_vcpus_used() <= 8);
+    }
+
+    #[test]
+    fn max_instances_bounds_autoscaling() {
+        let mut sim = Sim::new(5);
+        let h = harness(64, 1, 1); // auto-scaling disabled: 1 instance
+        for _ in 0..5 {
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        }
+        sim.run();
+        assert_eq!(h.platform.stats().cold_starts, 1);
+    }
+
+    #[test]
+    fn idle_instances_are_reclaimed_gracefully() {
+        let mut sim = Sim::new(6);
+        let h = harness(64, 4, u32::MAX);
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        sim.run();
+        assert_eq!(h.platform.warm_instances(h.deployment).len(), 1);
+        // Default idle reclaim is 30s; run well past it.
+        h.platform.run_maintenance(&mut sim);
+        sim.run_until(SimTime::from_secs(120));
+        assert!(h.platform.warm_instances(h.deployment).is_empty(), "instance not reclaimed");
+        assert_eq!(*h.terminated.borrow(), vec![true]);
+        assert_eq!(h.platform.stats().reclaims, 1);
+    }
+
+    #[test]
+    fn tcp_delivery_bypasses_gateway_and_keeps_instances_warm() {
+        let mut sim = Sim::new(7);
+        let h = harness(64, 4, u32::MAX);
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        sim.run();
+        let instance = h.platform.warm_instances(h.deployment)[0];
+        let http_invocations = h.platform.stats().http_invocations;
+        let got = Rc::new(RefCell::new(None));
+        let out = Rc::clone(&got);
+        let t0 = sim.now();
+        assert!(h.platform.deliver_tcp(&mut sim, instance, 10, Box::new(move |sim, resp| {
+            *out.borrow_mut() = Some((sim.now(), resp));
+        })));
+        sim.run();
+        let (at, resp) = got.borrow().expect("tcp response");
+        assert_eq!(resp, 11);
+        // No gateway overhead: just ~1ms of work.
+        assert!(at.saturating_since(t0) < SimDuration::from_millis(5));
+        assert_eq!(h.platform.stats().http_invocations, http_invocations);
+    }
+
+    #[test]
+    fn killed_instances_drop_in_flight_responses() {
+        let mut sim = Sim::new(8);
+        let h = harness(64, 4, u32::MAX);
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        sim.run();
+        let instance = h.platform.warm_instances(h.deployment)[0];
+        let responded = Rc::new(RefCell::new(false));
+        let out = Rc::clone(&responded);
+        assert!(h.platform.deliver_tcp(&mut sim, instance, 5, Box::new(move |_s, _r| {
+            *out.borrow_mut() = true;
+        })));
+        // Kill before the 1ms of work completes.
+        h.platform.kill_instance(&mut sim, instance);
+        sim.run();
+        assert!(!*responded.borrow(), "dead instance responded");
+        // A crash is not graceful termination: no on_terminate callback.
+        assert!(h.terminated.borrow().is_empty());
+        assert_eq!(h.platform.stats().kills, 1);
+        // Delivery to the dead instance is refused thereafter.
+        assert!(!h.platform.deliver_tcp(&mut sim, instance, 6, Box::new(|_s, _r| {})));
+    }
+
+    #[test]
+    fn billing_pay_per_use_is_cheaper_than_provisioned() {
+        let mut sim = Sim::new(9);
+        let h = harness(64, 4, u32::MAX);
+        h.platform.run_maintenance(&mut sim);
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        sim.run_until(SimTime::from_secs(20));
+        let pay = h.platform.pay_per_use_cost();
+        let prov = h.platform.provisioned_cost();
+        assert!(pay > 0.0);
+        assert!(prov > pay, "provisioned {prov} <= pay-per-use {pay}");
+    }
+
+    #[test]
+    fn min_instances_floor_survives_reclamation() {
+        let mut sim = Sim::new(11);
+        let cfg = PlatformConfig { cluster_vcpus: 64, ..PlatformConfig::default() };
+        let platform = Platform::new(&cfg);
+        let started = Rc::new(RefCell::new(0));
+        let terminated = Rc::new(RefCell::new(Vec::new()));
+        let (s2, t2) = (Rc::clone(&started), Rc::clone(&terminated));
+        let deployment = platform.register_deployment(
+            "floored",
+            FunctionConfig {
+                vcpus: 4,
+                mem_gb: 6.0,
+                concurrency: 1,
+                max_instances: u32::MAX,
+                min_instances: 2,
+            },
+            Box::new(move |_ctx| Echo {
+                work: SimDuration::from_millis(1),
+                started: Rc::clone(&s2),
+                terminated: Rc::clone(&t2),
+            }),
+        );
+        platform.run_maintenance(&mut sim);
+        // Scale out to 4 instances with a burst of concurrent requests.
+        for _ in 0..4 {
+            platform.invoke_http(&mut sim, deployment, 1, Box::new(|_s, _r| {}));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        assert!(platform.warm_instances(deployment).len() >= 3);
+        // Long idle: reclamation shrinks to the floor, not to zero.
+        sim.run_until(SimTime::from_secs(180));
+        assert_eq!(
+            platform.warm_instances(deployment).len(),
+            2,
+            "idle reclamation must respect min_instances"
+        );
+    }
+
+    /// Registers `n` Echo deployments on one platform.
+    fn multi_harness(cluster_vcpus: u32, n: usize) -> (Platform<Echo>, Vec<DeploymentId>) {
+        let cfg = PlatformConfig { cluster_vcpus, ..PlatformConfig::default() };
+        let platform = Platform::new(&cfg);
+        let deployments = (0..n)
+            .map(|i| {
+                let started = Rc::new(RefCell::new(0));
+                let terminated = Rc::new(RefCell::new(Vec::new()));
+                platform.register_deployment(
+                    format!("echo{i}"),
+                    FunctionConfig {
+                        vcpus: 4,
+                        mem_gb: 6.0,
+                        concurrency: 1,
+                        max_instances: u32::MAX,
+                        min_instances: 0,
+                    },
+                    Box::new(move |_ctx| Echo {
+                        work: SimDuration::from_millis(1),
+                        started: Rc::clone(&started),
+                        terminated: Rc::clone(&terminated),
+                    }),
+                )
+            })
+            .collect();
+        (platform, deployments)
+    }
+
+    #[test]
+    fn starved_deployment_evicts_an_idle_instance_under_pressure() {
+        let mut sim = Sim::new(12);
+        // Room for exactly one 4-vCPU instance; two deployments.
+        let (platform, deps) = multi_harness(4, 2);
+        let count = Rc::new(RefCell::new(0u32));
+        let c = Rc::clone(&count);
+        platform.invoke_http(&mut sim, deps[0], 1, Box::new(move |_s, _r| {
+            *c.borrow_mut() += 1;
+        }));
+        sim.run();
+        assert_eq!(platform.warm_instances(deps[0]).len(), 1);
+        // Let the instance age past the eviction grace, then hit the
+        // other deployment: it must evict deployment 0's idle instance
+        // rather than queue until the request TTL.
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        let c = Rc::clone(&count);
+        let t0 = sim.now();
+        platform.invoke_http(&mut sim, deps[1], 2, Box::new(move |_s, _r| {
+            *c.borrow_mut() += 1;
+        }));
+        sim.run();
+        assert_eq!(*count.borrow(), 2, "second deployment's request must complete");
+        assert_eq!(platform.stats().evictions, 1);
+        assert!(platform.warm_instances(deps[0]).is_empty());
+        assert_eq!(platform.warm_instances(deps[1]).len(), 1);
+        // Served after one eviction + cold start, not after a TTL expiry.
+        assert!(sim.now().saturating_since(t0) < SimDuration::from_secs(5));
+        assert!(platform.peak_vcpus_used() <= 4);
+    }
+
+    #[test]
+    fn eviction_grace_prevents_slot_ping_pong() {
+        let mut sim = Sim::new(13);
+        let (platform, deps) = multi_harness(4, 2);
+        // Warm deployment 0 and age it past the grace.
+        platform.invoke_http(&mut sim, deps[0], 1, Box::new(|_s, _r| {}));
+        sim.run();
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        // Deployment 1 takes the slot by eviction; deployment 0's
+        // immediate retaliation finds only a too-young instance and must
+        // wait instead of evicting right back.
+        platform.invoke_http(&mut sim, deps[1], 2, Box::new(|_s, _r| {}));
+        sim.run();
+        assert_eq!(platform.stats().evictions, 1);
+        platform.invoke_http(&mut sim, deps[0], 3, Box::new(|_s, _r| {}));
+        let before = sim.now();
+        sim.run_until(before + SimDuration::from_millis(500));
+        assert_eq!(
+            platform.stats().evictions,
+            1,
+            "young instance must be protected by the grace period"
+        );
+    }
+
+    #[test]
+    fn eviction_is_reserved_for_instanceless_deployments() {
+        let mut sim = Sim::new(14);
+        let (platform, deps) = multi_harness(8, 2);
+        // Both deployments own one instance each: the cluster is full.
+        for (i, &d) in deps.iter().enumerate() {
+            platform.invoke_http(&mut sim, d, i as u64, Box::new(|_s, _r| {}));
+            sim.run();
+        }
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        // Concurrent burst on deployment 0 wants a second instance, but a
+        // deployment that already has one never evicts others.
+        for _ in 0..6 {
+            platform.invoke_http(&mut sim, deps[0], 9, Box::new(|_s, _r| {}));
+        }
+        sim.run();
+        assert_eq!(platform.stats().evictions, 0);
+        assert_eq!(platform.warm_instances(deps[1]).len(), 1);
+    }
+
+    /// Randomized starvation-freedom: five deployments time-share a
+    /// cluster with room for only two instances. Every invocation — at
+    /// pseudo-random arrival times spread far enough apart for eviction
+    /// grace to elapse — must complete; none may expire at its TTL. The
+    /// maintenance rescue pass covers arrivals whose eviction attempt
+    /// found only grace-protected victims.
+    #[test]
+    fn no_deployment_starves_on_a_tiny_cluster() {
+        let mut sim = Sim::new(15);
+        let (platform, deps) = multi_harness(8, 5);
+        platform.run_maintenance(&mut sim);
+        let completed = Rc::new(RefCell::new(0u32));
+        // A fixed pseudo-random schedule (splitmix-style constants) of 30
+        // invocations over ~150 s across the five deployments.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut at = SimTime::ZERO;
+        let mut sent = 0;
+        for _ in 0..30 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            let dep = deps[(x % 5) as usize];
+            at += SimDuration::from_millis(2_000 + (x >> 32) % 8_000);
+            let c = Rc::clone(&completed);
+            let p2 = platform.clone();
+            sim.schedule_at(at, move |sim| {
+                p2.invoke_http(sim, dep, 1, Box::new(move |_s, _r| {
+                    *c.borrow_mut() += 1;
+                }));
+            });
+            sent += 1;
+        }
+        sim.run_until(at + SimDuration::from_secs(60));
+        platform.stop_maintenance();
+        assert_eq!(*completed.borrow(), sent, "an invocation starved");
+        assert_eq!(platform.stats().expired_requests, 0);
+        assert!(platform.stats().evictions > 0, "time-sharing never happened");
+        assert!(platform.peak_vcpus_used() <= 8);
+    }
+
+    #[test]
+    fn instance_gauge_tracks_scale_out_and_in() {
+        let mut sim = Sim::new(10);
+        let h = harness(64, 1, u32::MAX);
+        h.platform.run_maintenance(&mut sim);
+        for _ in 0..4 {
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        }
+        sim.run_until(SimTime::from_secs(120));
+        let gauge = h.platform.instance_gauge();
+        assert!(gauge.peak() >= 2.0);
+        // After reclamation the gauge returns to zero.
+        assert_eq!(gauge.points().last().map(|(_, v)| *v), Some(0.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! A Bloom filter for SSTable key membership, as LevelDB attaches to its
+//! table blocks.
+//!
+//! Uses the standard double-hashing scheme (Kirsch–Mitzenmacher): two FNV
+//! variants combined as `h1 + i·h2` for the `k` probe positions.
+
+/// A fixed-size Bloom filter built over a batch of keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    hashes: u32,
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Builds a filter over `keys` with roughly `bits_per_key` bits per key.
+    ///
+    /// The number of hash functions is the standard optimum
+    /// `k ≈ bits_per_key · ln 2`, clamped to `[1, 30]`.
+    #[must_use]
+    pub fn build<'a>(keys: impl IntoIterator<Item = &'a [u8]>, bits_per_key: usize) -> Self {
+        let keys: Vec<&[u8]> = keys.into_iter().collect();
+        let num_bits = (keys.len() * bits_per_key).max(64);
+        let hashes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut filter =
+            BloomFilter { bits: vec![0; num_bits.div_ceil(64)], num_bits, hashes };
+        for key in keys {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15);
+        for i in 0..self.hashes {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits as u64)
+                as usize;
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether `key` might be present (false positives possible, false
+    /// negatives impossible).
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15);
+        (0..self.hashes).all(|i| {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits as u64)
+                as usize;
+            self.bits[bit / 64] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the filter in bytes (for amplification accounting).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..1000).map(key).collect();
+        let filter = BloomFilter::build(keys.iter().map(Vec::as_slice), 10);
+        for k in &keys {
+            assert!(filter.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<Vec<u8>> = (0..1000).map(key).collect();
+        let filter = BloomFilter::build(keys.iter().map(Vec::as_slice), 10);
+        let fp = (1000..11_000).filter(|i| filter.may_contain(&key(*i))).count();
+        // 10 bits/key gives ~1% theoretical FP rate; allow generous slack.
+        assert!(fp < 400, "false positives: {fp}/10000");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_possible() {
+        let filter = BloomFilter::build(std::iter::empty(), 10);
+        // An empty filter has no set bits, so nothing may be contained.
+        assert!(!filter.may_contain(b"anything"));
+        assert!(filter.size_bytes() >= 8);
+    }
+}

@@ -1,0 +1,116 @@
+//! # lambda-lsm
+//!
+//! A log-structured merge tree — the reproduction's stand-in for LevelDB,
+//! which vanilla IndexFS uses to pack metadata into SSTables and which
+//! λIndexFS keeps as its persistent metadata store (paper §4 "Porting λFS
+//! to IndexFS" and §5.7).
+//!
+//! The tree is a real data structure, not a model: write-ahead log,
+//! ordered memtable, leveled SSTables with sparse indexes and Bloom
+//! filters, tombstones, and cascading compaction. The IndexFS baseline
+//! costs its storage operations using the amplification counters in
+//! [`LsmStats`].
+//!
+//! ```
+//! use lambda_lsm::{LsmConfig, LsmTree};
+//!
+//! let mut db = LsmTree::new(LsmConfig::default());
+//! db.put(b"/users/alice/notes.txt", b"inode:17");
+//! db.put(b"/users/alice/todo.txt", b"inode:18");
+//! let files = db.scan(b"/users/alice/", b"/users/alice0");
+//! assert_eq!(files.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod sstable;
+mod tree;
+mod wal;
+
+pub use bloom::BloomFilter;
+pub use sstable::{Entry, SsTable};
+pub use tree::{LsmConfig, LsmStats, LsmTree};
+pub use wal::{Wal, WalRecord};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u16, u8),
+        Delete(u16),
+        Flush,
+        Scan(u16, u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+            2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+            1 => Just(Op::Flush),
+            1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a % 512, b % 512)),
+        ]
+    }
+
+    fn key(k: u16) -> Vec<u8> {
+        format!("k{k:05}").into_bytes()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The LSM tree behaves exactly like an ordered map under any
+        /// sequence of puts, deletes, flushes, and scans — including the
+        /// compactions those flushes trigger.
+        #[test]
+        fn lsm_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut tree = LsmTree::new(LsmConfig {
+                memtable_bytes: 128,
+                l0_compaction_trigger: 2,
+                level_multiplier: 3,
+                l1_target_bytes: 512,
+                index_interval: 3,
+                bloom_bits_per_key: 8,
+            });
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        let (k, v) = (key(*k), vec![*v]);
+                        tree.put(&k, &v);
+                        model.insert(k, v);
+                    }
+                    Op::Delete(k) => {
+                        let k = key(*k);
+                        tree.delete(&k);
+                        model.remove(&k);
+                    }
+                    Op::Flush => tree.flush(),
+                    Op::Scan(a, b) => {
+                        let (lo, hi) = (key(*a.min(b)), key(*a.max(b)));
+                        let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+                            .scan(&lo, &hi)
+                            .into_iter()
+                            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                            .collect();
+                        let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                            .range(lo..hi)
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            // Final full point-read check.
+            for k in 0..512u16 {
+                let k = key(k);
+                prop_assert_eq!(tree.get(&k).map(|b| b.to_vec()), model.get(&k).cloned());
+            }
+        }
+    }
+}

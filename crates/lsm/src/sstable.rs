@@ -1,0 +1,232 @@
+//! Immutable sorted string tables (SSTables).
+//!
+//! An [`SsTable`] is a sorted, immutable run of key → entry pairs with a
+//! sparse index (one anchor every `index_interval` entries) and a Bloom
+//! filter, mirroring LevelDB's table format at the granularity the
+//! reproduction needs: point lookups binary-search the sparse index and
+//! then scan at most one interval; `may_contain` consults the Bloom filter
+//! first.
+
+use bytes::Bytes;
+
+use crate::bloom::BloomFilter;
+
+/// A value slot: either a live value or a deletion marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// A live value.
+    Put(Bytes),
+    /// A tombstone shadowing older versions of the key.
+    Tombstone,
+}
+
+impl Entry {
+    /// The live value, or `None` for a tombstone.
+    #[must_use]
+    pub fn value(&self) -> Option<&Bytes> {
+        match self {
+            Entry::Put(v) => Some(v),
+            Entry::Tombstone => None,
+        }
+    }
+
+    /// Approximate in-memory size of the entry payload.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Entry::Put(v) => v.len(),
+            Entry::Tombstone => 0,
+        }
+    }
+}
+
+/// An immutable sorted run of `(key, entry)` pairs.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    rows: Vec<(Bytes, Entry)>,
+    /// `(key, offset)` anchors, one per `index_interval` rows.
+    sparse_index: Vec<(Bytes, usize)>,
+    bloom: BloomFilter,
+    data_bytes: usize,
+}
+
+impl SsTable {
+    /// Builds a table from rows that must already be sorted by key with no
+    /// duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is unsorted or contains duplicate keys.
+    #[must_use]
+    pub fn build(rows: Vec<(Bytes, Entry)>, index_interval: usize, bloom_bits_per_key: usize) -> Self {
+        assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "SSTable rows must be sorted and unique"
+        );
+        let interval = index_interval.max(1);
+        let sparse_index = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % interval == 0)
+            .map(|(i, (k, _))| (k.clone(), i))
+            .collect();
+        let bloom = BloomFilter::build(rows.iter().map(|(k, _)| k.as_ref()), bloom_bits_per_key);
+        let data_bytes = rows.iter().map(|(k, e)| k.len() + e.size_bytes()).sum();
+        SsTable { rows, sparse_index, bloom, data_bytes }
+    }
+
+    /// Number of rows (including tombstones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate on-disk size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Smallest key, or `None` if empty.
+    #[must_use]
+    pub fn first_key(&self) -> Option<&Bytes> {
+        self.rows.first().map(|(k, _)| k)
+    }
+
+    /// Largest key, or `None` if empty.
+    #[must_use]
+    pub fn last_key(&self) -> Option<&Bytes> {
+        self.rows.last().map(|(k, _)| k)
+    }
+
+    /// Whether `key` is within `[first_key, last_key]`.
+    #[must_use]
+    pub fn key_in_range(&self, key: &[u8]) -> bool {
+        match (self.first_key(), self.last_key()) {
+            (Some(lo), Some(hi)) => key >= lo.as_ref() && key <= hi.as_ref(),
+            _ => false,
+        }
+    }
+
+    /// Whether the Bloom filter admits `key` (fast negative lookups).
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// Point lookup via the sparse index.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        if !self.key_in_range(key) {
+            return None;
+        }
+        // Find the last anchor with anchor_key <= key.
+        let anchor = self.sparse_index.partition_point(|(k, _)| k.as_ref() <= key);
+        let start = if anchor == 0 { 0 } else { self.sparse_index[anchor - 1].1 };
+        self.rows[start..]
+            .iter()
+            .take_while(|(k, _)| k.as_ref() <= key)
+            .find(|(k, _)| k.as_ref() == key)
+            .map(|(_, e)| e)
+    }
+
+    /// All rows (for compaction and scans).
+    #[must_use]
+    pub fn rows(&self) -> &[(Bytes, Entry)] {
+        &self.rows
+    }
+
+    /// Rows with key in `[lo, hi)`, in order.
+    #[must_use]
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> &[(Bytes, Entry)] {
+        let start = self.rows.partition_point(|(k, _)| k.as_ref() < lo);
+        let end = self.rows.partition_point(|(k, _)| k.as_ref() < hi);
+        &self.rows[start..end]
+    }
+
+    /// Whether this table's key range overlaps `[lo, hi]` (inclusive).
+    #[must_use]
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        match (self.first_key(), self.last_key()) {
+            (Some(first), Some(last)) => first.as_ref() <= hi && last.as_ref() >= lo,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn table(keys: &[&str]) -> SsTable {
+        let rows = keys.iter().map(|k| (b(k), Entry::Put(b(&format!("v-{k}"))))).collect();
+        SsTable::build(rows, 4, 10)
+    }
+
+    #[test]
+    fn point_lookups_hit_and_miss() {
+        let t = table(&["a", "c", "e", "g", "i", "k", "m", "o", "q"]);
+        assert_eq!(t.get(b"e"), Some(&Entry::Put(b("v-e"))));
+        assert_eq!(t.get(b"q"), Some(&Entry::Put(b("v-q"))));
+        assert_eq!(t.get(b"a"), Some(&Entry::Put(b("v-a"))));
+        assert_eq!(t.get(b"b"), None);
+        assert_eq!(t.get(b"z"), None);
+        assert_eq!(t.get(b""), None);
+    }
+
+    #[test]
+    fn sparse_index_covers_every_interval() {
+        let keys: Vec<String> = (0..103).map(|i| format!("k{i:04}")).collect();
+        let rows = keys.iter().map(|k| (Bytes::from(k.clone()), Entry::Tombstone)).collect();
+        let t = SsTable::build(rows, 7, 10);
+        for k in &keys {
+            assert!(t.get(k.as_bytes()).is_some(), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn range_scans_are_half_open() {
+        let t = table(&["a", "b", "c", "d", "e"]);
+        let rows = t.range(b"b", b"e");
+        let keys: Vec<&str> =
+            rows.iter().map(|(k, _)| std::str::from_utf8(k).unwrap()).collect();
+        assert_eq!(keys, vec!["b", "c", "d"]);
+        assert!(t.range(b"x", b"z").is_empty());
+    }
+
+    #[test]
+    fn overlap_checks() {
+        let t = table(&["d", "e", "f"]);
+        assert!(t.overlaps(b"a", b"d"));
+        assert!(t.overlaps(b"f", b"z"));
+        assert!(t.overlaps(b"e", b"e"));
+        assert!(!t.overlaps(b"a", b"c"));
+        assert!(!t.overlaps(b"g", b"z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_input_is_rejected() {
+        let rows = vec![(b("b"), Entry::Tombstone), (b("a"), Entry::Tombstone)];
+        let _ = SsTable::build(rows, 4, 10);
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let t = SsTable::build(Vec::new(), 4, 10);
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"a"), None);
+        assert!(!t.key_in_range(b"a"));
+        assert!(!t.overlaps(b"a", b"z"));
+    }
+}

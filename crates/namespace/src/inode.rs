@@ -1,0 +1,159 @@
+//! INodes, blocks, and DataNode descriptors — the row types of the
+//! persistent metadata store.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an inode. The root directory is always
+/// [`ROOT_INODE_ID`].
+pub type InodeId = u64;
+
+/// The well-known id of `/`.
+pub const ROOT_INODE_ID: InodeId = 1;
+
+/// Whether an inode is a file or a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InodeKind {
+    /// A regular file with data blocks.
+    File,
+    /// A directory containing named children.
+    Directory,
+}
+
+/// File-system metadata for one file or directory.
+///
+/// This mirrors the HopsFS `INode` row: identity, tree position,
+/// permissions, and (for files) the block list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inode {
+    /// This inode's id.
+    pub id: InodeId,
+    /// Parent directory id (the root is its own parent).
+    pub parent: InodeId,
+    /// Name within the parent directory (`""` for the root).
+    pub name: String,
+    /// File or directory.
+    pub kind: InodeKind,
+    /// POSIX-style permission bits.
+    pub perm: u16,
+    /// Owner uid.
+    pub owner: u32,
+    /// Group gid.
+    pub group: u32,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Modification time, nanoseconds of simulated time.
+    pub mtime_nanos: u64,
+    /// Ids of the file's data blocks, in order.
+    pub blocks: Vec<u64>,
+}
+
+impl Inode {
+    /// Builds a directory inode.
+    #[must_use]
+    pub fn directory(id: InodeId, parent: InodeId, name: impl Into<String>) -> Self {
+        Inode {
+            id,
+            parent,
+            name: name.into(),
+            kind: InodeKind::Directory,
+            perm: 0o755,
+            owner: 0,
+            group: 0,
+            size: 0,
+            mtime_nanos: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Builds a file inode.
+    #[must_use]
+    pub fn file(id: InodeId, parent: InodeId, name: impl Into<String>) -> Self {
+        Inode {
+            id,
+            parent,
+            name: name.into(),
+            kind: InodeKind::File,
+            perm: 0o644,
+            owner: 0,
+            group: 0,
+            size: 0,
+            mtime_nanos: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The root inode.
+    #[must_use]
+    pub fn root() -> Self {
+        Inode::directory(ROOT_INODE_ID, ROOT_INODE_ID, "")
+    }
+
+    /// Whether this inode is a directory.
+    #[must_use]
+    pub fn is_dir(&self) -> bool {
+        self.kind == InodeKind::Directory
+    }
+}
+
+/// Identifier of a data block.
+pub type BlockId = u64;
+
+/// Location and length of one data block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// This block's id.
+    pub id: BlockId,
+    /// Owning file inode.
+    pub inode: InodeId,
+    /// Generation stamp (bumped on re-replication).
+    pub generation: u64,
+    /// Bytes in the block.
+    pub len: u64,
+    /// DataNodes currently holding replicas.
+    pub locations: Vec<DataNodeId>,
+}
+
+/// Identifier of a DataNode.
+pub type DataNodeId = u64;
+
+/// Liveness and capacity record a DataNode publishes to the metadata store
+/// (λFS re-implements block reports and DataNode discovery by publishing to
+/// the persistent store on an interval — paper §1/§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataNodeInfo {
+    /// This DataNode's id.
+    pub id: DataNodeId,
+    /// Last heartbeat, nanoseconds of simulated time.
+    pub last_heartbeat_nanos: u64,
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Bytes in use.
+    pub used: u64,
+    /// Number of blocks reported in the last block report.
+    pub reported_blocks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_sane_defaults() {
+        let d = Inode::directory(5, 1, "data");
+        assert!(d.is_dir());
+        assert_eq!(d.perm, 0o755);
+        let f = Inode::file(6, 5, "x.bin");
+        assert!(!f.is_dir());
+        assert_eq!(f.perm, 0o644);
+        assert!(f.blocks.is_empty());
+    }
+
+    #[test]
+    fn root_is_its_own_parent() {
+        let r = Inode::root();
+        assert_eq!(r.id, ROOT_INODE_ID);
+        assert_eq!(r.parent, ROOT_INODE_ID);
+        assert!(r.is_dir());
+        assert_eq!(r.name, "");
+    }
+}

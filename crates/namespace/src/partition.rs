@@ -1,0 +1,201 @@
+//! Namespace partitioning across serverless function deployments.
+//!
+//! λFS registers a fixed number `n` of uniquely named NameNode deployments
+//! and partitions the file-system namespace among them by **consistently
+//! hashing the parent of each file/directory** (paper §3.1/§3.3). All
+//! metadata of one directory's children therefore lands on one deployment
+//! (good for locality, like LocoFS), while FaaS auto-scaling *within* the
+//! deployment absorbs hot directories (unlike LocoFS, §6).
+//!
+//! Two key variants exist in the paper ("parent directory path" in §3.1,
+//! "parent INode ID" in §3.3); both are provided.
+
+use crate::inode::InodeId;
+use crate::path::DfsPath;
+
+fn fnv1a_bytes(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer: decorrelates sequential ids.
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring mapping keys to one of `n` deployments, with
+/// virtual nodes for balance.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_namespace::Partitioner;
+///
+/// let ring = Partitioner::new(8);
+/// let path = "/data/logs/app.log".parse().unwrap();
+/// let d = ring.deployment_for_path(&path);
+/// // Deterministic: same path, same deployment.
+/// assert_eq!(d, ring.deployment_for_path(&path));
+/// assert!(d < 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    /// Sorted `(point, deployment)` ring.
+    ring: Vec<(u64, u32)>,
+    deployments: u32,
+}
+
+impl Partitioner {
+    /// Virtual nodes per deployment.
+    const VNODES: u32 = 64;
+
+    /// Builds a ring over `deployments` deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployments == 0`.
+    #[must_use]
+    pub fn new(deployments: u32) -> Self {
+        assert!(deployments > 0, "need at least one deployment");
+        let mut ring = Vec::with_capacity((deployments * Self::VNODES) as usize);
+        for d in 0..deployments {
+            for v in 0..Self::VNODES {
+                ring.push((mix64((u64::from(d) << 32) | u64::from(v)), d));
+            }
+        }
+        ring.sort_unstable();
+        Partitioner { ring, deployments }
+    }
+
+    /// Number of deployments on the ring.
+    #[must_use]
+    pub fn deployments(&self) -> u32 {
+        self.deployments
+    }
+
+    fn owner_of_hash(&self, h: u64) -> u32 {
+        let idx = self.ring.partition_point(|(p, _)| *p < h);
+        let idx = if idx == self.ring.len() { 0 } else { idx };
+        self.ring[idx].1
+    }
+
+    /// The deployment responsible for a file/directory, keyed by its
+    /// **parent directory's path** (§3.1: hash of the parent directory
+    /// path; the root is keyed by itself).
+    ///
+    /// FNV's upper bits avalanche poorly on short, similar strings, so the
+    /// raw hash is finalized with splitmix64 before the (order-sensitive)
+    /// ring lookup.
+    #[must_use]
+    pub fn deployment_for_path(&self, path: &DfsPath) -> u32 {
+        let parent = path.parent().unwrap_or_else(DfsPath::root);
+        self.owner_of_hash(mix64(fnv1a_bytes(parent.as_str().as_bytes())))
+    }
+
+    /// The deployment responsible for an inode, keyed by its **parent
+    /// INode id** (§3.3 variant).
+    #[must_use]
+    pub fn deployment_for_parent_id(&self, parent: InodeId) -> u32 {
+        self.owner_of_hash(mix64(parent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> DfsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = Partitioner::new(16);
+        let b = Partitioner::new(16);
+        for i in 0..100 {
+            let path = p(&format!("/d{i}/f"));
+            assert_eq!(a.deployment_for_path(&path), b.deployment_for_path(&path));
+            assert_eq!(a.deployment_for_parent_id(i), b.deployment_for_parent_id(i));
+        }
+    }
+
+    #[test]
+    fn siblings_share_a_deployment() {
+        let ring = Partitioner::new(8);
+        let d1 = ring.deployment_for_path(&p("/data/a.txt"));
+        let d2 = ring.deployment_for_path(&p("/data/b.txt"));
+        assert_eq!(d1, d2, "children of one directory must co-locate");
+    }
+
+    #[test]
+    fn partitions_are_reasonably_balanced() {
+        let ring = Partitioner::new(10);
+        let mut counts = vec![0u32; 10];
+        for i in 0..10_000u64 {
+            counts[ring.deployment_for_parent_id(i) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 0, "unused deployment");
+        assert!(
+            f64::from(*max) / f64::from(*min) < 4.0,
+            "imbalance {counts:?}"
+        );
+    }
+
+    #[test]
+    fn all_deployments_reachable() {
+        let ring = Partitioner::new(32);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..50_000u64 {
+            seen.insert(ring.deployment_for_parent_id(i));
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn consistency_under_growth() {
+        // Consistent hashing: growing the ring moves only a fraction of
+        // keys.
+        let small = Partitioner::new(8);
+        let large = Partitioner::new(9);
+        let moved = (0..10_000u64)
+            .filter(|i| {
+                let a = small.deployment_for_parent_id(*i);
+                let b = large.deployment_for_parent_id(*i);
+                a != b && b != 8
+            })
+            .count();
+        // Keys that changed owner without moving to the new deployment
+        // should be rare (only ring-boundary shifts).
+        assert!(moved < 1500, "moved {moved} of 10000");
+    }
+
+    #[test]
+    fn path_keys_spread_over_all_deployments() {
+        // Regression: FNV without finalization clustered similar paths
+        // ("/dir00000", "/dir00001", …) onto one or two deployments.
+        let ring = Partitioner::new(10);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..128 {
+            let dir: DfsPath = format!("/dir{i:05}").parse().unwrap();
+            let file = dir.join("file00000").unwrap();
+            seen.insert(ring.deployment_for_path(&file));
+        }
+        assert_eq!(seen.len(), 10, "path hashing uses {} of 10 deployments", seen.len());
+    }
+
+    #[test]
+    fn root_items_are_keyed_by_root() {
+        let ring = Partitioner::new(4);
+        let d1 = ring.deployment_for_path(&p("/top1"));
+        let d2 = ring.deployment_for_path(&p("/top2"));
+        assert_eq!(d1, d2);
+    }
+}

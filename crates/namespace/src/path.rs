@@ -1,0 +1,229 @@
+//! Validated DFS paths.
+
+use std::error::Error;
+use std::fmt;
+
+/// A validated, absolute, normalized DFS path (e.g. `/dir/file.txt`).
+///
+/// Invariants: starts with `/`, contains no empty, `.` or `..` components,
+/// and has no trailing slash (except the root itself).
+///
+/// # Examples
+///
+/// ```
+/// use lambda_namespace::DfsPath;
+///
+/// let p: DfsPath = "/data/logs/app.log".parse()?;
+/// assert_eq!(p.components().collect::<Vec<_>>(), vec!["data", "logs", "app.log"]);
+/// assert_eq!(p.parent().unwrap().as_str(), "/data/logs");
+/// assert_eq!(p.file_name(), Some("app.log"));
+/// assert_eq!(p.depth(), 3);
+/// # Ok::<(), lambda_namespace::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DfsPath(String);
+
+/// Error returned when parsing an invalid path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DFS path {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl Error for ParsePathError {}
+
+impl DfsPath {
+    /// The filesystem root, `/`.
+    #[must_use]
+    pub fn root() -> DfsPath {
+        DfsPath("/".to_string())
+    }
+
+    /// Whether this is the root path.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    /// The path as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The path components, in order (empty for the root).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of components (0 for the root).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// The final component, or `None` for the root.
+    #[must_use]
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    /// The parent path, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<DfsPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(DfsPath::root()),
+            Some(idx) => Some(DfsPath(self.0[..idx].to_string())),
+            None => None,
+        }
+    }
+
+    /// Appends a single component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePathError`] if `name` is empty or contains `/`.
+    pub fn join(&self, name: &str) -> Result<DfsPath, ParsePathError> {
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(ParsePathError { input: name.to_string(), reason: "invalid component" });
+        }
+        if self.is_root() {
+            Ok(DfsPath(format!("/{name}")))
+        } else {
+            Ok(DfsPath(format!("{}/{name}", self.0)))
+        }
+    }
+
+    /// All ancestor paths from the root down to the parent (exclusive of
+    /// `self`). Empty for the root.
+    #[must_use]
+    pub fn ancestors(&self) -> Vec<DfsPath> {
+        let mut out = Vec::new();
+        let mut current = self.parent();
+        while let Some(p) = current {
+            current = p.parent();
+            out.push(p);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Whether `self` is `other` or a descendant of `other`.
+    #[must_use]
+    pub fn starts_with(&self, other: &DfsPath) -> bool {
+        if other.is_root() {
+            return true;
+        }
+        self.0 == other.0
+            || (self.0.starts_with(&other.0) && self.0.as_bytes().get(other.0.len()) == Some(&b'/'))
+    }
+}
+
+impl std::str::FromStr for DfsPath {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if !s.starts_with('/') {
+            return Err(ParsePathError { input: s.to_string(), reason: "must be absolute" });
+        }
+        if s == "/" {
+            return Ok(DfsPath::root());
+        }
+        if s.ends_with('/') {
+            return Err(ParsePathError { input: s.to_string(), reason: "trailing slash" });
+        }
+        for comp in s[1..].split('/') {
+            if comp.is_empty() {
+                return Err(ParsePathError { input: s.to_string(), reason: "empty component" });
+            }
+            if comp == "." || comp == ".." {
+                return Err(ParsePathError {
+                    input: s.to_string(),
+                    reason: "relative components not allowed",
+                });
+            }
+        }
+        Ok(DfsPath(s.to_string()))
+    }
+}
+
+impl fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for DfsPath {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> DfsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parses_valid_paths() {
+        assert!(p("/").is_root());
+        assert_eq!(p("/a/b").depth(), 2);
+        assert_eq!(p("/a").parent(), Some(DfsPath::root()));
+        assert_eq!(p("/a/b/c").parent(), Some(p("/a/b")));
+    }
+
+    #[test]
+    fn rejects_invalid_paths() {
+        for bad in ["", "relative", "/a/", "//", "/a//b", "/a/./b", "/a/../b"] {
+            assert!(bad.parse::<DfsPath>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ancestors_run_root_to_parent() {
+        let path = p("/a/b/c");
+        let anc: Vec<String> = path.ancestors().iter().map(ToString::to_string).collect();
+        assert_eq!(anc, vec!["/", "/a", "/a/b"]);
+        assert!(p("/").ancestors().is_empty());
+    }
+
+    #[test]
+    fn join_builds_children() {
+        assert_eq!(DfsPath::root().join("a").unwrap(), p("/a"));
+        assert_eq!(p("/a").join("b").unwrap(), p("/a/b"));
+        assert!(p("/a").join("b/c").is_err());
+        assert!(p("/a").join("").is_err());
+        assert!(p("/a").join("..").is_err());
+    }
+
+    #[test]
+    fn starts_with_respects_component_boundaries() {
+        assert!(p("/a/b").starts_with(&p("/a")));
+        assert!(p("/a/b").starts_with(&p("/a/b")));
+        assert!(p("/a/b").starts_with(&DfsPath::root()));
+        assert!(!p("/ab").starts_with(&p("/a")));
+        assert!(!p("/a").starts_with(&p("/a/b")));
+    }
+
+    #[test]
+    fn file_name_of_root_is_none() {
+        assert_eq!(p("/").file_name(), None);
+        assert_eq!(p("/x/y").file_name(), Some("y"));
+    }
+}

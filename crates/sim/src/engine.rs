@@ -1,0 +1,341 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] owns a virtual clock and a priority queue of pending events. An
+//! event is a one-shot closure that receives `&mut Sim` when it fires and may
+//! schedule further events. Simulation components live outside the engine as
+//! `Rc<RefCell<_>>` handles captured by the closures, which keeps the engine
+//! generic and the whole run single-threaded and deterministic.
+//!
+//! Events scheduled for the same instant fire in scheduling order (FIFO),
+//! which — together with the seeded [`SimRng`] — makes runs reproducible
+//! bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled one-shot action.
+pub type Event = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulation engine: a virtual clock, an event queue,
+/// and the run's random-number generator.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_sim::{Sim, SimDuration, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(0xC0FFEE);
+/// let fired = Rc::new(Cell::new(false));
+/// let flag = Rc::clone(&fired);
+/// sim.schedule(SimDuration::from_millis(10), move |sim| {
+///     assert_eq!(sim.now(), SimTime::from_nanos(10_000_000));
+///     flag.set(true);
+/// });
+/// sim.run();
+/// assert!(fired.get());
+/// ```
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Entry>,
+    next_seq: u64,
+    rng: SimRng,
+    executed: u64,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates an engine with an empty queue, the clock at
+    /// [`SimTime::ZERO`], and an RNG seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            rng: SimRng::new(seed),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run's random-number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// Instants in the past are clamped to "now" (the event fires next, in
+    /// FIFO order with other events at the current instant).
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry { at, seq, event: Box::new(event) });
+    }
+
+    /// Schedules `event` to fire `after` from now.
+    pub fn schedule<F>(&mut self, after: SimDuration, event: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.schedule_at(self.now + after, event);
+    }
+
+    /// Executes the next pending event, advancing the clock to its instant.
+    ///
+    /// Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(entry) => {
+                debug_assert!(entry.at >= self.now, "event queue time went backwards");
+                self.now = entry.at;
+                self.executed += 1;
+                (entry.event)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs all events scheduled at or before `deadline`, then advances the
+    /// clock to `deadline` (even if the queue drained earlier).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(entry) = self.queue.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+}
+
+/// Schedules a closure to fire every `period`, starting at `first`, until it
+/// returns `false` or the simulation ends.
+///
+/// This is the idiom for heartbeats, block reports, and workload-rate
+/// resampling.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_sim::{every, Sim, SimDuration, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(1);
+/// let ticks = Rc::new(Cell::new(0u32));
+/// let counter = Rc::clone(&ticks);
+/// every(&mut sim, SimTime::ZERO, SimDuration::from_secs(1), move |_sim| {
+///     counter.set(counter.get() + 1);
+///     counter.get() < 5
+/// });
+/// sim.run();
+/// assert_eq!(ticks.get(), 5);
+/// ```
+pub fn every<F>(sim: &mut Sim, first: SimTime, period: SimDuration, tick: F)
+where
+    F: FnMut(&mut Sim) -> bool + 'static,
+{
+    assert!(!period.is_zero(), "periodic event with zero period would not advance time");
+    fn arm<F>(sim: &mut Sim, at: SimTime, period: SimDuration, mut tick: F)
+    where
+        F: FnMut(&mut Sim) -> bool + 'static,
+    {
+        sim.schedule_at(at, move |sim| {
+            if tick(sim) {
+                let next = sim.now() + period;
+                arm(sim, next, period, tick);
+            }
+        });
+    }
+    arm(sim, first, period, tick);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (delay_ms, label) in [(30u64, "c"), (10, "a"), (20, "b")] {
+            let log = Rc::clone(&log);
+            sim.schedule(SimDuration::from_millis(delay_ms), move |_| {
+                log.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_events_fire_fifo() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let log = Rc::clone(&log);
+            sim.schedule(SimDuration::from_millis(5), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = Rc::clone(&hits);
+        sim.schedule(SimDuration::from_secs(1), move |sim| {
+            *h.borrow_mut() += 1;
+            let h2 = Rc::clone(&h);
+            sim.schedule(SimDuration::from_secs(1), move |sim| {
+                assert_eq!(sim.now(), SimTime::from_secs(2));
+                *h2.borrow_mut() += 1;
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = Rc::clone(&order);
+        sim.schedule(SimDuration::from_secs(1), move |sim| {
+            let o2 = Rc::clone(&o);
+            sim.schedule_at(SimTime::ZERO, move |sim| {
+                assert_eq!(sim.now(), SimTime::from_secs(1));
+                o2.borrow_mut().push("clamped");
+            });
+            o.borrow_mut().push("outer");
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["outer", "clamped"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Sim::new(0);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for s in [1u64, 2, 3, 4] {
+            let fired = Rc::clone(&fired);
+            sim.schedule(SimDuration::from_secs(s), move |_| fired.borrow_mut().push(s));
+        }
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(*fired.borrow(), vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.events_pending(), 2);
+        // Queue drains before a later deadline: the clock still lands on it.
+        sim.run_until(SimTime::from_secs(100));
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn periodic_events_tick_until_cancelled() {
+        let mut sim = Sim::new(0);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = Rc::clone(&times);
+        every(&mut sim, SimTime::from_secs(1), SimDuration::from_secs(2), move |sim| {
+            t.borrow_mut().push(sim.now().as_secs_f64() as u64);
+            t.borrow().len() < 3
+        });
+        sim.run();
+        assert_eq!(*times.borrow(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        fn run_once() -> Vec<u64> {
+            let mut sim = Sim::new(777);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..100 {
+                let delay = SimDuration::from_nanos(sim.rng().gen_range(0..1_000_000));
+                let log = Rc::clone(&log);
+                sim.schedule(delay, move |sim| log.borrow_mut().push(sim.now().as_nanos()));
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,395 @@
+//! Measurement instruments: latency recorders, per-second timelines, and
+//! gauge series.
+//!
+//! These are the instruments the experiment harness reads to regenerate the
+//! paper's figures: throughput-over-time curves (Fig. 8, 15), latency CDFs
+//! (Fig. 10), active-NameNode counts (Fig. 8's secondary axis), and the
+//! per-second cost series behind Fig. 8(c) and Fig. 9.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Records individual latency samples and answers distribution queries.
+///
+/// Samples are stored exactly (8 bytes each); percentile queries sort a
+/// cached copy lazily.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_sim::{LatencyRecorder, SimDuration};
+///
+/// let mut rec = LatencyRecorder::new();
+/// for ms in [1u64, 2, 3, 4, 100] {
+///     rec.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(rec.count(), 5);
+/// assert_eq!(rec.mean().as_millis_f64(), 22.0);
+/// assert_eq!(rec.percentile(0.5).as_millis_f64(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>, // seconds
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.push(latency.as_secs_f64());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: f64 = self.samples.iter().sum();
+        SimDuration::from_secs_f64(total / self.samples.len() as f64)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.total_cmp(b));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`), by nearest-rank on the sorted
+    /// samples; zero when empty.
+    #[must_use]
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        SimDuration::from_secs_f64(self.samples[rank - 1])
+    }
+
+    /// Maximum sample, or zero when empty.
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.samples.iter().copied().fold(0.0, f64::max))
+    }
+
+    /// An empirical CDF with `points` evenly spaced probability levels:
+    /// `(latency, cumulative_fraction)` pairs suitable for plotting Fig. 10.
+    #[must_use]
+    pub fn cdf(&mut self, points: usize) -> Vec<(SimDuration, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let rank = ((frac * n as f64).ceil() as usize).clamp(1, n);
+                (SimDuration::from_secs_f64(self.samples[rank - 1]), frac)
+            })
+            .collect()
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A per-bucket accumulator over simulated time (e.g. ops completed per
+/// second, dollars charged per second).
+///
+/// # Examples
+///
+/// ```
+/// use lambda_sim::{SimDuration, SimTime, Timeline};
+///
+/// let mut ops = Timeline::new(SimDuration::from_secs(1));
+/// ops.add(SimTime::from_secs(0) + SimDuration::from_millis(300), 1.0);
+/// ops.add(SimTime::from_secs(2), 5.0);
+/// assert_eq!(ops.buckets(), vec![1.0, 0.0, 5.0]);
+/// assert_eq!(ops.total(), 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    bucket: SimDuration,
+    values: Vec<f64>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    #[must_use]
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "timeline bucket must be positive");
+        Timeline { bucket, values: Vec::new() }
+    }
+
+    /// Bucket width.
+    #[must_use]
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Adds `value` to the bucket containing instant `at`.
+    pub fn add(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_nanos() / self.bucket.as_nanos()) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, 0.0);
+        }
+        self.values[idx] += value;
+    }
+
+    /// The accumulated buckets, from `t = 0`.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<f64> {
+        self.values.clone()
+    }
+
+    /// Borrowed view of the buckets.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sum over all buckets.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Running (prefix-sum) series: cumulative totals at each bucket end.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .scan(0.0, |acc, v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    /// Maximum bucket value, or zero when empty.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean bucket value over the populated range, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.total() / self.values.len() as f64
+        }
+    }
+
+    /// Peak value of the moving sum over `window` consecutive buckets
+    /// (peak *sustained* rate; zero when fewer than `window` buckets exist).
+    #[must_use]
+    pub fn peak_sustained(&self, window: usize) -> f64 {
+        if window == 0 || self.values.len() < window {
+            return 0.0;
+        }
+        let mut sum: f64 = self.values[..window].iter().sum();
+        let mut best = sum;
+        for i in window..self.values.len() {
+            sum += self.values[i] - self.values[i - window];
+            best = best.max(sum);
+        }
+        best / window as f64
+    }
+}
+
+/// A sampled gauge: `(time, value)` observations of an instantaneous
+/// quantity such as the number of active NameNodes.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl GaugeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observation. Observations must be appended in
+    /// non-decreasing time order (the simulator guarantees this naturally).
+    pub fn observe(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|(t, _)| *t <= at),
+            "gauge observed out of order"
+        );
+        self.points.push((at, value));
+    }
+
+    /// All observations.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The most recent value at or before `at` (step interpolation), or
+    /// `None` before the first observation.
+    #[must_use]
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        let idx = self.points.partition_point(|(t, _)| *t <= at);
+        idx.checked_sub(1).map(|i| self.points[i].1)
+    }
+
+    /// Maximum observed value, or zero when empty.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Time-weighted average over the observed span, or zero when fewer than
+    /// two observations exist.
+    #[must_use]
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |(_, v)| *v);
+        }
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            let (t0, v0) = pair[0];
+            let (t1, _) = pair[1];
+            area += v0 * (t1 - t0).as_secs_f64();
+        }
+        let span = (self.points[self.points.len() - 1].0 - self.points[0].0).as_secs_f64();
+        if span == 0.0 {
+            self.points[0].1
+        } else {
+            area / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut rec = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(rec.percentile(0.50).as_millis_f64(), 50.0);
+        assert_eq!(rec.percentile(0.99).as_millis_f64(), 99.0);
+        assert_eq!(rec.percentile(1.0).as_millis_f64(), 100.0);
+        assert_eq!(rec.percentile(0.0).as_millis_f64(), 1.0);
+        assert_eq!(rec.max().as_millis_f64(), 100.0);
+    }
+
+    #[test]
+    fn empty_recorder_answers_zero() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.mean(), SimDuration::ZERO);
+        assert_eq!(rec.percentile(0.5), SimDuration::ZERO);
+        assert!(rec.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut rec = LatencyRecorder::new();
+        for ms in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 10] {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        let cdf = rec.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        for pair in cdf.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+        assert_eq!(cdf[9].0.as_millis_f64(), 10.0);
+        assert_eq!(cdf[9].1, 1.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn timeline_buckets_and_cumulative() {
+        let mut t = Timeline::new(SimDuration::from_secs(1));
+        t.add(SimTime::from_nanos(500_000_000), 2.0);
+        t.add(SimTime::from_secs(1), 3.0);
+        t.add(SimTime::from_secs(3), 1.0);
+        assert_eq!(t.buckets(), vec![2.0, 3.0, 0.0, 1.0]);
+        assert_eq!(t.cumulative(), vec![2.0, 5.0, 5.0, 6.0]);
+        assert_eq!(t.peak(), 3.0);
+        assert_eq!(t.mean(), 1.5);
+    }
+
+    #[test]
+    fn peak_sustained_window() {
+        let mut t = Timeline::new(SimDuration::from_secs(1));
+        for (sec, v) in [(0u64, 1.0), (1, 10.0), (2, 10.0), (3, 1.0)] {
+            t.add(SimTime::from_secs(sec), v);
+        }
+        assert_eq!(t.peak_sustained(2), 10.0);
+        assert_eq!(t.peak_sustained(4), 5.5);
+        assert_eq!(t.peak_sustained(0), 0.0);
+        assert_eq!(t.peak_sustained(10), 0.0);
+    }
+
+    #[test]
+    fn gauge_step_interpolation() {
+        let mut g = GaugeSeries::new();
+        g.observe(SimTime::from_secs(1), 10.0);
+        g.observe(SimTime::from_secs(3), 20.0);
+        assert_eq!(g.value_at(SimTime::ZERO), None);
+        assert_eq!(g.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(g.value_at(SimTime::from_secs(2)), Some(10.0));
+        assert_eq!(g.value_at(SimTime::from_secs(5)), Some(20.0));
+        assert_eq!(g.peak(), 20.0);
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean() {
+        let mut g = GaugeSeries::new();
+        g.observe(SimTime::from_secs(0), 0.0);
+        g.observe(SimTime::from_secs(1), 10.0);
+        g.observe(SimTime::from_secs(3), 0.0);
+        // 0 for 1s, then 10 for 2s over a 3s span => 20/3.
+        assert!((g.time_weighted_mean() - 20.0 / 3.0).abs() < 1e-9);
+    }
+}

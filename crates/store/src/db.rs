@@ -1,0 +1,821 @@
+//! The transactional metadata store (MySQL Cluster NDB analog).
+//!
+//! A [`Db`] hosts typed tables sharded (by key hash) across a set of
+//! queueing stations that model NDB data nodes. Operations that touch rows
+//! charge simulated service time on the owning shards, which is what makes
+//! the store a *capacity-limited* resource — the bottleneck behind HopsFS's
+//! throughput ceiling in the paper's Figures 8, 11, and 12.
+//!
+//! ## Concurrency model
+//!
+//! * Strict two-phase locking via [`LockManager`]: locked reads take shared
+//!   locks; every write requires an exclusive lock acquired through
+//!   [`Db::lock`] first. Locks are held until commit/abort.
+//! * To stay deadlock-free, callers acquire lock sets in sorted
+//!   [`LockKey`] order — the same "predefined total ordering" HopsFS uses
+//!   (paper, Appendix D). [`Db::lock`] enforces sortedness of each batch;
+//!   cross-batch ordering is the caller's contract, backed by a lock-wait
+//!   timeout that aborts the victim so a violation degrades to a retry
+//!   rather than a hang.
+//! * Writes apply immediately under their exclusive lock with an undo log;
+//!   abort rolls back. Locked readers can never observe uncommitted state
+//!   because the writer still holds the exclusive lock. (Unlocked
+//!   [`Db::read_committed`]/[`Db::scan`] reads are dirty-read "monitoring"
+//!   reads used only for maintenance paths, as documented there.)
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::ops::RangeBounds;
+use std::rc::Rc;
+
+use lambda_sim::params::StoreParams;
+use lambda_sim::{Sim, SimDuration, Station, StationRef};
+
+use crate::error::{StoreError, StoreResult};
+use crate::key::KeyCodec;
+use crate::lock::{Acquire, LockKey, LockManager, LockMode, WaiterToken};
+use crate::table::{AnyTable, TableHandle, TableId, TypedTable};
+use crate::txn::{TxnId, TxnPhase, TxnState};
+
+/// Cumulative operation counters for a [`Db`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Locked batch reads served.
+    pub locked_reads: u64,
+    /// Read-committed (unlocked) reads served.
+    pub unlocked_reads: u64,
+    /// Range scans served.
+    pub scans: u64,
+    /// Rows written (upserts + removes).
+    pub rows_written: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (including lock-timeout victims).
+    pub aborts: u64,
+    /// Lock acquisitions that timed out.
+    pub lock_timeouts: u64,
+}
+
+/// Continuation receiving the outcome of a lock acquisition.
+type LockCont = Box<dyn FnOnce(&mut Sim, StoreResult<()>)>;
+
+struct PendingSeq {
+    txn: TxnId,
+    keys: Vec<LockKey>,
+    next_idx: usize,
+    mode: LockMode,
+    /// The (key, token) currently queued in the lock manager.
+    current: Option<(LockKey, WaiterToken)>,
+    cont: LockCont,
+}
+
+struct DbInner {
+    tables: Vec<Box<dyn AnyTable>>,
+    locks: LockManager,
+    txns: HashMap<TxnId, TxnState>,
+    next_txn: u64,
+    shards: Vec<StationRef>,
+    params: StoreParams,
+    lock_timeout: SimDuration,
+    pending: HashMap<u64, PendingSeq>,
+    token_to_seq: HashMap<WaiterToken, u64>,
+    next_seq: u64,
+    stats: DbStats,
+}
+
+/// A shared handle to the store. Cloning is cheap and refers to the same
+/// underlying database.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_sim::{params::StoreParams, Sim, SimDuration};
+/// use lambda_store::{Db, LockMode};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(1);
+/// let db = Db::new(&StoreParams::default(), SimDuration::from_secs(5));
+/// let inodes = db.create_table::<u64, String>("inodes");
+///
+/// let txn = db.begin();
+/// let result = Rc::new(RefCell::new(None));
+/// let out = Rc::clone(&result);
+/// let db2 = db.clone();
+/// db.lock(&mut sim, txn, vec![db.lock_key(inodes, &7u64)], LockMode::Exclusive, move |sim, r| {
+///     r.unwrap();
+///     db2.upsert(txn, inodes, 7, "hello".to_string()).unwrap();
+///     let out = Rc::clone(&out);
+///     let db3 = db2.clone();
+///     db2.commit(sim, txn, move |_sim, r| {
+///         r.unwrap();
+///         *out.borrow_mut() = db3.peek(inodes, &7);
+///     });
+/// });
+/// sim.run();
+/// assert_eq!(*result.borrow(), Some("hello".to_string()));
+/// ```
+#[derive(Clone)]
+pub struct Db {
+    inner: Rc<RefCell<DbInner>>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Db")
+            .field("tables", &inner.tables.len())
+            .field("shards", &inner.shards.len())
+            .field("active_txns", &inner.txns.len())
+            .finish()
+    }
+}
+
+/// Status snapshot of a transaction, used internally before fallible calls.
+enum TxnCheck {
+    Ok,
+    Fail(StoreError),
+}
+
+impl Db {
+    /// Creates a store with the capacity model in `params`; lock waits
+    /// longer than `lock_timeout` abort the waiting transaction.
+    #[must_use]
+    pub fn new(params: &StoreParams, lock_timeout: SimDuration) -> Self {
+        let shards = (0..params.shards.max(1))
+            .map(|i| Station::new(format!("ndb-shard-{i}"), params.workers_per_shard.max(1)))
+            .collect();
+        Db {
+            inner: Rc::new(RefCell::new(DbInner {
+                tables: Vec::new(),
+                locks: LockManager::new(),
+                txns: HashMap::new(),
+                next_txn: 0,
+                shards,
+                params: params.clone(),
+                lock_timeout,
+                pending: HashMap::new(),
+                token_to_seq: HashMap::new(),
+                next_seq: 0,
+                stats: DbStats::default(),
+            })),
+        }
+    }
+
+    /// Registers a new, empty table.
+    pub fn create_table<K: KeyCodec, V: Clone + 'static>(
+        &self,
+        name: impl Into<String>,
+    ) -> TableHandle<K, V> {
+        let mut inner = self.inner.borrow_mut();
+        let id = TableId::new(inner.tables.len() as u32);
+        inner.tables.push(Box::new(TypedTable::<K, V>::new(name)));
+        TableHandle::new(id)
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> DbStats {
+        self.inner.borrow().stats
+    }
+
+    /// The shard stations (for utilization reporting).
+    #[must_use]
+    pub fn shards(&self) -> Vec<StationRef> {
+        self.inner.borrow().shards.clone()
+    }
+
+    /// The configured capacity parameters.
+    #[must_use]
+    pub fn params(&self) -> StoreParams {
+        self.inner.borrow().params.clone()
+    }
+
+    /// Number of rows in `table` right now (no capacity charge; test and
+    /// reporting aid).
+    #[must_use]
+    pub fn table_len<K: KeyCodec, V: Clone + 'static>(&self, table: TableHandle<K, V>) -> usize {
+        self.with_table(table, |t| t.rows.len())
+    }
+
+    /// Names and row counts of all tables (reporting aid).
+    #[must_use]
+    pub fn table_inventory(&self) -> Vec<(String, usize)> {
+        let inner = self.inner.borrow();
+        inner.tables.iter().map(|t| (t.name().to_string(), t.len())).collect()
+    }
+
+    /// Rows written so far by an active transaction, if it exists.
+    #[must_use]
+    pub fn txn_write_count(&self, txn: TxnId) -> Option<u32> {
+        self.inner.borrow().txns.get(&txn).map(|s| s.total_writes())
+    }
+
+    /// Builds the canonical lock key for a row.
+    #[must_use]
+    pub fn lock_key<K: KeyCodec, V>(&self, table: TableHandle<K, V>, key: &K) -> LockKey {
+        LockKey { table: table.id(), key: key.encode() }
+    }
+
+    /// Starts a transaction.
+    #[must_use]
+    pub fn begin(&self) -> TxnId {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_txn += 1;
+        let id = TxnId::new(inner.next_txn);
+        inner.txns.insert(id, TxnState::new());
+        id
+    }
+
+    /// Whether `txn` currently holds `key` at `mode` or stronger.
+    #[must_use]
+    pub fn holds(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> bool {
+        self.inner.borrow().locks.holds(txn, key, mode)
+    }
+
+    fn check_txn(inner: &DbInner, txn: TxnId) -> TxnCheck {
+        match inner.txns.get(&txn) {
+            None => TxnCheck::Fail(StoreError::UnknownTxn { txn }),
+            Some(state) if state.phase == TxnPhase::Aborted => {
+                TxnCheck::Fail(StoreError::Aborted { txn })
+            }
+            Some(_) => TxnCheck::Ok,
+        }
+    }
+
+    /// Acquires `keys` (which must be sorted and deduplicated) in `mode`
+    /// for `txn`, then calls `cont`.
+    ///
+    /// `cont` receives `Err(StoreError::LockTimeout)` if the wait exceeded
+    /// the store's lock timeout, in which case the transaction has been
+    /// aborted (all its locks released, all its writes undone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is not sorted/deduplicated (lock-order discipline).
+    pub fn lock<F>(&self, sim: &mut Sim, txn: TxnId, keys: Vec<LockKey>, mode: LockMode, cont: F)
+    where
+        F: FnOnce(&mut Sim, StoreResult<()>) + 'static,
+    {
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "lock keys must be sorted and unique");
+        let check = Self::check_txn(&self.inner.borrow(), txn);
+        if let TxnCheck::Fail(e) = check {
+            sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Err(e)));
+            return;
+        }
+        let seq_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_seq += 1;
+            let seq_id = inner.next_seq;
+            inner.pending.insert(
+                seq_id,
+                PendingSeq { txn, keys, next_idx: 0, mode, current: None, cont: Box::new(cont) },
+            );
+            seq_id
+        };
+        self.drive_seq(sim, seq_id);
+        // Arm the timeout for the whole sequence; it is a no-op if the
+        // sequence finished by then.
+        if self.inner.borrow().pending.contains_key(&seq_id) {
+            let timeout = self.inner.borrow().lock_timeout;
+            let db = self.clone();
+            sim.schedule(timeout, move |sim| db.timeout_seq(sim, seq_id));
+        }
+    }
+
+    /// Advances a pending acquisition sequence as far as possible.
+    fn drive_seq(&self, sim: &mut Sim, seq_id: u64) {
+        let finished = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(mut seq) = inner.pending.remove(&seq_id) else { return };
+            seq.current = None;
+            let mut waiting = false;
+            while seq.next_idx < seq.keys.len() {
+                let key = seq.keys[seq.next_idx].clone();
+                match inner.locks.acquire(seq.txn, &key, seq.mode) {
+                    (Acquire::Granted, _) => seq.next_idx += 1,
+                    (Acquire::Wait, token) => {
+                        seq.current = Some((key, token));
+                        inner.token_to_seq.insert(token, seq_id);
+                        waiting = true;
+                        break;
+                    }
+                }
+            }
+            if waiting {
+                inner.pending.insert(seq_id, seq);
+                None
+            } else {
+                Some(seq.cont)
+            }
+        };
+        if let Some(cont) = finished {
+            sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Ok(())));
+        }
+    }
+
+    /// Called when a queued waiter token is granted.
+    fn on_grant(&self, sim: &mut Sim, token: WaiterToken) {
+        let seq_id = self.inner.borrow_mut().token_to_seq.remove(&token);
+        let Some(seq_id) = seq_id else {
+            // The sequence was cancelled (timeout) after this grant was
+            // decided; the abort path already released everything.
+            return;
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(seq) = inner.pending.get_mut(&seq_id) {
+                seq.next_idx += 1;
+                seq.current = None;
+            }
+        }
+        self.drive_seq(sim, seq_id);
+    }
+
+    /// Fires when a lock sequence's timeout elapses.
+    fn timeout_seq(&self, sim: &mut Sim, seq_id: u64) {
+        let victim = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(seq) = inner.pending.remove(&seq_id) else { return };
+            inner.stats.lock_timeouts += 1;
+            let mut granted = Vec::new();
+            if let Some((key, token)) = &seq.current {
+                inner.token_to_seq.remove(token);
+                inner.locks.cancel_waiter(key, *token, &mut granted);
+            }
+            // Abort the victim: undo its writes, release all its locks.
+            Self::abort_in(&mut inner, seq.txn, &mut granted);
+            (seq.txn, seq.cont, granted)
+        };
+        let (txn, cont, granted) = victim;
+        self.dispatch_grants(sim, granted);
+        sim.schedule(SimDuration::ZERO, move |sim| {
+            cont(sim, Err(StoreError::LockTimeout { txn }));
+        });
+    }
+
+    fn dispatch_grants(&self, sim: &mut Sim, granted: Vec<WaiterToken>) {
+        for token in granted {
+            let db = self.clone();
+            sim.schedule(SimDuration::ZERO, move |sim| db.on_grant(sim, token));
+        }
+    }
+
+    /// Rolls back and deregisters `txn`; newly grantable waiters are
+    /// appended to `granted`.
+    fn abort_in(inner: &mut DbInner, txn: TxnId, granted: &mut Vec<WaiterToken>) {
+        if let Some(mut state) = inner.txns.remove(&txn) {
+            inner.stats.aborts += 1;
+            for undo in state.undo.drain(..).rev() {
+                undo(&mut inner.tables);
+            }
+        }
+        granted.extend(inner.locks.release_all(txn));
+    }
+
+    /// Aborts `txn` immediately: undoes its writes and releases its locks.
+    ///
+    /// Safe to call for an already-finished transaction (no-op).
+    pub fn abort(&self, sim: &mut Sim, txn: TxnId) {
+        let granted = {
+            let mut inner = self.inner.borrow_mut();
+            let mut granted = Vec::new();
+            Self::abort_in(&mut inner, txn, &mut granted);
+            granted
+        };
+        self.dispatch_grants(sim, granted);
+    }
+
+    fn with_table<K: KeyCodec, V: Clone + 'static, R>(
+        &self,
+        table: TableHandle<K, V>,
+        f: impl FnOnce(&TypedTable<K, V>) -> R,
+    ) -> R {
+        let inner = self.inner.borrow();
+        let t = inner.tables[table.id().raw() as usize]
+            .as_any()
+            .downcast_ref::<TypedTable<K, V>>()
+            .expect("table handle type mismatch");
+        f(t)
+    }
+
+    /// Inserts a row with no transaction, no locks, and no capacity
+    /// charge.
+    ///
+    /// This is **pre-run bulk loading only** — the evaluation pre-creates
+    /// directory trees of up to 2^20 files (Table 3) that would be
+    /// pointless to simulate writing. Protocol code paths must use
+    /// [`Db::upsert`] inside a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction is active (loading must happen before the
+    /// workload starts).
+    pub fn bootstrap_insert<K, V>(&self, table: TableHandle<K, V>, key: K, value: V)
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.txns.is_empty(),
+            "bootstrap_insert is only allowed before any transaction starts"
+        );
+        let t = inner.tables[table.id().raw() as usize]
+            .as_any_mut()
+            .downcast_mut::<TypedTable<K, V>>()
+            .expect("table handle type mismatch");
+        t.insert(key, value);
+    }
+
+    /// Reads a row with **no** lock and **no** capacity charge. This is the
+    /// test/reporting peephole; protocol code paths must use
+    /// [`Db::read_locked`] or [`Db::read_committed`].
+    #[must_use]
+    pub fn peek<K: KeyCodec, V: Clone + 'static>(
+        &self,
+        table: TableHandle<K, V>,
+        key: &K,
+    ) -> Option<V> {
+        self.with_table(table, |t| t.get(key).cloned())
+    }
+
+    /// Scans a range with no lock and no capacity charge (test/reporting
+    /// peephole).
+    #[must_use]
+    pub fn peek_range<K: KeyCodec, V: Clone + 'static, R: RangeBounds<K>>(
+        &self,
+        table: TableHandle<K, V>,
+        range: R,
+    ) -> Vec<(K, V)> {
+        self.with_table(table, |t| t.scan(range))
+    }
+
+    fn shard_of(shards: usize, enc: &[u8]) -> usize {
+        // FNV-1a over the encoded key.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in enc {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % shards as u64) as usize
+    }
+
+    /// Submits per-shard jobs and calls `done` when the slowest finishes.
+    fn join_jobs<F>(sim: &mut Sim, jobs: Vec<(StationRef, SimDuration)>, done: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        if jobs.is_empty() {
+            sim.schedule(SimDuration::ZERO, done);
+            return;
+        }
+        let remaining = Rc::new(Cell::new(jobs.len()));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for (station, service) in jobs {
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            Station::submit(&station, sim, service, move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(done) = done.borrow_mut().take() {
+                        done(sim);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Charges one batched read across the shards owning `enc_keys`, then
+    /// calls `done`.
+    fn charge_batch_read<F>(&self, sim: &mut Sim, enc_keys: &[Vec<u8>], done: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let (stations, params) = {
+            let inner = self.inner.borrow();
+            (inner.shards.clone(), inner.params.clone())
+        };
+        let mut per_shard: HashMap<usize, u32> = HashMap::new();
+        for enc in enc_keys {
+            *per_shard.entry(Self::shard_of(stations.len(), enc)).or_default() += 1;
+        }
+        let mut shard_ids: Vec<usize> = per_shard.keys().copied().collect();
+        shard_ids.sort_unstable();
+        let jobs = shard_ids
+            .into_iter()
+            .map(|s| {
+                let rows = per_shard[&s];
+                let service = sim.rng().sample_duration(&params.batch_read)
+                    + sim.rng().sample_duration(&params.batch_row_extra)
+                        * u64::from(rows.saturating_sub(1));
+                (Rc::clone(&stations[s]), service)
+            })
+            .collect();
+        Self::join_jobs(sim, jobs, done);
+    }
+
+    /// Charges the *quiesce* cost of taking-and-releasing write locks on
+    /// `rows` rows, spread evenly over all shards, then calls `done`.
+    ///
+    /// This is the capacity model for Phase 2 of the subtree protocol
+    /// (Appendix D): every INode in the subtree is write-locked and
+    /// released in a total order, which costs a lock round trip per row
+    /// without modifying anything.
+    pub fn charge_quiesce<F>(&self, sim: &mut Sim, rows: u64, done: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let (stations, params) = {
+            let inner = self.inner.borrow();
+            (inner.shards.clone(), inner.params.clone())
+        };
+        if rows == 0 {
+            sim.schedule(SimDuration::ZERO, done);
+            return;
+        }
+        let per_shard = rows.div_ceil(stations.len() as u64);
+        let jobs = stations
+            .iter()
+            .map(|station| {
+                let service = sim.rng().sample_duration(&params.lock_round) * per_shard;
+                (Rc::clone(station), service)
+            })
+            .collect();
+        Self::join_jobs(sim, jobs, done);
+    }
+
+    /// Acquires `mode` locks on `keys` (sorted and deduplicated
+    /// internally), charges one batched read, and delivers the row values.
+    ///
+    /// The values are read *after* the locks are held, so the batch is a
+    /// consistent snapshot under 2PL. On lock timeout the transaction is
+    /// aborted and `cont` receives the error. Duplicate keys are permitted
+    /// and each position of `keys` gets its value in order.
+    pub fn read_locked<K, V, F>(
+        &self,
+        sim: &mut Sim,
+        txn: TxnId,
+        table: TableHandle<K, V>,
+        keys: Vec<K>,
+        mode: LockMode,
+        cont: F,
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+        F: FnOnce(&mut Sim, StoreResult<Vec<Option<V>>>) + 'static,
+    {
+        self.inner.borrow_mut().stats.locked_reads += 1;
+        let mut lock_keys: Vec<LockKey> = keys.iter().map(|k| self.lock_key(table, k)).collect();
+        lock_keys.sort();
+        lock_keys.dedup();
+        let enc: Vec<Vec<u8>> = lock_keys.iter().map(|lk| lk.key.clone()).collect();
+        let db = self.clone();
+        self.lock(sim, txn, lock_keys, mode, move |sim, res| match res {
+            Err(e) => cont(sim, Err(e)),
+            Ok(()) => {
+                let db2 = db.clone();
+                db.charge_batch_read(sim, &enc, move |sim| {
+                    let values =
+                        db2.with_table(table, |t| keys.iter().map(|k| t.get(k).cloned()).collect());
+                    cont(sim, Ok(values));
+                });
+            }
+        });
+    }
+
+    /// Reads rows **without locks** (read-committed-at-best: a concurrent
+    /// uncommitted write *is* visible). Used only for maintenance paths
+    /// (DataNode reports, liveness polling) where staleness/dirtiness is
+    /// acceptable; protocol-critical reads use [`Db::read_locked`].
+    pub fn read_committed<K, V, F>(
+        &self,
+        sim: &mut Sim,
+        table: TableHandle<K, V>,
+        keys: Vec<K>,
+        cont: F,
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+        F: FnOnce(&mut Sim, Vec<Option<V>>) + 'static,
+    {
+        self.inner.borrow_mut().stats.unlocked_reads += 1;
+        let enc: Vec<Vec<u8>> = keys.iter().map(|k| k.encode()).collect();
+        let db = self.clone();
+        self.charge_batch_read(sim, &enc, move |sim| {
+            let values = db.with_table(table, |t| keys.iter().map(|k| t.get(k).cloned()).collect());
+            cont(sim, values);
+        });
+    }
+
+    /// Range-scans `table` without row locks, charging capacity in
+    /// proportion to the result size (the rows of a range are spread over
+    /// all shards by hash, so every shard pays a share).
+    ///
+    /// Isolation contract: callers serialize scans against writers via a
+    /// coarser lock (e.g. `ls` holds a shared lock on the directory inode
+    /// while writers to that directory hold it exclusively), mirroring
+    /// HopsFS's parent-lock discipline.
+    pub fn scan<K, V, R, F>(&self, sim: &mut Sim, table: TableHandle<K, V>, range: R, cont: F)
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+        R: RangeBounds<K> + 'static,
+        F: FnOnce(&mut Sim, Vec<(K, V)>) + 'static,
+    {
+        self.inner.borrow_mut().stats.scans += 1;
+        let n = self.with_table(table, |t| {
+            t.count_range((range.start_bound().cloned(), range.end_bound().cloned()))
+        });
+        let (stations, params) = {
+            let inner = self.inner.borrow();
+            (inner.shards.clone(), inner.params.clone())
+        };
+        let per_shard_rows = (n as u64).div_ceil(stations.len() as u64);
+        let jobs = stations
+            .iter()
+            .map(|station| {
+                let service = sim.rng().sample_duration(&params.batch_read)
+                    + sim.rng().sample_duration(&params.batch_row_extra) * per_shard_rows;
+                (Rc::clone(station), service)
+            })
+            .collect();
+        let db = self.clone();
+        Self::join_jobs(sim, jobs, move |sim| {
+            let rows = db.with_table(table, |t| {
+                t.scan((range.start_bound().cloned(), range.end_bound().cloned()))
+            });
+            cont(sim, rows);
+        });
+    }
+
+    /// Inserts or replaces a row. Requires `txn` to hold the row's
+    /// exclusive lock.
+    ///
+    /// The write applies immediately (protected by the lock) and is undone
+    /// if the transaction aborts. Capacity is charged at commit.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::LockNotHeld`] if the exclusive lock is missing;
+    /// [`StoreError::UnknownTxn`] / [`StoreError::Aborted`] for dead
+    /// transactions.
+    pub fn upsert<K, V>(
+        &self,
+        txn: TxnId,
+        table: TableHandle<K, V>,
+        key: K,
+        value: V,
+    ) -> StoreResult<()>
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let lk = self.lock_key(table, &key);
+        let mut inner = self.inner.borrow_mut();
+        if let TxnCheck::Fail(e) = Self::check_txn(&inner, txn) {
+            return Err(e);
+        }
+        if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
+            return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
+        }
+        let shard = Self::shard_of(inner.shards.len(), &lk.key) as u32;
+        let old = {
+            let t = inner.tables[table.id().raw() as usize]
+                .as_any_mut()
+                .downcast_mut::<TypedTable<K, V>>()
+                .expect("table handle type mismatch");
+            t.insert(key.clone(), value)
+        };
+        inner.stats.rows_written += 1;
+        let state = inner.txns.get_mut(&txn).expect("checked above");
+        *state.writes_per_shard.entry(shard).or_default() += 1;
+        state.undo.push(Box::new(move |tables| {
+            let t = tables[table.id().raw() as usize]
+                .as_any_mut()
+                .downcast_mut::<TypedTable<K, V>>()
+                .expect("table handle type mismatch");
+            match old {
+                Some(old) => {
+                    t.insert(key, old);
+                }
+                None => {
+                    t.remove(&key);
+                }
+            }
+        }));
+        Ok(())
+    }
+
+    /// Deletes a row, returning the previous value. Requires the exclusive
+    /// lock, like [`Db::upsert`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Db::upsert`].
+    pub fn remove<K, V>(
+        &self,
+        txn: TxnId,
+        table: TableHandle<K, V>,
+        key: K,
+    ) -> StoreResult<Option<V>>
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let lk = self.lock_key(table, &key);
+        let mut inner = self.inner.borrow_mut();
+        if let TxnCheck::Fail(e) = Self::check_txn(&inner, txn) {
+            return Err(e);
+        }
+        if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
+            return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
+        }
+        let shard = Self::shard_of(inner.shards.len(), &lk.key) as u32;
+        let old = {
+            let t = inner.tables[table.id().raw() as usize]
+                .as_any_mut()
+                .downcast_mut::<TypedTable<K, V>>()
+                .expect("table handle type mismatch");
+            t.remove(&key)
+        };
+        inner.stats.rows_written += 1;
+        let state = inner.txns.get_mut(&txn).expect("checked above");
+        *state.writes_per_shard.entry(shard).or_default() += 1;
+        let undo_old = old.clone();
+        state.undo.push(Box::new(move |tables| {
+            if let Some(v) = undo_old {
+                let t = tables[table.id().raw() as usize]
+                    .as_any_mut()
+                    .downcast_mut::<TypedTable<K, V>>()
+                    .expect("table handle type mismatch");
+                t.insert(key, v);
+            }
+        }));
+        Ok(old)
+    }
+
+    /// Commits `txn`: charges write + commit service on the written shards,
+    /// then discards the undo log and releases all locks.
+    ///
+    /// Read-only transactions release their locks with no capacity charge.
+    pub fn commit<F>(&self, sim: &mut Sim, txn: TxnId, cont: F)
+    where
+        F: FnOnce(&mut Sim, StoreResult<()>) + 'static,
+    {
+        let writes = {
+            let inner = self.inner.borrow();
+            match Self::check_txn(&inner, txn) {
+                TxnCheck::Fail(e) => Err(e),
+                TxnCheck::Ok => {
+                    Ok(inner.txns.get(&txn).expect("checked").writes_per_shard.clone())
+                }
+            }
+        };
+        let writes = match writes {
+            Err(e) => {
+                sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Err(e)));
+                return;
+            }
+            Ok(w) => w,
+        };
+        let db = self.clone();
+        let finish = move |sim: &mut Sim| {
+            let granted = {
+                let mut inner = db.inner.borrow_mut();
+                if inner.txns.remove(&txn).is_some() {
+                    // Undo log dropped with the state: the writes are durable.
+                    inner.stats.commits += 1;
+                }
+                inner.locks.release_all(txn)
+            };
+            db.dispatch_grants(sim, granted);
+            cont(sim, Ok(()));
+        };
+        if writes.is_empty() {
+            finish(sim);
+            return;
+        }
+        // Charge each written shard; commit overhead lands on the
+        // transaction-coordinator shard (chosen per transaction so the
+        // coordination load spreads evenly across data nodes, as NDB's
+        // round-robin transaction coordinators do).
+        let (stations, params) = {
+            let inner = self.inner.borrow();
+            (inner.shards.clone(), inner.params.clone())
+        };
+        let written: Vec<u32> = writes.keys().copied().collect();
+        let coordinator = written[(txn.raw() % written.len() as u64) as usize];
+        let jobs = writes
+            .iter()
+            .map(|(&shard, &rows)| {
+                let mut service = sim.rng().sample_duration(&params.row_write) * u64::from(rows);
+                if shard == coordinator {
+                    service += sim.rng().sample_duration(&params.commit);
+                }
+                (Rc::clone(&stations[shard as usize]), service)
+            })
+            .collect();
+        Self::join_jobs(sim, jobs, finish);
+    }
+}

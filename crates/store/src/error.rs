@@ -1,0 +1,60 @@
+//! Error types for the metadata store.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::txn::TxnId;
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The transaction waited too long for a lock and was aborted.
+    ///
+    /// Callers (NameNodes) treat this like HopsFS treats a deadlock-victim
+    /// abort: release everything and retry the operation.
+    LockTimeout {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+    /// The transaction id is unknown (already committed/aborted, or never
+    /// begun).
+    UnknownTxn {
+        /// The offending transaction id.
+        txn: TxnId,
+    },
+    /// A write was attempted on a row whose exclusive lock is not held by
+    /// the writing transaction — a 2PL discipline violation by the caller.
+    LockNotHeld {
+        /// The offending transaction.
+        txn: TxnId,
+        /// Human-readable description of the row.
+        row: String,
+    },
+    /// The transaction was aborted (e.g. chosen as a timeout victim) and
+    /// can no longer be used.
+    Aborted {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::LockTimeout { txn } => {
+                write!(f, "transaction {txn} timed out waiting for a lock")
+            }
+            StoreError::UnknownTxn { txn } => write!(f, "unknown transaction {txn}"),
+            StoreError::LockNotHeld { txn, row } => {
+                write!(f, "transaction {txn} wrote row {row} without an exclusive lock")
+            }
+            StoreError::Aborted { txn } => write!(f, "transaction {txn} was aborted"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// Convenience result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;

@@ -1,0 +1,375 @@
+//! The lock manager: strict two-phase row locking.
+//!
+//! Both HopsFS and λFS rely on the metadata store's row locks for
+//! correctness — in λFS the coherence protocol's guarantee (§3.5) is that a
+//! writer holds **exclusive** row locks while invalidating caches, so no
+//! other NameNode can read-and-cache the row until the new value commits.
+//!
+//! This module is a pure data structure: it decides grants and returns the
+//! tokens of waiters that become runnable; the [`Db`](crate::Db) layer maps
+//! tokens back to scheduled continuations.
+//!
+//! Grant policy: readers share; writers are exclusive; queued writers block
+//! later readers (no writer starvation); lock requests are re-entrant; a
+//! sole shared holder may upgrade to exclusive.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::table::TableId;
+use crate::txn::TxnId;
+
+/// Lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockMode {
+    /// Shared (read) lock: compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock: compatible with nothing.
+    Exclusive,
+}
+
+/// The canonical identity of a lockable row: table plus encoded key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockKey {
+    /// Owning table.
+    pub table: TableId,
+    /// Order-preserving encoded primary key.
+    pub key: Vec<u8>,
+}
+
+impl fmt::Display for LockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{:02x?}]", self.table, self.key)
+    }
+}
+
+/// Opaque identity of a queued acquisition, used to resume or cancel it.
+pub type WaiterToken = u64;
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The lock is held by `txn` on return.
+    Granted,
+    /// The request was queued; the token will be reported by a later
+    /// [`LockManager::release_all`].
+    Wait,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+    token: WaiterToken,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders. Invariant: either any number of `Shared` entries or
+    /// exactly one `Exclusive` entry.
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl LockState {
+    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+    }
+
+    /// Compatibility with the current holders only (ignores the queue).
+    /// This is the test for the waiter at the *front* of the queue.
+    fn compatible_with_holders(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Exclusive => {
+                self.holders.is_empty() || (self.holders.len() == 1 && self.holders[0].0 == txn)
+            }
+            LockMode::Shared => self.holders.iter().all(|(_, m)| *m == LockMode::Shared),
+        }
+    }
+
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Exclusive => {
+                self.holders.is_empty()
+                    || (self.holders.len() == 1 && self.holders[0].0 == txn)
+            }
+            LockMode::Shared => {
+                let no_x_holder =
+                    self.holders.iter().all(|(_, m)| *m == LockMode::Shared);
+                // Don't starve queued writers — unless this txn already
+                // holds the lock (re-entrancy must not self-deadlock).
+                let no_queued_writer = self
+                    .waiters
+                    .iter()
+                    .all(|w| w.mode != LockMode::Exclusive)
+                    || self.holder_mode(txn).is_some();
+                no_x_holder && no_queued_writer
+            }
+        }
+    }
+
+    fn grant(&mut self, txn: TxnId, mode: LockMode) {
+        match self.holders.iter_mut().find(|(t, _)| *t == txn) {
+            Some(entry) => entry.1 = entry.1.max(mode),
+            None => self.holders.push((txn, mode)),
+        }
+    }
+}
+
+/// Tracks all row locks and waiter queues.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: HashMap<LockKey, LockState>,
+    held_by: HashMap<TxnId, Vec<LockKey>>,
+    next_token: WaiterToken,
+}
+
+impl LockManager {
+    /// Creates an empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `txn` holds `key` with at least `mode` strength.
+    #[must_use]
+    pub fn holds(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> bool {
+        self.locks
+            .get(key)
+            .and_then(|s| s.holder_mode(txn))
+            .is_some_and(|held| held >= mode)
+    }
+
+    /// Number of rows with at least one holder or waiter (diagnostics).
+    #[must_use]
+    pub fn active_rows(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Attempts to acquire `key` in `mode` for `txn`.
+    ///
+    /// Re-entrant: if `txn` already holds the lock at `mode` or stronger,
+    /// the call is a no-op returning [`Acquire::Granted`]. A sole shared
+    /// holder requesting exclusive is upgraded in place; a non-sole holder
+    /// queues an upgrade waiter at the *front* of the queue.
+    pub fn acquire(&mut self, txn: TxnId, key: &LockKey, mode: LockMode) -> (Acquire, WaiterToken) {
+        let state = self.locks.entry(key.clone()).or_default();
+        if state.holder_mode(txn).is_some_and(|held| held >= mode) {
+            return (Acquire::Granted, 0);
+        }
+        if state.grantable(txn, mode) {
+            let newly = state.holder_mode(txn).is_none();
+            state.grant(txn, mode);
+            if newly {
+                self.held_by.entry(txn).or_default().push(key.clone());
+            }
+            (Acquire::Granted, 0)
+        } else {
+            self.next_token += 1;
+            let token = self.next_token;
+            let waiter = Waiter { txn, mode, token };
+            if state.holder_mode(txn).is_some() {
+                // Upgrade request: jump the queue so a sole-holder upgrade
+                // resolves as soon as co-holders drain.
+                state.waiters.push_front(waiter);
+            } else {
+                state.waiters.push_back(waiter);
+            }
+            (Acquire::Wait, token)
+        }
+    }
+
+    /// Removes a queued waiter (e.g. its transaction timed out). Returns
+    /// `true` if the token was found; grants that become possible are
+    /// reported like a release.
+    pub fn cancel_waiter(&mut self, key: &LockKey, token: WaiterToken, granted: &mut Vec<WaiterToken>) -> bool {
+        let Some(state) = self.locks.get_mut(key) else { return false };
+        let before = state.waiters.len();
+        state.waiters.retain(|w| w.token != token);
+        let removed = state.waiters.len() != before;
+        if removed {
+            Self::pump(state, &mut self.held_by, key, granted);
+            if state.holders.is_empty() && state.waiters.is_empty() {
+                self.locks.remove(key);
+            }
+        }
+        removed
+    }
+
+    /// Releases every lock held by `txn`, returning the tokens of waiters
+    /// that are granted as a result (in grant order).
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<WaiterToken> {
+        let mut granted = Vec::new();
+        let keys = self.held_by.remove(&txn).unwrap_or_default();
+        for key in keys {
+            if let Some(state) = self.locks.get_mut(&key) {
+                state.holders.retain(|(t, _)| *t != txn);
+                Self::pump(state, &mut self.held_by, &key, &mut granted);
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    self.locks.remove(&key);
+                }
+            }
+        }
+        granted
+    }
+
+    /// Grants as many queued waiters as compatibility allows.
+    fn pump(
+        state: &mut LockState,
+        held_by: &mut HashMap<TxnId, Vec<LockKey>>,
+        key: &LockKey,
+        granted: &mut Vec<WaiterToken>,
+    ) {
+        while let Some(front) = state.waiters.front() {
+            // The front of the queue only needs holder compatibility; the
+            // queue-aware rule (writers block later readers) applies to new
+            // arrivals in `acquire`, not to the waiter whose turn it is.
+            if !state.compatible_with_holders(front.txn, front.mode) {
+                break;
+            }
+            let w = state.waiters.pop_front().expect("front exists");
+            let newly = state.holder_mode(w.txn).is_none();
+            state.grant(w.txn, w.mode);
+            if newly {
+                held_by.entry(w.txn).or_default().push(key.clone());
+            }
+            granted.push(w.token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> LockKey {
+        LockKey { table: TableId::new(0), key: vec![n] }
+    }
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(txn(1), &key(1), LockMode::Shared).0, Acquire::Granted);
+        assert_eq!(lm.acquire(txn(2), &key(1), LockMode::Shared).0, Acquire::Granted);
+        assert!(lm.holds(txn(1), &key(1), LockMode::Shared));
+        assert!(lm.holds(txn(2), &key(1), LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(txn(1), &key(1), LockMode::Exclusive).0, Acquire::Granted);
+        assert_eq!(lm.acquire(txn(2), &key(1), LockMode::Shared).0, Acquire::Wait);
+        assert_eq!(lm.acquire(txn(3), &key(1), LockMode::Exclusive).0, Acquire::Wait);
+        assert!(!lm.holds(txn(2), &key(1), LockMode::Shared));
+    }
+
+    #[test]
+    fn release_grants_fifo_with_shared_batching() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Exclusive);
+        let (_, s2) = lm.acquire(txn(2), &key(1), LockMode::Shared);
+        let (_, s3) = lm.acquire(txn(3), &key(1), LockMode::Shared);
+        let (_, x4) = lm.acquire(txn(4), &key(1), LockMode::Exclusive);
+        let granted = lm.release_all(txn(1));
+        // Both shared waiters are granted together; the writer still waits.
+        assert_eq!(granted, vec![s2, s3]);
+        let granted = lm.release_all(txn(2));
+        assert!(granted.is_empty());
+        let granted = lm.release_all(txn(3));
+        assert_eq!(granted, vec![x4]);
+        assert!(lm.holds(txn(4), &key(1), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn queued_writer_blocks_later_readers() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Shared);
+        let (_, xw) = lm.acquire(txn(2), &key(1), LockMode::Exclusive);
+        // Reader arriving after a queued writer must wait (no starvation).
+        assert_eq!(lm.acquire(txn(3), &key(1), LockMode::Shared).0, Acquire::Wait);
+        let granted = lm.release_all(txn(1));
+        assert_eq!(granted, vec![xw]);
+    }
+
+    #[test]
+    fn reentrant_acquire_is_a_noop() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Exclusive);
+        assert_eq!(lm.acquire(txn(1), &key(1), LockMode::Exclusive).0, Acquire::Granted);
+        assert_eq!(lm.acquire(txn(1), &key(1), LockMode::Shared).0, Acquire::Granted);
+        // Still a single release.
+        assert!(lm.release_all(txn(1)).is_empty());
+        assert_eq!(lm.active_rows(), 0);
+    }
+
+    #[test]
+    fn reentrant_shared_ignores_queued_writer() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Shared);
+        lm.acquire(txn(2), &key(1), LockMode::Exclusive);
+        // txn 1 already holds S; re-acquiring S must not self-deadlock.
+        assert_eq!(lm.acquire(txn(1), &key(1), LockMode::Shared).0, Acquire::Granted);
+    }
+
+    #[test]
+    fn sole_holder_upgrades_in_place() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Shared);
+        assert_eq!(lm.acquire(txn(1), &key(1), LockMode::Exclusive).0, Acquire::Granted);
+        assert!(lm.holds(txn(1), &key(1), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn non_sole_upgrade_waits_then_wins() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Shared);
+        lm.acquire(txn(2), &key(1), LockMode::Shared);
+        let (res, tok) = lm.acquire(txn(1), &key(1), LockMode::Exclusive);
+        assert_eq!(res, Acquire::Wait);
+        let granted = lm.release_all(txn(2));
+        assert_eq!(granted, vec![tok]);
+        assert!(lm.holds(txn(1), &key(1), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn cancel_waiter_unblocks_queue() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Shared);
+        let (_, xw) = lm.acquire(txn(2), &key(1), LockMode::Exclusive);
+        let (_, _sw) = lm.acquire(txn(3), &key(1), LockMode::Shared);
+        let mut granted = Vec::new();
+        assert!(lm.cancel_waiter(&key(1), xw, &mut granted));
+        // With the writer gone, the shared waiter is compatible with the
+        // shared holder and is granted immediately.
+        assert_eq!(granted.len(), 1);
+        assert!(lm.holds(txn(3), &key(1), LockMode::Shared));
+        assert!(!lm.cancel_waiter(&key(1), xw, &mut granted));
+    }
+
+    #[test]
+    fn release_all_spans_multiple_rows() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(1), LockMode::Exclusive);
+        lm.acquire(txn(1), &key(2), LockMode::Exclusive);
+        let (_, w1) = lm.acquire(txn(2), &key(1), LockMode::Shared);
+        let (_, w2) = lm.acquire(txn(2), &key(2), LockMode::Shared);
+        let mut granted = lm.release_all(txn(1));
+        granted.sort_unstable();
+        let mut expect = vec![w1, w2];
+        expect.sort_unstable();
+        assert_eq!(granted, expect);
+    }
+
+    #[test]
+    fn lock_table_garbage_collects_idle_rows() {
+        let mut lm = LockManager::new();
+        lm.acquire(txn(1), &key(7), LockMode::Exclusive);
+        assert_eq!(lm.active_rows(), 1);
+        lm.release_all(txn(1));
+        assert_eq!(lm.active_rows(), 0);
+    }
+}

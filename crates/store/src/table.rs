@@ -1,0 +1,170 @@
+//! Typed tables behind a type-erased registry.
+//!
+//! The [`Db`](crate::Db) owns a heterogeneous set of tables (inodes,
+//! children index, blocks, leases, …). Each table is a `BTreeMap<K, V>`
+//! wrapped in a [`TypedTable`]; the registry stores them as `dyn AnyTable`
+//! and hands callers a typed, copyable [`TableHandle<K, V>`] that restores
+//! the concrete type on access.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::RangeBounds;
+
+use crate::key::KeyCodec;
+
+/// Identifies a table within one [`Db`](crate::Db).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(u32);
+
+impl TableId {
+    /// Builds a table id from its raw index.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        TableId(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+/// A typed, copyable reference to a table created by
+/// [`Db::create_table`](crate::Db::create_table).
+pub struct TableHandle<K, V> {
+    id: TableId,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> TableHandle<K, V> {
+    pub(crate) fn new(id: TableId) -> Self {
+        TableHandle { id, _marker: PhantomData }
+    }
+
+    /// The underlying table id.
+    #[must_use]
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+}
+
+impl<K, V> Clone for TableHandle<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for TableHandle<K, V> {}
+impl<K, V> fmt::Debug for TableHandle<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TableHandle({})", self.id)
+    }
+}
+
+/// Object-safe view of a table, for the registry.
+pub(crate) trait AnyTable {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn name(&self) -> &str;
+    fn len(&self) -> usize;
+}
+
+/// A concrete table: an ordered map from `K` to `V`.
+#[derive(Debug)]
+pub(crate) struct TypedTable<K, V> {
+    name: String,
+    pub(crate) rows: BTreeMap<K, V>,
+}
+
+impl<K: KeyCodec, V: Clone + 'static> TypedTable<K, V> {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        TypedTable { name: name.into(), rows: BTreeMap::new() }
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.rows.get(key)
+    }
+
+    pub(crate) fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.rows.insert(key, value)
+    }
+
+    pub(crate) fn remove(&mut self, key: &K) -> Option<V> {
+        self.rows.remove(key)
+    }
+
+    pub(crate) fn scan<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
+        self.rows.range(range).map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    pub(crate) fn count_range<R: RangeBounds<K>>(&self, range: R) -> usize {
+        self.rows.range(range).count()
+    }
+}
+
+impl<K: KeyCodec, V: Clone + 'static> AnyTable for TypedTable<K, V> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_table_basic_crud() {
+        let mut t: TypedTable<u64, String> = TypedTable::new("t");
+        assert_eq!(t.insert(1, "a".into()), None);
+        assert_eq!(t.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(t.get(&1), Some(&"b".to_string()));
+        assert_eq!(t.remove(&1), Some("b".into()));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn scan_returns_ordered_range() {
+        let mut t: TypedTable<(u64, String), u64> = TypedTable::new("children");
+        t.insert((1, "c".into()), 10);
+        t.insert((1, "a".into()), 11);
+        t.insert((2, "b".into()), 12);
+        t.insert((1, "b".into()), 13);
+        let rows = t.scan((1, String::new())..(2, String::new()));
+        let names: Vec<&str> = rows.iter().map(|((_, n), _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(t.count_range((1, String::new())..(2, String::new())), 3);
+    }
+
+    #[test]
+    fn any_table_round_trips_through_registry_types() {
+        let t: Box<dyn AnyTable> = Box::new(TypedTable::<u64, u64>::new("x"));
+        assert_eq!(t.name(), "x");
+        assert!(t.as_any().downcast_ref::<TypedTable<u64, u64>>().is_some());
+        assert!(t.as_any().downcast_ref::<TypedTable<u64, String>>().is_none());
+    }
+
+    #[test]
+    fn handles_are_copy_and_debuggable() {
+        let h: TableHandle<u64, u64> = TableHandle::new(TableId::new(3));
+        let h2 = h;
+        assert_eq!(h.id(), h2.id());
+        assert_eq!(format!("{h:?}"), "TableHandle(table#3)");
+    }
+}

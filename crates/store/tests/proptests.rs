@@ -1,0 +1,155 @@
+//! Property tests for the transactional store: arbitrary interleavings of
+//! transactions agree with a sequential model, aborts roll back fully, and
+//! committed state is exactly the set of committed writes.
+
+use lambda_sim::params::StoreParams;
+use lambda_sim::{Sim, SimDuration};
+use lambda_store::{Db, LockMode};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One scripted transaction: read-modify-write over a key set, then
+/// commit or abort.
+#[derive(Debug, Clone)]
+struct TxnScript {
+    keys: Vec<u64>,
+    add: u64,
+    commit: bool,
+    start_ms: u64,
+}
+
+fn txn_strategy() -> impl Strategy<Value = TxnScript> {
+    (
+        proptest::collection::btree_set(0u64..12, 1..4),
+        1u64..100,
+        proptest::bool::weighted(0.8),
+        0u64..50,
+    )
+        .prop_map(|(keys, add, commit, start_ms)| TxnScript {
+            keys: keys.into_iter().collect(),
+            add,
+            commit,
+            start_ms,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counters incremented by concurrent read-modify-write transactions
+    /// never lose updates: the final value of each key equals the sum of
+    /// the increments of every *committed* transaction that touched it.
+    #[test]
+    fn no_lost_updates_under_concurrency(scripts in proptest::collection::vec(txn_strategy(), 1..16)) {
+        let mut sim = Sim::new(99);
+        let db = Db::new(&StoreParams::default(), SimDuration::from_secs(30));
+        let table = db.create_table::<u64, u64>("counters");
+        let committed: Rc<RefCell<Vec<TxnScript>>> = Rc::new(RefCell::new(Vec::new()));
+
+        for script in scripts.clone() {
+            let db = db.clone();
+            let committed = Rc::clone(&committed);
+            sim.schedule(SimDuration::from_millis(script.start_ms), move |sim| {
+                let txn = db.begin();
+                let keys = script.keys.clone();
+                let db2 = db.clone();
+                db.read_locked(sim, txn, table, keys.clone(), LockMode::Exclusive, move |sim, rows| {
+                    let Ok(rows) = rows else {
+                        // Lock timeout: the transaction was aborted; it
+                        // must contribute nothing.
+                        return;
+                    };
+                    for (key, row) in keys.iter().zip(rows) {
+                        let value = row.unwrap_or(0) + script.add;
+                        db2.upsert(txn, table, *key, value).expect("lock held");
+                    }
+                    if script.commit {
+                        let committed = Rc::clone(&committed);
+                        let script = script.clone();
+                        db2.commit(sim, txn, move |_sim, r| {
+                            if r.is_ok() {
+                                committed.borrow_mut().push(script.clone());
+                            }
+                        });
+                    } else {
+                        db2.abort(sim, txn);
+                    }
+                });
+            });
+        }
+        sim.run();
+
+        let mut expect: BTreeMap<u64, u64> = BTreeMap::new();
+        for script in committed.borrow().iter() {
+            for key in &script.keys {
+                *expect.entry(*key).or_default() += script.add;
+            }
+        }
+        for key in 0u64..12 {
+            let got = db.peek(table, &key).unwrap_or(0);
+            let want = expect.get(&key).copied().unwrap_or(0);
+            prop_assert_eq!(got, want, "key {} diverged", key);
+        }
+        // Sanity: aborted scripts really did not commit.
+        prop_assert!(committed.borrow().len() <= scripts.len());
+    }
+
+    /// Reads under shared locks always observe a committed prefix: the
+    /// value of a key only ever grows by committed increments, and a
+    /// reader never sees a value larger than the total committed so far
+    /// plus in-flight (i.e. never sees rolled-back garbage).
+    #[test]
+    fn locked_reads_never_see_aborted_writes(
+        n_writers in 1usize..8,
+        n_readers in 1usize..8,
+    ) {
+        let mut sim = Sim::new(7);
+        let db = Db::new(&StoreParams::default(), SimDuration::from_secs(30));
+        let table = db.create_table::<u64, u64>("k");
+        // All writers write the *same* key with a recognizable pattern:
+        // committed writers write even values, aborted writers write odd.
+        for i in 0..n_writers {
+            let db = db.clone();
+            sim.schedule(SimDuration::from_millis(i as u64 * 3), move |sim| {
+                let txn = db.begin();
+                let db2 = db.clone();
+                let commit = i % 2 == 0;
+                db.read_locked(sim, txn, table, vec![0], LockMode::Exclusive, move |sim, r| {
+                    if r.is_err() {
+                        return;
+                    }
+                    let value = if commit { (i as u64 + 1) * 2 } else { (i as u64) * 2 + 1 };
+                    db2.upsert(txn, table, 0, value).expect("lock held");
+                    if commit {
+                        db2.commit(sim, txn, |_s, _r| {});
+                    } else {
+                        db2.abort(sim, txn);
+                    }
+                });
+            });
+        }
+        let observations = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..n_readers {
+            let db = db.clone();
+            let obs = Rc::clone(&observations);
+            sim.schedule(SimDuration::from_millis(i as u64 * 4 + 1), move |sim| {
+                let txn = db.begin();
+                let db2 = db.clone();
+                db.read_locked(sim, txn, table, vec![0], LockMode::Shared, move |sim, rows| {
+                    if let Ok(rows) = rows {
+                        if let Some(v) = rows[0] {
+                            obs.borrow_mut().push(v);
+                        }
+                    }
+                    db2.commit(sim, txn, |_s, _r| {});
+                });
+            });
+        }
+        sim.run();
+        for v in observations.borrow().iter() {
+            prop_assert_eq!(v % 2, 0, "reader observed an uncommitted (odd) value {}", v);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! IndexFS's `tree-test` benchmark, as used in §5.7 / Fig. 16: each
+//! client performs a batch of `mknod` writes followed by the same number
+//! of random `getattr` reads over the written nodes.
+//!
+//! Two variants:
+//!
+//! * **variable-sized**: 10 000 writes + 10 000 reads *per client* (total
+//!   grows with the client count);
+//! * **fixed-sized**: 1 M writes + 1 M reads *total*, split across
+//!   clients.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambda_baselines::{IndexFs, LambdaIndexFs, TreeDone, TreeOp};
+use lambda_fs::RunMetrics;
+use lambda_namespace::DfsPath;
+use lambda_sim::{Sim, SimDuration};
+
+/// A service drivable by tree-test (local trait so both §5.7 systems fit
+/// one driver).
+pub trait TreeService {
+    /// Submits one tree-test operation.
+    fn submit_tree(&self, sim: &mut Sim, client: usize, op: TreeOp, done: TreeDone);
+    /// Number of clients.
+    fn tree_clients(&self) -> usize;
+    /// The metrics the service records into.
+    fn tree_metrics(&self) -> Rc<RefCell<RunMetrics>>;
+}
+
+impl TreeService for IndexFs {
+    fn submit_tree(&self, sim: &mut Sim, client: usize, op: TreeOp, done: TreeDone) {
+        self.submit(sim, client, op, done);
+    }
+    fn tree_clients(&self) -> usize {
+        self.client_count()
+    }
+    fn tree_metrics(&self) -> Rc<RefCell<RunMetrics>> {
+        self.metrics()
+    }
+}
+
+impl TreeService for LambdaIndexFs {
+    fn submit_tree(&self, sim: &mut Sim, client: usize, op: TreeOp, done: TreeDone) {
+        self.submit(sim, client, op, done);
+    }
+    fn tree_clients(&self) -> usize {
+        self.client_count()
+    }
+    fn tree_metrics(&self) -> Rc<RefCell<RunMetrics>> {
+        self.metrics()
+    }
+}
+
+/// Configuration for a tree-test run.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeTestConfig {
+    /// Writes (and then reads) per client.
+    pub ops_per_client: usize,
+    /// Directories per client over which its files are spread.
+    pub dirs_per_client: usize,
+    /// Per-client concurrent requests.
+    pub outstanding: usize,
+    /// Hard cap on simulated duration.
+    pub deadline: SimDuration,
+}
+
+impl TreeTestConfig {
+    /// The variable-sized workload: 10 000 writes + reads per client.
+    #[must_use]
+    pub fn variable() -> Self {
+        TreeTestConfig {
+            ops_per_client: 10_000,
+            dirs_per_client: 8,
+            outstanding: 4,
+            deadline: SimDuration::from_secs(3600),
+        }
+    }
+
+    /// The fixed-sized workload: 1 M writes + reads total.
+    #[must_use]
+    pub fn fixed(total_ops: usize, clients: usize) -> Self {
+        TreeTestConfig {
+            ops_per_client: (total_ops / clients.max(1)).max(1),
+            ..Self::variable()
+        }
+    }
+}
+
+/// Result of one tree-test run.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeTestRun {
+    /// Write (mknod) throughput, ops/sec.
+    pub write_throughput: f64,
+    /// Read (getattr) throughput, ops/sec.
+    pub read_throughput: f64,
+    /// Aggregate throughput over the whole run.
+    pub aggregate_throughput: f64,
+    /// Reads that found their target (sanity: must equal reads issued).
+    pub read_hits: u64,
+}
+
+struct Phase {
+    remaining: Vec<usize>,
+    completed: u64,
+    total: u64,
+    hits: u64,
+}
+
+/// Runs the two-phase tree-test (writes then random reads).
+pub fn run_tree_test<S: TreeService + 'static>(
+    sim: &mut Sim,
+    svc: Rc<S>,
+    cfg: TreeTestConfig,
+) -> TreeTestRun {
+    let clients = svc.tree_clients().max(1);
+    let path_of = |client: usize, i: usize, dirs: usize| -> DfsPath {
+        let dir = i % dirs;
+        format!("/c{client}_d{dir}/f{i:06}").parse().expect("valid path")
+    };
+
+    // Phase 1: writes, closed loop with `outstanding` workers per client.
+    let phase = Rc::new(RefCell::new(Phase {
+        remaining: vec![cfg.ops_per_client; clients],
+        completed: 0,
+        total: (cfg.ops_per_client * clients) as u64,
+        hits: 0,
+    }));
+    fn drive_write<S: TreeService + 'static>(
+        sim: &mut Sim,
+        svc: &Rc<S>,
+        phase: &Rc<RefCell<Phase>>,
+        cfg: TreeTestConfig,
+        client: usize,
+        path_of: &Rc<dyn Fn(usize, usize, usize) -> DfsPath>,
+    ) {
+        let i = {
+            let mut p = phase.borrow_mut();
+            if p.remaining[client] == 0 {
+                return;
+            }
+            p.remaining[client] -= 1;
+            cfg.ops_per_client - p.remaining[client] - 1
+        };
+        let path = path_of(client, i, cfg.dirs_per_client);
+        let svc2 = Rc::clone(svc);
+        let phase2 = Rc::clone(phase);
+        let path_of2 = Rc::clone(path_of);
+        svc.submit_tree(
+            sim,
+            client,
+            TreeOp::Mknod(path),
+            Box::new(move |sim, _ok| {
+                phase2.borrow_mut().completed += 1;
+                drive_write(sim, &svc2, &phase2, cfg, client, &path_of2);
+            }),
+        );
+    }
+    let path_of: Rc<dyn Fn(usize, usize, usize) -> DfsPath> = Rc::new(path_of);
+    let write_started = sim.now();
+    for client in 0..clients {
+        for _ in 0..cfg.outstanding {
+            drive_write(sim, &svc, &phase, cfg, client, &path_of);
+        }
+    }
+    let deadline = sim.now() + cfg.deadline;
+    while phase.borrow().completed < phase.borrow().total && sim.now() < deadline {
+        if !sim.step() {
+            break;
+        }
+    }
+    let write_span = sim.now().saturating_since(write_started);
+    let writes_done = phase.borrow().completed;
+
+    // Phase 2: random reads over the written nodes.
+    {
+        let mut p = phase.borrow_mut();
+        p.remaining = vec![cfg.ops_per_client; clients];
+        p.completed = 0;
+        p.hits = 0;
+    }
+    fn drive_read<S: TreeService + 'static>(
+        sim: &mut Sim,
+        svc: &Rc<S>,
+        phase: &Rc<RefCell<Phase>>,
+        cfg: TreeTestConfig,
+        client: usize,
+        path_of: &Rc<dyn Fn(usize, usize, usize) -> DfsPath>,
+    ) {
+        {
+            let mut p = phase.borrow_mut();
+            if p.remaining[client] == 0 {
+                return;
+            }
+            p.remaining[client] -= 1;
+        }
+        let i = sim.rng().pick_index(cfg.ops_per_client);
+        let path = path_of(client, i, cfg.dirs_per_client);
+        let svc2 = Rc::clone(svc);
+        let phase2 = Rc::clone(phase);
+        let path_of2 = Rc::clone(path_of);
+        svc.submit_tree(
+            sim,
+            client,
+            TreeOp::Getattr(path),
+            Box::new(move |sim, found| {
+                let mut p = phase2.borrow_mut();
+                p.completed += 1;
+                if found {
+                    p.hits += 1;
+                }
+                drop(p);
+                drive_read(sim, &svc2, &phase2, cfg, client, &path_of2);
+            }),
+        );
+    }
+    let read_started = sim.now();
+    for client in 0..clients {
+        for _ in 0..cfg.outstanding {
+            drive_read(sim, &svc, &phase, cfg, client, &path_of);
+        }
+    }
+    let deadline = sim.now() + cfg.deadline;
+    while phase.borrow().completed < phase.borrow().total && sim.now() < deadline {
+        if !sim.step() {
+            break;
+        }
+    }
+    let read_span = sim.now().saturating_since(read_started);
+    let reads_done = phase.borrow().completed;
+    let hits = phase.borrow().hits;
+
+    let tp = |ops: u64, span: lambda_sim::SimDuration| {
+        if span.is_zero() {
+            0.0
+        } else {
+            ops as f64 / span.as_secs_f64()
+        }
+    };
+    let total_span = sim.now().saturating_since(write_started);
+    TreeTestRun {
+        write_throughput: tp(writes_done, write_span),
+        read_throughput: tp(reads_done, read_span),
+        aggregate_throughput: tp(writes_done + reads_done, total_span),
+        read_hits: hits,
+    }
+}

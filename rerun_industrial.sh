@@ -1,0 +1,10 @@
+#!/bin/bash
+set -u
+cd /root/repo
+for bin in fig08a_industrial_25k fig08b_industrial_50k fig08c_perf_per_cost \
+           fig09_cumulative_cost fig10_latency_cdfs fig15_fault_tolerance tab03_subtree_mv; do
+  echo "=== RUNNING $bin $(date +%T) ==="
+  timeout 1800 ./target/release/$bin > results/$bin.txt 2>&1
+  echo "=== DONE $bin rc=$? $(date +%T) ==="
+done
+echo INDUSTRIAL_REFRESH_DONE

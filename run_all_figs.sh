@@ -1,0 +1,13 @@
+#!/bin/bash
+set -u
+cd /root/repo
+mkdir -p results
+for bin in tab01_loc fig08a_industrial_25k fig08b_industrial_50k fig08c_perf_per_cost \
+           fig09_cumulative_cost fig10_latency_cdfs fig11_client_scaling \
+           fig12_resource_scaling fig13_perf_per_cost_micro fig14_autoscaling_ablation \
+           tab03_subtree_mv fig15_fault_tolerance fig16_indexfs ablation_knobs; do
+  echo "=== RUNNING $bin $(date +%T) ==="
+  timeout 1800 ./target/release/$bin > results/$bin.txt 2>&1
+  echo "=== DONE $bin rc=$? $(date +%T) ==="
+done
+echo ALL_FIGS_DONE

@@ -1,0 +1,88 @@
+//! Randomized crash injection across seeds: NameNodes die at arbitrary
+//! moments while a mixed write-heavy workload runs. Afterwards the
+//! namespace must be well-formed, subtree locks released, and the overall
+//! completion rate high (paper §3.6/§5.6).
+
+use lambdafs_repro::fs::{DfsService, LambdaFs, LambdaFsConfig};
+use lambdafs_repro::namespace::FsOp;
+use lambdafs_repro::sim::{Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn chaos_run(seed: u64) {
+    let mut sim = Sim::new(seed);
+    let deployments = 5;
+    let fs = Rc::new(LambdaFs::build(
+        &mut sim,
+        LambdaFsConfig {
+            deployments,
+            clients: 10,
+            client_vms: 2,
+            ..Default::default()
+        },
+    ));
+    fs.start(&mut sim);
+    let dirs = fs.bootstrap_tree(&"/".parse().unwrap(), 10, 4);
+    fs.prewarm_with(&mut sim, &dirs);
+    sim.run_for(SimDuration::from_secs(8));
+
+    let ok = Rc::new(RefCell::new(0u32));
+    let failed = Rc::new(RefCell::new(0u32));
+    let mut kills = 0;
+    let total = 80u32;
+    for i in 0..total {
+        let dir = &dirs[i as usize % dirs.len()];
+        let op = match i % 5 {
+            0 => FsOp::CreateFile(dir.join(&format!("x{seed}_{i}")).unwrap()),
+            1 => FsOp::ReadFile(dir.join(&format!("file{:05}", i % 4)).unwrap()),
+            2 => FsOp::Ls(dir.clone()),
+            3 => FsOp::Mkdir(dir.join(&format!("sub{seed}_{i}")).unwrap()),
+            _ => FsOp::Stat(dir.clone()),
+        };
+        let o = Rc::clone(&ok);
+        let f = Rc::clone(&failed);
+        fs.submit(&mut sim, (i % 10) as usize, op, Box::new(move |_s, r| {
+            if r.is_ok() {
+                *o.borrow_mut() += 1;
+            } else {
+                *f.borrow_mut() += 1;
+            }
+        }));
+        // Crash at pseudo-random moments derived from the seed.
+        if (i.wrapping_mul(2654435761).wrapping_add(seed as u32)) % 11 == 3 {
+            for k in 0..deployments {
+                if fs.kill_one_namenode(&mut sim, (i + k) % deployments).is_some() {
+                    kills += 1;
+                    break;
+                }
+            }
+        }
+        sim.run_for(SimDuration::from_millis(200));
+    }
+    sim.run_until(SimTime::from_secs(150));
+    fs.stop(&mut sim);
+
+    assert!(kills >= 3, "seed {seed}: only {kills} kills");
+    let done = *ok.borrow() + *failed.borrow();
+    assert_eq!(done, total, "seed {seed}: {done}/{total} ops reached a verdict");
+    assert!(
+        *ok.borrow() >= total - 6,
+        "seed {seed}: only {} of {total} ops succeeded ({} failed)",
+        ok.borrow(),
+        failed.borrow()
+    );
+    let problems = fs.check_consistency();
+    assert!(problems.is_empty(), "seed {seed}: namespace corrupt: {problems:?}");
+    assert_eq!(
+        fs.db().table_len(fs.schema().subtree_locks),
+        0,
+        "seed {seed}: leaked subtree locks"
+    );
+}
+
+#[test]
+fn crashes_never_corrupt_the_namespace() {
+    for seed in [1, 7, 23, 99, 1234] {
+        chaos_run(seed);
+    }
+}
