@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lambda_lsm::{LsmConfig, LsmTree};
 use lambda_namespace::{DfsPath, Inode, MetadataCache, Partitioner};
+use lambda_sim::baseline::{BoxedSim, BoxedStation};
 use lambda_sim::params::StoreParams;
 use lambda_sim::{Sim, SimDuration, Station};
 use lambda_store::{Db, LockMode};
@@ -22,12 +23,37 @@ fn bench_des_kernel(c: &mut Criterion) {
             black_box(sim.events_executed())
         });
     });
+    // The preserved boxed-closure engine, for an at-a-glance slab-vs-boxed
+    // comparison in the same Criterion run (bench_kernel measures this
+    // rigorously and records it in results/BENCH_kernel.json).
+    g.bench_function("schedule_and_run_10k_events_boxed_baseline", |b| {
+        b.iter(|| {
+            let mut sim = BoxedSim::new(1);
+            for i in 0..10_000u64 {
+                sim.schedule(SimDuration::from_nanos(i * 100), move |_| {});
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        });
+    });
     g.bench_function("station_10k_jobs", |b| {
         b.iter(|| {
             let mut sim = Sim::new(1);
             let station = Station::new("s", 8);
             for _ in 0..10_000 {
                 Station::submit(&station, &mut sim, SimDuration::from_micros(100), |_| {});
+            }
+            sim.run();
+            let completions = station.borrow().stats().completions;
+            black_box(completions)
+        });
+    });
+    g.bench_function("station_10k_jobs_boxed_baseline", |b| {
+        b.iter(|| {
+            let mut sim = BoxedSim::new(1);
+            let station = BoxedStation::new(8);
+            for _ in 0..10_000 {
+                BoxedStation::submit(&station, &mut sim, SimDuration::from_micros(100), |_| {});
             }
             sim.run();
             let completions = station.borrow().stats().completions;

@@ -1,7 +1,10 @@
 //! Reporting utilities: ASCII tables, series printers, argument parsing,
-//! and a bounded parallel runner for experiment sweeps.
+//! machine-readable result files, and a bounded parallel runner for
+//! experiment sweeps.
 
+use std::path::PathBuf;
 use std::thread;
+use std::time::Instant;
 
 /// Formats an ops/sec magnitude compactly ("45.7k", "1.2M").
 #[must_use]
@@ -100,7 +103,8 @@ pub fn scale_from_args() -> f64 {
     }
 }
 
-/// Runs jobs on up to `available_parallelism` threads, preserving order.
+/// Runs jobs on up to `available_parallelism` threads, preserving order,
+/// and prints a wall-clock summary of the sweep when it finishes.
 ///
 /// Each job builds its own simulation, so jobs are fully independent.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
@@ -109,6 +113,8 @@ where
     F: FnOnce() -> T + Send,
 {
     let width = thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let n_jobs = jobs.len();
+    let started = Instant::now();
     let mut results: Vec<Option<T>> = Vec::new();
     results.resize_with(jobs.len(), || None);
     let mut jobs: Vec<Option<F>> = jobs.into_iter().map(Some).collect();
@@ -132,7 +138,37 @@ where
             });
         }
     });
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "[wall-clock] {n_jobs} simulation{} on {width} thread{} in {elapsed:.2}s",
+        if n_jobs == 1 { "" } else { "s" },
+        if width == 1 { "" } else { "s" },
+    );
     results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+/// Formats an events-per-second wall-clock rate for run summaries.
+#[must_use]
+pub fn fmt_events_per_sec(events: u64, wall_secs: f64) -> String {
+    if wall_secs <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{} events/s", fmt_ops(events as f64 / wall_secs))
+}
+
+/// Writes a machine-readable result file to `results/<name>.json`
+/// (creating the directory if needed) and returns its path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a benchmark whose results vanish
+/// silently is worse than one that fails.
+pub fn write_json(name: &str, json: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write results file");
+    path
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! INodes, blocks, and DataNode descriptors — the row types of the
 //! persistent metadata store.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an inode. The root directory is always
 /// [`ROOT_INODE_ID`].
 pub type InodeId = u64;
@@ -11,7 +9,7 @@ pub type InodeId = u64;
 pub const ROOT_INODE_ID: InodeId = 1;
 
 /// Whether an inode is a file or a directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InodeKind {
     /// A regular file with data blocks.
     File,
@@ -23,7 +21,7 @@ pub enum InodeKind {
 ///
 /// This mirrors the HopsFS `INode` row: identity, tree position,
 /// permissions, and (for files) the block list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Inode {
     /// This inode's id.
     pub id: InodeId,
@@ -99,7 +97,7 @@ impl Inode {
 pub type BlockId = u64;
 
 /// Location and length of one data block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockInfo {
     /// This block's id.
     pub id: BlockId,
@@ -119,7 +117,7 @@ pub type DataNodeId = u64;
 /// Liveness and capacity record a DataNode publishes to the metadata store
 /// (λFS re-implements block reports and DataNode discovery by publishing to
 /// the persistent store on an interval — paper §1/§3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataNodeInfo {
     /// This DataNode's id.
     pub id: DataNodeId,

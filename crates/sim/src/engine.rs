@@ -1,47 +1,110 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Sim`] owns a virtual clock and a priority queue of pending events. An
-//! event is a one-shot closure that receives `&mut Sim` when it fires and may
-//! schedule further events. Simulation components live outside the engine as
-//! `Rc<RefCell<_>>` handles captured by the closures, which keeps the engine
-//! generic and the whole run single-threaded and deterministic.
+//! [`Sim`] owns a virtual clock and a priority queue of pending events.
+//! Simulation components live outside the engine as `Rc<RefCell<_>>` handles
+//! captured by event closures, which keeps the engine generic and the whole
+//! run single-threaded and deterministic.
 //!
 //! Events scheduled for the same instant fire in scheduling order (FIFO),
 //! which — together with the seeded [`SimRng`] — makes runs reproducible
 //! bit-for-bit.
+//!
+//! # Queue internals
+//!
+//! The pending-event store is a hierarchical timing wheel (see
+//! [`wheel`](crate::wheel)) ordering 24-byte plain-old-data [`Entry`]
+//! records — `(at, seq, packed action)` — rather than boxed closures:
+//! O(1) pushes and near-O(1) pops in place of heap sifts. The [`Action`]
+//! payload, bit-packed into one `u64`, is one of three variants:
+//!
+//! * **`Closure(slot)`** — a one-shot `FnOnce` parked in a slab
+//!   (`Vec<Option<Event>>` plus a free list). The slot index is recycled the
+//!   moment the event fires, so a steady-state workload touches the same few
+//!   cache-hot slab cells instead of fresh heap allocations.
+//! * **`Timer(slot)`** — a periodic `FnMut` tick (see [`every`]). The
+//!   closure is boxed **once** at registration; every subsequent tick is
+//!   re-armed by pushing a heap entry, with no allocation at all.
+//! * **`Station { station, slot }`** — a queueing-station job completion
+//!   (see [`crate::Station`]). The station is named by its index in the
+//!   engine's station registry, so entries stay `Copy` — no `Rc`, no drop
+//!   glue anywhere in the heap, and the sift loops compile to straight
+//!   word moves. Firing is two slab lookups; no allocation on the
+//!   completion path.
+//!
+//! The closure slab still boxes each one-shot closure (they are
+//! heterogeneous types and this crate forbids `unsafe`), but the two hot
+//! paths of a metadata-service simulation — station job completions and
+//! periodic timers — never allocate per event.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::rng::SimRng;
+use crate::station::{Station, StationRef};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Entry, EventWheel};
 
 /// A scheduled one-shot action.
 pub type Event = Box<dyn FnOnce(&mut Sim)>;
 
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    event: Event,
+/// Process-wide counter handing each [`Sim`] a distinct identity, so a
+/// station can tell whether its cached registry index belongs to the engine
+/// it is being scheduled on (see [`Sim::register_station`]).
+static SIM_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// What to do when an [`Entry`] fires. Bit-packed into a single `u64` (see
+/// [`Action::pack`]) so heap entries stay 24 bytes of `Copy` data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Action {
+    /// Run and free the one-shot closure parked in this slab slot.
+    Closure(u32),
+    /// Tick the periodic timer parked in this slab slot; re-arm if it
+    /// returns `true`.
+    Timer(u32),
+    /// Complete the job in `slot` of the job slab of the station at
+    /// `station` in the engine's registry.
+    Station { station: u32, slot: u32 },
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+const TAG_CLOSURE: u64 = 0;
+const TAG_TIMER: u64 = 1;
+const TAG_STATION: u64 = 2;
+
+impl Action {
+    /// Packs the action into one word: a 2-bit tag, then the payload.
+    /// Station entries carry two 31-bit indices, which bounds one engine at
+    /// ~2 billion registered stations and in-flight jobs per station — far
+    /// beyond anything a single-process simulation can hold anyway.
+    #[inline]
+    fn pack(self) -> u64 {
+        match self {
+            Action::Closure(slot) => TAG_CLOSURE | u64::from(slot) << 2,
+            Action::Timer(slot) => TAG_TIMER | u64::from(slot) << 2,
+            Action::Station { station, slot } => {
+                debug_assert!(station < (1 << 31) && slot < (1 << 31));
+                TAG_STATION | u64::from(station) << 2 | u64::from(slot) << 33
+            }
+        }
+    }
+
+    #[inline]
+    fn unpack(word: u64) -> Self {
+        match word & 0b11 {
+            TAG_CLOSURE => Action::Closure((word >> 2) as u32),
+            TAG_TIMER => Action::Timer((word >> 2) as u32),
+            _ => Action::Station {
+                station: (word >> 2 & ((1 << 31) - 1)) as u32,
+                slot: (word >> 33) as u32,
+            },
+        }
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+/// A registered periodic event (see [`every`]).
+struct Timer {
+    period: SimDuration,
+    tick: Box<dyn FnMut(&mut Sim) -> bool>,
 }
 
 /// The discrete-event simulation engine: a virtual clock, an event queue,
@@ -66,10 +129,21 @@ impl Ord for Entry {
 /// ```
 pub struct Sim {
     now: SimTime,
-    queue: BinaryHeap<Entry>,
+    queue: EventWheel,
     next_seq: u64,
     rng: SimRng,
     executed: u64,
+    /// Distinct per-engine identity (see [`SIM_IDS`]).
+    id: u64,
+    /// One-shot closure slab; indices are recycled through `free_closures`.
+    closures: Vec<Option<Event>>,
+    free_closures: Vec<u32>,
+    /// Periodic-timer slab; indices are recycled through `free_timers`.
+    timers: Vec<Option<Timer>>,
+    free_timers: Vec<u32>,
+    /// Stations that have scheduled completions on this engine; heap
+    /// entries name them by index here so they stay `Copy`.
+    stations: Vec<StationRef>,
 }
 
 impl fmt::Debug for Sim {
@@ -89,11 +163,33 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventWheel::new(),
             next_seq: 0,
             rng: SimRng::new(seed),
             executed: 0,
+            id: SIM_IDS.fetch_add(1, AtomicOrdering::Relaxed),
+            closures: Vec::new(),
+            free_closures: Vec::new(),
+            timers: Vec::new(),
+            free_timers: Vec::new(),
+            stations: Vec::new(),
         }
+    }
+
+    /// This engine's process-unique identity; stations use it to detect a
+    /// stale cached registry index when reused across engines.
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Adds `station` to the registry and returns its index, which the
+    /// station caches (keyed by [`Self::instance_id`]) and passes to
+    /// [`Self::schedule_station`]. Registration is not an event: it consumes
+    /// no sequence number and cannot perturb firing order.
+    pub(crate) fn register_station(&mut self, station: StationRef) -> u32 {
+        let id = u32::try_from(self.stations.len()).expect("station registry overflow");
+        self.stations.push(station);
+        id
     }
 
     /// The current virtual time.
@@ -119,6 +215,49 @@ impl Sim {
         self.queue.len()
     }
 
+    /// Pushes a heap entry at `at` (clamped to now), consuming one sequence
+    /// number. All scheduling funnels through here so same-instant FIFO
+    /// order is exactly the order of scheduling calls, whatever the variant.
+    #[inline]
+    fn push_entry(&mut self, at: SimTime, action: Action) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry { at, seq, action: action.pack() });
+    }
+
+    /// Parks a one-shot closure in the slab and returns its slot.
+    fn park_closure(&mut self, event: Event) -> u32 {
+        match self.free_closures.pop() {
+            Some(slot) => {
+                debug_assert!(self.closures[slot as usize].is_none());
+                self.closures[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.closures.len()).expect("closure slab overflow");
+                self.closures.push(Some(event));
+                slot
+            }
+        }
+    }
+
+    /// Parks a periodic timer in the slab and returns its slot.
+    fn park_timer(&mut self, timer: Timer) -> u32 {
+        match self.free_timers.pop() {
+            Some(slot) => {
+                debug_assert!(self.timers[slot as usize].is_none());
+                self.timers[slot as usize] = Some(timer);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.timers.len()).expect("timer slab overflow");
+                self.timers.push(Some(timer));
+                slot
+            }
+        }
+    }
+
     /// Schedules `event` to fire at the absolute instant `at`.
     ///
     /// Instants in the past are clamped to "now" (the event fires next, in
@@ -127,10 +266,8 @@ impl Sim {
     where
         F: FnOnce(&mut Sim) + 'static,
     {
-        let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Entry { at, seq, event: Box::new(event) });
+        let slot = self.park_closure(Box::new(event));
+        self.push_entry(at, Action::Closure(slot));
     }
 
     /// Schedules `event` to fire `after` from now.
@@ -141,20 +278,51 @@ impl Sim {
         self.schedule_at(self.now + after, event);
     }
 
+    /// Schedules completion of the job in `slot` of the registered station
+    /// `station` after `service`. The allocation-free fast path used by
+    /// [`Station::submit`](crate::Station::submit).
+    #[inline]
+    pub(crate) fn schedule_station(&mut self, service: SimDuration, station: u32, slot: u32) {
+        self.push_entry(self.now + service, Action::Station { station, slot });
+    }
+
     /// Executes the next pending event, advancing the clock to its instant.
     ///
     /// Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(entry) => {
-                debug_assert!(entry.at >= self.now, "event queue time went backwards");
-                self.now = entry.at;
-                self.executed += 1;
-                (entry.event)(self);
-                true
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        self.executed += 1;
+        match Action::unpack(entry.action) {
+            Action::Closure(slot) => {
+                let event = self.closures[slot as usize]
+                    .take()
+                    .expect("closure slot fired twice");
+                self.free_closures.push(slot);
+                event(self);
             }
-            None => false,
+            Action::Timer(slot) => {
+                // Move the timer out while it runs so the tick can freely
+                // register new timers without aliasing its own slot.
+                let mut timer =
+                    self.timers[slot as usize].take().expect("timer slot fired twice");
+                if (timer.tick)(self) {
+                    let next = self.now + timer.period;
+                    self.timers[slot as usize] = Some(timer);
+                    self.push_entry(next, Action::Timer(slot));
+                } else {
+                    self.free_timers.push(slot);
+                }
+            }
+            Action::Station { station, slot } => {
+                let station = Rc::clone(&self.stations[station as usize]);
+                Station::complete(&station, self, slot);
+            }
         }
+        true
     }
 
     /// Runs until the event queue drains.
@@ -165,8 +333,8 @@ impl Sim {
     /// Runs all events scheduled at or before `deadline`, then advances the
     /// clock to `deadline` (even if the queue drained earlier).
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(entry) = self.queue.peek() {
-            if entry.at > deadline {
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -187,7 +355,8 @@ impl Sim {
 /// returns `false` or the simulation ends.
 ///
 /// This is the idiom for heartbeats, block reports, and workload-rate
-/// resampling.
+/// resampling. The closure is boxed once at registration; each tick re-arms
+/// by pushing a small heap entry with no further allocation.
 ///
 /// # Examples
 ///
@@ -211,18 +380,8 @@ where
     F: FnMut(&mut Sim) -> bool + 'static,
 {
     assert!(!period.is_zero(), "periodic event with zero period would not advance time");
-    fn arm<F>(sim: &mut Sim, at: SimTime, period: SimDuration, mut tick: F)
-    where
-        F: FnMut(&mut Sim) -> bool + 'static,
-    {
-        sim.schedule_at(at, move |sim| {
-            if tick(sim) {
-                let next = sim.now() + period;
-                arm(sim, next, period, tick);
-            }
-        });
-    }
-    arm(sim, first, period, tick);
+    let slot = sim.park_timer(Timer { period, tick: Box::new(tick) });
+    sim.push_entry(first, Action::Timer(slot));
 }
 
 #[cfg(test)]
@@ -337,5 +496,63 @@ mod tests {
             v
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn closure_slots_are_recycled() {
+        let mut sim = Sim::new(0);
+        // Schedule-and-fire in a chain: at any instant only one closure is
+        // parked, so the slab should stay at a single slot.
+        fn chain(sim: &mut Sim, left: u32) {
+            if left > 0 {
+                sim.schedule(SimDuration::from_millis(1), move |sim| chain(sim, left - 1));
+            }
+        }
+        chain(&mut sim, 1000);
+        sim.run();
+        assert_eq!(sim.events_executed(), 1000);
+        assert_eq!(sim.closures.len(), 1, "chained one-shot events should reuse one slot");
+    }
+
+    #[test]
+    fn timer_slots_are_recycled_after_cancellation() {
+        let mut sim = Sim::new(0);
+        for round in 0..5u32 {
+            let mut left = 3;
+            every(
+                &mut sim,
+                SimTime::from_secs(u64::from(round) * 100),
+                SimDuration::from_secs(1),
+                move |_| {
+                    left -= 1;
+                    left > 0
+                },
+            );
+            sim.run();
+        }
+        assert_eq!(sim.timers.len(), 1, "sequential timers should reuse one slot");
+    }
+
+    #[test]
+    fn timer_tick_can_register_new_timers() {
+        let mut sim = Sim::new(0);
+        let ticks = Rc::new(RefCell::new(Vec::new()));
+        let outer_log = Rc::clone(&ticks);
+        every(&mut sim, SimTime::ZERO, SimDuration::from_secs(10), move |sim| {
+            outer_log.borrow_mut().push("outer");
+            let inner_log = Rc::clone(&outer_log);
+            let mut inner_left = 2;
+            every(sim, sim.now() + SimDuration::from_secs(1), SimDuration::from_secs(1), move |_| {
+                inner_log.borrow_mut().push("inner");
+                inner_left -= 1;
+                inner_left > 0
+            });
+            outer_log.borrow().iter().filter(|s| **s == "outer").count() < 2
+        });
+        sim.run();
+        assert_eq!(
+            *ticks.borrow(),
+            vec!["outer", "inner", "inner", "outer", "inner", "inner"]
+        );
     }
 }

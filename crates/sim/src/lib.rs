@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 mod cost;
 mod engine;
 mod metrics;
@@ -55,6 +56,7 @@ pub mod params;
 mod rng;
 mod station;
 mod time;
+mod wheel;
 
 pub use cost::{CostMeter, LambdaPricing, VmPricing};
 pub use engine::{every, Event, Sim};

@@ -8,10 +8,43 @@
 
 use crate::time::{SimDuration, SimTime};
 
-/// Records individual latency samples and answers distribution queries.
+/// Sub-bucket resolution of the latency histogram: 2^7 = 128 log-spaced
+/// buckets per octave, giving a worst-case relative quantile error of
+/// 1/256 ≈ 0.39% (the spec budget is 1%).
+const SUB_BITS: u32 = 7;
+
+/// Biased exponent of the smallest distinguishable latency (2⁻⁴⁰ s ≈ 1 ps);
+/// everything smaller — including zero — collapses into bucket 0.
+const MIN_BIASED: u64 = 983;
+
+/// Histogram index of a non-negative latency in seconds. Exploits the IEEE
+/// 754 layout: the top bits of a positive double are `biased_exponent ||
+/// mantissa`, so a shift yields a log-spaced bucket index directly.
+fn bucket_index(seconds: f64) -> usize {
+    debug_assert!(seconds >= 0.0, "latencies are non-negative");
+    let raw = (seconds.to_bits() >> (52 - SUB_BITS)) as i64;
+    let origin = (MIN_BIASED << SUB_BITS) as i64;
+    usize::try_from((raw - origin).max(0)).expect("bucket index fits usize")
+}
+
+/// Representative latency (seconds) of a bucket: the geometric middle of its
+/// `[low, low·(1 + 2⁻⁷))` span, so any sample in the bucket is within
+/// 2⁻⁸ ≈ 0.39% of the value reported for it.
+fn bucket_value(index: usize) -> f64 {
+    let raw = index as u64 + (MIN_BIASED << SUB_BITS);
+    let low = f64::from_bits(raw << (52 - SUB_BITS));
+    low * (1.0 + 1.0 / (1u64 << (SUB_BITS + 1)) as f64)
+}
+
+/// Records latency samples and answers distribution queries from a
+/// streaming, HDR-style log-bucketed histogram.
 ///
-/// Samples are stored exactly (8 bytes each); percentile queries sort a
-/// cached copy lazily.
+/// Recording is O(1): one array increment plus exact running count, sum,
+/// min, and max. Quantile queries walk the bucket array (`&self`, no sort,
+/// no cached state), so records and queries interleave freely. `count`,
+/// `mean`, and `max` are exact; `percentile` and `cdf` are accurate to
+/// 1/256 ≈ 0.39% relative error (`p = 0` and `p = 1` return the exact min
+/// and max).
 ///
 /// # Examples
 ///
@@ -24,12 +57,30 @@ use crate::time::{SimDuration, SimTime};
 /// }
 /// assert_eq!(rec.count(), 5);
 /// assert_eq!(rec.mean().as_millis_f64(), 22.0);
-/// assert_eq!(rec.percentile(0.5).as_millis_f64(), 3.0);
+/// let p50 = rec.percentile(0.5).as_millis_f64();
+/// assert!((p50 - 3.0).abs() / 3.0 < 0.01);
+/// assert_eq!(rec.percentile(1.0).as_millis_f64(), 100.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LatencyRecorder {
-    samples: Vec<f64>, // seconds
-    sorted: bool,
+    /// Bucket occupancy counts, grown lazily to the largest index seen.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64, // seconds
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl LatencyRecorder {
@@ -39,82 +90,130 @@ impl LatencyRecorder {
         Self::default()
     }
 
-    /// Records one sample.
+    /// Records one sample. O(1); never invalidates concurrent query state.
     pub fn record(&mut self, latency: SimDuration) {
-        self.samples.push(latency.as_secs_f64());
-        self.sorted = false;
+        let seconds = latency.as_secs_f64();
+        let idx = bucket_index(seconds);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += seconds;
+        self.min_seen = self.min_seen.min(seconds);
+        self.max_seen = self.max_seen.max(seconds);
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (exact).
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples.len()
+        usize::try_from(self.count).expect("sample count fits usize")
     }
 
     /// Whether no samples have been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
-    /// Arithmetic mean, or zero when empty.
+    /// Arithmetic mean (exact, from the running sum), or zero when empty.
     #[must_use]
     pub fn mean(&self) -> SimDuration {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return SimDuration::ZERO;
         }
-        let total: f64 = self.samples.iter().sum();
-        SimDuration::from_secs_f64(total / self.samples.len() as f64)
+        SimDuration::from_secs_f64(self.sum / self.count as f64)
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_by(|a, b| a.total_cmp(b));
-            self.sorted = true;
+    /// The latency at nearest-rank `rank` (1-based), from the histogram.
+    fn value_at_rank(&self, rank: u64) -> f64 {
+        debug_assert!(rank >= 1 && rank <= self.count);
+        // The extreme ranks are tracked exactly; everything between them is
+        // answered from the bucket walk to within the error bound.
+        if rank == 1 {
+            return self.min_seen;
         }
+        if rank == self.count {
+            return self.max_seen;
+        }
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_value(idx).clamp(self.min_seen, self.max_seen);
+            }
+        }
+        self.max_seen
     }
 
-    /// The `p`-quantile (`p` in `[0, 1]`), by nearest-rank on the sorted
-    /// samples; zero when empty.
+    /// The `p`-quantile (`p` in `[0, 1]`) by nearest rank; zero when empty.
+    /// `p = 0` and `p = 1` are the exact min and max; interior quantiles
+    /// carry at most 0.39% relative error. O(buckets), `&self`.
     #[must_use]
-    pub fn percentile(&mut self, p: f64) -> SimDuration {
-        if self.samples.is_empty() {
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
             return SimDuration::ZERO;
         }
-        self.ensure_sorted();
         let p = p.clamp(0.0, 1.0);
-        let rank = ((p * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        SimDuration::from_secs_f64(self.samples[rank - 1])
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        SimDuration::from_secs_f64(self.value_at_rank(rank))
     }
 
-    /// Maximum sample, or zero when empty.
+    /// Maximum sample (exact), or zero when empty.
     #[must_use]
     pub fn max(&self) -> SimDuration {
-        SimDuration::from_secs_f64(self.samples.iter().copied().fold(0.0, f64::max))
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(self.max_seen)
     }
 
     /// An empirical CDF with `points` evenly spaced probability levels:
     /// `(latency, cumulative_fraction)` pairs suitable for plotting Fig. 10.
+    /// One interleaved walk over the buckets serves every level:
+    /// O(buckets + points), `&self`.
     #[must_use]
-    pub fn cdf(&mut self, points: usize) -> Vec<(SimDuration, f64)> {
-        if self.samples.is_empty() || points == 0 {
+    pub fn cdf(&self, points: usize) -> Vec<(SimDuration, f64)> {
+        if self.count == 0 || points == 0 {
             return Vec::new();
         }
-        self.ensure_sorted();
-        let n = self.samples.len();
-        (1..=points)
-            .map(|i| {
-                let frac = i as f64 / points as f64;
-                let rank = ((frac * n as f64).ceil() as usize).clamp(1, n);
-                (SimDuration::from_secs_f64(self.samples[rank - 1]), frac)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(points);
+        let mut cumulative = 0u64;
+        let mut idx = 0usize;
+        for i in 1..=points {
+            let frac = i as f64 / points as f64;
+            let rank = ((frac * self.count as f64).ceil() as u64).clamp(1, self.count);
+            // Ranks are non-decreasing in `i`, so the bucket cursor only
+            // ever moves forward.
+            while cumulative < rank {
+                cumulative += self.buckets[idx];
+                idx += 1;
+            }
+            let value = if rank == 1 {
+                self.min_seen
+            } else if rank == self.count {
+                self.max_seen
+            } else {
+                bucket_value(idx - 1).clamp(self.min_seen, self.max_seen)
+            };
+            out.push((SimDuration::from_secs_f64(value), frac));
+        }
+        out
     }
 
-    /// Merges another recorder's samples into this one.
+    /// Merges another recorder's histogram into this one (bucket-wise; the
+    /// result is identical to having recorded both sample streams here).
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
     }
 }
 
@@ -298,26 +397,73 @@ impl GaugeSeries {
 mod tests {
     use super::*;
 
+    /// Relative error of the histogram answer vs the exact value.
+    fn rel_err(approx: f64, exact: f64) -> f64 {
+        if exact == 0.0 {
+            approx.abs()
+        } else {
+            (approx - exact).abs() / exact
+        }
+    }
+
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn percentiles_match_nearest_rank_within_error_bound() {
         let mut rec = LatencyRecorder::new();
         for ms in 1..=100u64 {
             rec.record(SimDuration::from_millis(ms));
         }
-        assert_eq!(rec.percentile(0.50).as_millis_f64(), 50.0);
-        assert_eq!(rec.percentile(0.99).as_millis_f64(), 99.0);
+        // Interior quantiles carry the log-bucket error (≤ 0.39%, budget 1%).
+        assert!(rel_err(rec.percentile(0.50).as_millis_f64(), 50.0) < 0.01);
+        assert!(rel_err(rec.percentile(0.99).as_millis_f64(), 99.0) < 0.01);
+        // The extremes are exact.
         assert_eq!(rec.percentile(1.0).as_millis_f64(), 100.0);
         assert_eq!(rec.percentile(0.0).as_millis_f64(), 1.0);
         assert_eq!(rec.max().as_millis_f64(), 100.0);
     }
 
     #[test]
-    fn empty_recorder_answers_zero() {
+    fn quantiles_stay_within_one_percent_across_magnitudes() {
+        // Samples spanning 7 decades (1µs .. 10s), recorded in a scrambled
+        // order; every nearest-rank quantile must agree with a sorted
+        // reference within the 1% budget.
+        let mut exact: Vec<f64> = (0..5_000u64)
+            .map(|i| 1e-6 * (10f64).powf(i as f64 * 7.0 / 5_000.0))
+            .collect();
         let mut rec = LatencyRecorder::new();
+        for i in 0..exact.len() {
+            let j = (i * 2_654_435_761) % exact.len(); // scrambled insert order
+            rec.record(SimDuration::from_secs_f64(exact[j]));
+        }
+        exact.sort_by(f64::total_cmp);
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let rank = ((p * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let reference = exact[rank - 1];
+            let answer = rec.percentile(p).as_secs_f64();
+            assert!(
+                rel_err(answer, reference) < 0.01,
+                "p{p}: histogram {answer} vs exact {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_recorder_answers_zero() {
+        let rec = LatencyRecorder::new();
         assert!(rec.is_empty());
         assert_eq!(rec.mean(), SimDuration::ZERO);
         assert_eq!(rec.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(rec.max(), SimDuration::ZERO);
         assert!(rec.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn zero_latencies_are_representable() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(SimDuration::ZERO);
+        rec.record(SimDuration::ZERO);
+        assert_eq!(rec.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(rec.max(), SimDuration::ZERO);
+        assert_eq!(rec.mean(), SimDuration::ZERO);
     }
 
     #[test]
@@ -337,6 +483,45 @@ mod tests {
     }
 
     #[test]
+    fn cdf_agrees_with_percentile_at_every_level() {
+        let mut rec = LatencyRecorder::new();
+        for us in (1..2_000u64).map(|i| i * 37 % 50_000 + 1) {
+            rec.record(SimDuration::from_micros(us));
+        }
+        let points = 40;
+        let cdf = rec.cdf(points);
+        for (i, (latency, frac)) in cdf.iter().enumerate() {
+            assert_eq!(*frac, (i + 1) as f64 / points as f64);
+            assert_eq!(*latency, rec.percentile(*frac), "level {frac}");
+        }
+    }
+
+    #[test]
+    fn interleaved_records_and_queries_stay_consistent() {
+        // Regression test for the streaming rewrite: the old recorder
+        // re-sorted its sample vector on every query after a record, making
+        // record/query interleavings O(n log n) each. The histogram must
+        // answer queries mid-stream, cheaply, and without perturbing later
+        // answers.
+        let mut rec = LatencyRecorder::new();
+        for ms in 1..=50u64 {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        let mid = rec.percentile(0.5).as_millis_f64();
+        assert!(rel_err(mid, 25.0) < 0.01, "p50 of 1..=50 was {mid}");
+        // Queries are &self and leave no cached state: ask again, same answer.
+        assert_eq!(rec.percentile(0.5).as_millis_f64(), mid);
+        let _ = rec.cdf(10);
+        for ms in 51..=100u64 {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        let full = rec.percentile(0.5).as_millis_f64();
+        assert!(rel_err(full, 50.0) < 0.01, "p50 of 1..=100 was {full}");
+        assert_eq!(rec.count(), 100);
+        assert_eq!(rec.max().as_millis_f64(), 100.0);
+    }
+
+    #[test]
     fn merge_combines_samples() {
         let mut a = LatencyRecorder::new();
         let mut b = LatencyRecorder::new();
@@ -345,6 +530,28 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean().as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let mut merged = LatencyRecorder::new();
+        let mut separate = LatencyRecorder::new();
+        let mut other = LatencyRecorder::new();
+        for i in 0..500u64 {
+            let d = SimDuration::from_micros(i * 13 % 9_000 + 1);
+            if i % 3 == 0 {
+                other.record(d);
+            } else {
+                merged.record(d);
+            }
+            separate.record(d);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.count(), separate.count());
+        assert_eq!(merged.max(), separate.max());
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.percentile(p), separate.percentile(p));
+        }
     }
 
     #[test]

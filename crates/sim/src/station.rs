@@ -6,6 +6,14 @@
 //! job starts immediately, otherwise it waits in FIFO order. Saturation,
 //! queueing delay, and throughput ceilings in the reproduced experiments all
 //! emerge from these stations.
+//!
+//! # Completion fast path
+//!
+//! Jobs live in a slab (`Vec<Option<Job>>` plus a free list) inside the
+//! station; the engine's queue holds only `(station, slot)` completion
+//! entries (see the [`engine`](crate::engine) docs). Submitting boxes the
+//! caller's `done` callback once; starting, completing, and dequeueing a job
+//! move slot indices around and never allocate.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -94,8 +102,17 @@ pub struct Station {
     name: String,
     servers: u32,
     busy: u32,
-    waiting: VecDeque<Job>,
+    /// FIFO of slab slots waiting for a server.
+    waiting: VecDeque<u32>,
+    /// Job slab; indices are recycled through `free`.
+    jobs: Vec<Option<Job>>,
+    free: Vec<u32>,
     stats: StationStats,
+    /// Cached `(engine identity, registry index)` from the last engine this
+    /// station scheduled on; lets completion entries stay `Copy` (see the
+    /// [`engine`](crate::engine) docs). Re-registers if the station is
+    /// reused on a different engine.
+    kernel_id: Option<(u64, u32)>,
 }
 
 impl Station {
@@ -112,7 +129,10 @@ impl Station {
             servers,
             busy: 0,
             waiting: VecDeque::new(),
+            jobs: Vec::new(),
+            free: Vec::new(),
             stats: StationStats::default(),
+            kernel_id: None,
         }))
     }
 
@@ -163,55 +183,97 @@ impl Station {
         self.servers = servers;
     }
 
+    /// Parks a job in the slab and returns its slot.
+    fn park(&mut self, job: Job) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.jobs[slot as usize].is_none());
+                self.jobs[slot as usize] = Some(job);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.jobs.len()).expect("job slab overflow");
+                self.jobs.push(Some(job));
+                slot
+            }
+        }
+    }
+
+    /// Resolves this station's registry index on `sim`, registering on
+    /// first use (or again if the station moved to a different engine).
+    #[inline]
+    fn registry_id(st: &mut Station, this: &StationRef, sim: &mut Sim) -> u32 {
+        match st.kernel_id {
+            Some((engine, id)) if engine == sim.instance_id() => id,
+            _ => {
+                let id = sim.register_station(Rc::clone(this));
+                st.kernel_id = Some((sim.instance_id(), id));
+                id
+            }
+        }
+    }
+
     /// Submits a job requiring `service` time; `done` fires at completion.
     pub fn submit<F>(this: &StationRef, sim: &mut Sim, service: SimDuration, done: F)
     where
         F: FnOnce(&mut Sim) + 'static,
     {
         let job = Job { service, enqueued_at: sim.now(), done: Box::new(done) };
-        let start = {
-            let mut st = this.borrow_mut();
-            st.stats.arrivals += 1;
-            if st.busy < st.servers {
-                st.busy += 1;
-                Some(job)
-            } else {
-                st.waiting.push_back(job);
-                None
-            }
-        };
-        if let Some(job) = start {
-            Self::run_job(this, sim, job);
+        let mut st = this.borrow_mut();
+        let slot = st.park(job);
+        st.stats.arrivals += 1;
+        if st.busy < st.servers {
+            // Immediate start: the job never waits, so the wait-time
+            // accounting a queued start needs is skipped entirely.
+            st.busy += 1;
+            let id = Self::registry_id(&mut st, this, sim);
+            drop(st);
+            sim.schedule_station(service, id, slot);
+        } else {
+            st.waiting.push_back(slot);
         }
     }
 
-    /// Starts `job` on a server already accounted as busy.
-    fn run_job(this: &StationRef, sim: &mut Sim, job: Job) {
+    /// Starts the queued job in `slot` on a server already accounted as
+    /// busy, charging the time it waited.
+    fn start(this: &StationRef, sim: &mut Sim, slot: u32) {
+        let mut st = this.borrow_mut();
+        let job = st.jobs[slot as usize].as_ref().expect("started job is parked");
         let wait = sim.now().saturating_since(job.enqueued_at);
-        this.borrow_mut().stats.wait_time += wait;
-        let handle = Rc::clone(this);
-        let Job { service, done, .. } = job;
-        sim.schedule(service, move |sim| {
-            let next = {
-                let mut st = handle.borrow_mut();
-                st.stats.completions += 1;
-                st.stats.busy_time += service;
-                st.busy -= 1;
-                if st.busy < st.servers {
-                    let next = st.waiting.pop_front();
-                    if next.is_some() {
-                        st.busy += 1;
-                    }
-                    next
-                } else {
-                    None
+        let service = job.service;
+        st.stats.wait_time += wait;
+        let id = Self::registry_id(&mut st, this, sim);
+        drop(st);
+        sim.schedule_station(service, id, slot);
+    }
+
+    /// Completes the job in `slot`: accounting, the `done` callback, then
+    /// starting the next queued job (in that order — callbacks observe the
+    /// free server, and the next job's completion is scheduled after any
+    /// events the callback itself schedules at this instant).
+    pub(crate) fn complete(this: &StationRef, sim: &mut Sim, slot: u32) {
+        let (job, next) = {
+            let mut st = this.borrow_mut();
+            let job = st.jobs[slot as usize].take().expect("completed job is parked");
+            st.free.push(slot);
+            st.stats.completions += 1;
+            st.stats.busy_time += job.service;
+            st.busy -= 1;
+            let next = if st.busy < st.servers {
+                let next = st.waiting.pop_front();
+                if next.is_some() {
+                    st.busy += 1;
                 }
+                next
+            } else {
+                None
             };
-            done(sim);
-            if let Some(next) = next {
-                Station::run_job(&handle, sim, next);
-            }
-        });
+            (job, next)
+        };
+        (job.done)(sim);
+        if let Some(next) = next {
+            Self::start(this, sim, next);
+        }
     }
 }
 
@@ -320,5 +382,27 @@ mod tests {
         let stats = StationStats::default();
         assert_eq!(stats.mean_wait(), SimDuration::ZERO);
         assert_eq!(stats.utilization(4, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn job_slots_are_recycled_under_steady_load() {
+        let mut sim = Sim::new(0);
+        let station = Station::new("s", 1);
+        // A closed loop of one job at a time: the slab never needs more
+        // than one slot no matter how many jobs flow through.
+        fn resubmit(station: &StationRef, sim: &mut Sim, left: u32) {
+            if left == 0 {
+                return;
+            }
+            let again = Rc::clone(station);
+            Station::submit(station, sim, SimDuration::from_millis(1), move |sim| {
+                resubmit(&again, sim, left - 1);
+            });
+        }
+        resubmit(&station, &mut sim, 500);
+        sim.run();
+        let st = station.borrow();
+        assert_eq!(st.stats().completions, 500);
+        assert_eq!(st.jobs.len(), 1, "steady single-job load should reuse one slot");
     }
 }

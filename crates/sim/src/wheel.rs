@@ -1,0 +1,429 @@
+//! A hierarchical timing-wheel priority queue for the event engine.
+//!
+//! [`EventWheel`] replaces a binary heap as the pending-event store. It
+//! yields entries in exactly ascending `(at, seq)` order — the same total
+//! order a heap gives, bit for bit — but pushes in O(1) and pops in
+//! near-O(1), instead of paying an O(log n) sift on every operation. For a
+//! metadata-service simulation holding thousands of pending timers and job
+//! completions, the sift traffic is the single largest kernel cost, so this
+//! is where the hot-path budget goes.
+//!
+//! # Structure
+//!
+//! Three wheel levels of 256 buckets each, with power-of-two bucket widths
+//! (128 ns, 32.8 µs, 8.4 ms), cover ~2.1 s of virtual time ahead of the
+//! cursor; entries beyond that wait in an unordered overflow list. A push
+//! lands in the finest level whose window contains its instant: one shift,
+//! one mask, a `Vec` push, and an occupancy-bitmap bit set.
+//!
+//! Popping drains one finest-level bucket at a time into `run`, sorted
+//! once, and then pops from the end of the sorted run. Coarser buckets
+//! cascade downward as the cursor reaches them (each entry moves at most
+//! twice), and the occupancy bitmaps let the cursor jump straight over
+//! empty buckets, so sparse queues don't pay a scan. Entries scheduled
+//! *behind* the already-drained cursor — same-instant follow-ups, mostly —
+//! go to a small `late` binary heap, and the pop path merges the two heads.
+//!
+//! # Determinism
+//!
+//! `(at, seq)` keys are unique (the engine hands out `seq` sequentially),
+//! every bucket is sorted with the same total order before use, and no
+//! iteration order depends on addresses or hashing — so the pop sequence is
+//! a pure function of the push sequence, exactly as with the heap it
+//! replaces. The differential tests in `tests/differential.rs` hold the
+//! engine to that, comparing full transcripts against the boxed
+//! [`baseline`](crate::baseline) engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Bucket-width shifts per level: 2^7 ns, 2^15 ns, 2^23 ns.
+const SHIFT: [u32; 3] = [7, 15, 23];
+/// Buckets per level (and the matching index mask).
+const BUCKETS: usize = 256;
+/// Span of one full level window in nanoseconds: 2^15, 2^23, 2^31.
+const SPAN: [u64; 3] = [1 << (SHIFT[0] + 8), 1 << (SHIFT[1] + 8), 1 << (SHIFT[2] + 8)];
+
+/// A pending event: all `Copy`, 24 bytes, no drop glue — bucket moves and
+/// sorts shuffle plain words and never run destructors or panic paths. The
+/// `action` word is the engine's packed action payload; the wheel never
+/// interprets it.
+#[derive(Clone, Copy)]
+pub(crate) struct Entry {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) action: u64,
+}
+
+impl Entry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // Inverted: the max end of a sorted slice and the max of a `BinaryHeap`
+    // are then the *earliest* `(at, seq)`, which is what pop wants.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// One wheel level: 256 buckets plus an occupancy bitmap so the cursor can
+/// jump straight to the next non-empty bucket.
+struct Level {
+    buckets: Vec<Vec<Entry>>,
+    occupied: [u64; BUCKETS / 64],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level { buckets: (0..BUCKETS).map(|_| Vec::new()).collect(), occupied: [0; 4] }
+    }
+
+    #[inline]
+    fn insert(&mut self, idx: usize, entry: Entry) {
+        debug_assert!(idx < BUCKETS);
+        self.buckets[idx].push(entry);
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Index of the first occupied bucket at or after `from`.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= BUCKETS {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == BUCKETS / 64 {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+
+    /// Empties bucket `idx`, clearing its occupancy bit, and returns a
+    /// draining handle that leaves the bucket's capacity in place.
+    fn drain(&mut self, idx: usize) -> std::vec::Drain<'_, Entry> {
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+        self.buckets[idx].drain(..)
+    }
+}
+
+/// The engine's pending-event store. See the module docs for the layout.
+pub(crate) struct EventWheel {
+    /// The drained-and-sorted current bucket, descending by `(at, seq)`;
+    /// the earliest entry is at the end, so the hot pop is `Vec::pop`.
+    run: Vec<Entry>,
+    /// Entries scheduled behind the cursor (`at` earlier than `run_hi`) —
+    /// same-instant follow-ups scheduled by executing events. Merged with
+    /// `run` head-to-head on pop; bursts stay O(log n) per entry.
+    late: BinaryHeap<Entry>,
+    /// Exclusive upper bound of the span already drained into `run`.
+    run_hi: u64,
+    /// Aligned start of each level's current window.
+    window: [u64; 3],
+    levels: [Level; 3],
+    /// Entries at or beyond `window[2] + SPAN[2]`, unordered; partitioned
+    /// into level 2 whenever the cursor exhausts all three wheels.
+    overflow: Vec<Entry>,
+    len: usize,
+}
+
+impl EventWheel {
+    pub(crate) fn new() -> Self {
+        EventWheel {
+            run: Vec::new(),
+            late: BinaryHeap::new(),
+            run_hi: 0,
+            window: [0; 3],
+            levels: [Level::new(), Level::new(), Level::new()],
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, entry: Entry) {
+        self.len += 1;
+        let t = entry.at.as_nanos();
+        if t < self.run_hi {
+            self.late.push(entry);
+        } else if t < self.window[0] + SPAN[0] {
+            let idx = ((t - self.window[0]) >> SHIFT[0]) as usize;
+            self.levels[0].insert(idx, entry);
+        } else if t < self.window[1] + SPAN[1] {
+            let idx = ((t - self.window[1]) >> SHIFT[1]) as usize;
+            self.levels[1].insert(idx, entry);
+        } else if t < self.window[2] + SPAN[2] {
+            let idx = ((t - self.window[2]) >> SHIFT[2]) as usize;
+            self.levels[2].insert(idx, entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Removes and returns the earliest `(at, seq)` entry.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<Entry> {
+        loop {
+            let run = self.run.last().map(Entry::key);
+            let late = self.late.peek().map(Entry::key);
+            match (run, late) {
+                (Some(r), Some(l)) => {
+                    self.len -= 1;
+                    return if l < r { self.late.pop() } else { self.run.pop() };
+                }
+                (Some(_), None) => {
+                    self.len -= 1;
+                    return self.run.pop();
+                }
+                (None, Some(_)) => {
+                    self.len -= 1;
+                    return self.late.pop();
+                }
+                (None, None) => {
+                    if !self.advance() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The instant of the earliest pending entry, if any. Advances the
+    /// cursor internally (cheap, and pure bookkeeping) but pops nothing.
+    pub(crate) fn peek_at(&mut self) -> Option<SimTime> {
+        loop {
+            let run = self.run.last().map(Entry::key);
+            let late = self.late.peek().map(Entry::key);
+            match (run, late) {
+                (Some(r), Some(l)) => return Some(r.min(l).0),
+                (Some(r), None) => return Some(r.0),
+                (None, Some(l)) => return Some(l.0),
+                (None, None) => {
+                    if !self.advance() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the next non-empty finest-level bucket into `run`, cascading
+    /// coarser levels and the overflow list down as the cursor crosses
+    /// their windows. Returns `false` when no entries remain anywhere.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.run.is_empty() && self.late.is_empty());
+        loop {
+            // Next occupied bucket at the finest level, at or after the
+            // already-drained span.
+            let idx0 = ((self.run_hi - self.window[0]) >> SHIFT[0]) as usize;
+            if let Some(b) = self.levels[0].next_occupied(idx0) {
+                self.run.extend(self.levels[0].drain(b));
+                // The inverted `Ord` sorts descending; keys are unique, so
+                // unstable sorting is still fully deterministic.
+                self.run.sort_unstable();
+                self.run_hi = self.window[0] + ((b as u64 + 1) << SHIFT[0]);
+                return true;
+            }
+            // Finest window exhausted: cascade the next level-1 bucket.
+            let idx1 = ((self.window[0] - self.window[1]) >> SHIFT[1]) as usize;
+            if let Some(b) = self.levels[1].next_occupied(idx1) {
+                let start = self.window[1] + ((b as u64) << SHIFT[1]);
+                self.window[0] = start;
+                self.run_hi = start;
+                let level = &mut self.levels[..2];
+                let (l0, l1) = level.split_at_mut(1);
+                for entry in l1[0].drain(b) {
+                    let idx = ((entry.at.as_nanos() - start) >> SHIFT[0]) as usize;
+                    l0[0].insert(idx, entry);
+                }
+                continue;
+            }
+            // Level 1 exhausted: cascade the next level-2 bucket.
+            let idx2 = ((self.window[1] - self.window[2]) >> SHIFT[2]) as usize;
+            if let Some(b) = self.levels[2].next_occupied(idx2) {
+                let start = self.window[2] + ((b as u64) << SHIFT[2]);
+                self.window[1] = start;
+                self.window[0] = start;
+                self.run_hi = start;
+                let level = &mut self.levels[1..];
+                let (l1, l2) = level.split_at_mut(1);
+                for entry in l2[0].drain(b) {
+                    let idx = ((entry.at.as_nanos() - start) >> SHIFT[1]) as usize;
+                    l1[0].insert(idx, entry);
+                }
+                continue;
+            }
+            // All wheels exhausted: open the window containing the
+            // earliest overflow entry and partition overflow into level 2.
+            if self.overflow.is_empty() {
+                return false;
+            }
+            let min_at =
+                self.overflow.iter().map(|e| e.at.as_nanos()).min().expect("overflow non-empty");
+            let base = min_at & !(SPAN[2] - 1);
+            self.window = [base; 3];
+            self.run_hi = base;
+            let horizon = base + SPAN[2];
+            let mut keep = Vec::with_capacity(self.overflow.len());
+            for entry in self.overflow.drain(..) {
+                let t = entry.at.as_nanos();
+                if t < horizon {
+                    let idx = ((t - base) >> SHIFT[2]) as usize;
+                    self.levels[2].insert(idx, entry);
+                } else {
+                    keep.push(entry);
+                }
+            }
+            self.overflow = keep;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at_ns: u64, seq: u64) -> Entry {
+        Entry { at: SimTime::from_nanos(at_ns), seq, action: seq }
+    }
+
+    /// Deterministic pseudo-random u64 stream (SplitMix64).
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn drain_keys(wheel: &mut EventWheel) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = wheel.pop() {
+            out.push((e.at.as_nanos(), e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_key_order_across_all_levels_and_overflow() {
+        let mut wheel = EventWheel::new();
+        let mut mix = Mix(7);
+        let mut expect = Vec::new();
+        for seq in 0..20_000u64 {
+            // Spread instants from sub-bucket to far beyond the level-2
+            // horizon (several seconds), exercising every routing arm.
+            let exp = mix.next() % 34;
+            let at = mix.next() % (1u64 << exp);
+            wheel.push(entry(at, seq));
+            expect.push((at, seq));
+        }
+        expect.sort_unstable();
+        assert_eq!(wheel.len(), 20_000);
+        assert_eq!(drain_keys(&mut wheel), expect);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_order() {
+        let mut wheel = EventWheel::new();
+        let mut reference = std::collections::BTreeSet::new();
+        let mut mix = Mix(99);
+        let mut seq = 0u64;
+        let mut vnow = 0u64;
+        for round in 0..5_000 {
+            for _ in 0..(mix.next() % 4) {
+                // Pushes never precede the virtual clock, as in the engine.
+                let at = vnow + mix.next() % 3_000_000;
+                wheel.push(entry(at, seq));
+                reference.insert((at, seq));
+                seq += 1;
+            }
+            if round % 3 != 0 {
+                let got = wheel.pop().map(|e| (e.at.as_nanos(), e.seq));
+                let want = reference.pop_first();
+                assert_eq!(got, want);
+                if let Some((at, _)) = want {
+                    vnow = at;
+                }
+            }
+        }
+        let rest: Vec<_> = reference.into_iter().collect();
+        assert_eq!(drain_keys(&mut wheel), rest);
+    }
+
+    #[test]
+    fn same_instant_bursts_pop_in_seq_order() {
+        let mut wheel = EventWheel::new();
+        // A burst scheduled "during execution": run_hi has advanced past
+        // the instant, so these all land in the late heap.
+        wheel.push(entry(500, 0));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        for seq in 1..200u64 {
+            wheel.push(entry(500, seq));
+        }
+        let popped = drain_keys(&mut wheel);
+        assert_eq!(popped, (1..200).map(|s| (500, s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop_and_is_stable() {
+        let mut wheel = EventWheel::new();
+        let mut mix = Mix(3);
+        for seq in 0..1_000u64 {
+            wheel.push(entry(mix.next() % 50_000_000, seq));
+        }
+        while let Some(at) = wheel.peek_at() {
+            assert_eq!(wheel.peek_at(), Some(at), "peek is idempotent");
+            let popped = wheel.pop().expect("peeked entry pops");
+            assert_eq!(popped.at, at);
+        }
+        assert_eq!(wheel.pop().map(|e| e.seq), None);
+    }
+
+    #[test]
+    fn far_future_entries_survive_multiple_window_refills() {
+        let mut wheel = EventWheel::new();
+        // Three entries, each several level-2 windows apart.
+        for (seq, secs) in [(0u64, 0u64), (1, 10), (2, 40), (3, 90)] {
+            wheel.push(entry(secs * 1_000_000_000, seq));
+        }
+        assert_eq!(
+            drain_keys(&mut wheel),
+            vec![
+                (0, 0),
+                (10_000_000_000, 1),
+                (40_000_000_000, 2),
+                (90_000_000_000, 3)
+            ]
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Differential property tests: the slab/enum DES kernel ([`Sim`]) must be
+//! observationally identical to the preserved boxed-closure reference
+//! implementation ([`lambda_sim::baseline::BoxedSim`]).
+//!
+//! Each property generates a random *schedule program* — a plain data
+//! structure, so it can be replayed on both engines — and requires the two
+//! runs to produce identical firing logs (event id and virtual time of
+//! every firing), identical final clocks, and identical executed-event
+//! counts. The programs deliberately exercise the ordering edge cases:
+//! same-instant bursts (FIFO by scheduling order), events scheduling
+//! further events from inside their own firing, and past-instant schedules
+//! that must clamp to "now".
+
+use lambda_sim::baseline::{boxed_every, BoxedSim, BoxedStation};
+use lambda_sim::{every, Sim, SimDuration, SimTime, Station};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Nanoseconds per delay unit. Delays are drawn from a tiny integer range
+/// so that same-instant collisions are common, then scaled up.
+const TICK: u64 = 1_000;
+
+/// One root event: fires after `delay`, then schedules its children.
+#[derive(Debug, Clone)]
+struct RootSpec {
+    id: u32,
+    delay: u64,
+    children: Vec<ChildSpec>,
+}
+
+/// A child event scheduled from inside its parent's firing. When `past` is
+/// set it is scheduled at `parent_fire_time - delay` (clamped by the
+/// engine); otherwise at `parent_fire_time + delay`.
+#[derive(Debug, Clone)]
+struct ChildSpec {
+    id: u32,
+    delay: u64,
+    past: bool,
+    grandchildren: Vec<(u32, u64)>,
+}
+
+/// Assigns stable event ids to a raw generated program, in generation
+/// order, so both engines label firings identically.
+fn number_program(raw: Vec<(u64, Vec<(u64, bool, Vec<u64>)>)>) -> Vec<RootSpec> {
+    let mut next_id = 0u32;
+    let mut id = || {
+        let v = next_id;
+        next_id += 1;
+        v
+    };
+    raw.into_iter()
+        .map(|(delay, children)| RootSpec {
+            id: id(),
+            delay,
+            children: children
+                .into_iter()
+                .map(|(cdelay, past, grand)| ChildSpec {
+                    id: id(),
+                    delay: cdelay,
+                    past,
+                    grandchildren: grand.into_iter().map(|gdelay| (id(), gdelay)).collect(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Drives one engine through a closure program, returning the firing log
+/// `(time_ns, event_id)` plus `(final_now_ns, events_executed)`.
+macro_rules! run_closure_program {
+    ($sim_ty:ty, $program:expr) => {{
+        let program: &[RootSpec] = $program;
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = <$sim_ty>::new(7);
+        for root in program.iter().cloned() {
+            let log = Rc::clone(&log);
+            sim.schedule(SimDuration::from_nanos(root.delay * TICK), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), root.id));
+                for child in root.children.iter().cloned() {
+                    let log = Rc::clone(&log);
+                    let fire = move |sim: &mut $sim_ty| {
+                        log.borrow_mut().push((sim.now().as_nanos(), child.id));
+                        for (gid, gdelay) in child.grandchildren.iter().copied() {
+                            let log = Rc::clone(&log);
+                            sim.schedule(SimDuration::from_nanos(gdelay * TICK), move |sim| {
+                                log.borrow_mut().push((sim.now().as_nanos(), gid));
+                            });
+                        }
+                    };
+                    if child.past {
+                        let target = sim.now().as_nanos().saturating_sub(child.delay * TICK);
+                        sim.schedule_at(SimTime::from_nanos(target), fire);
+                    } else {
+                        sim.schedule(SimDuration::from_nanos(child.delay * TICK), fire);
+                    }
+                }
+            });
+        }
+        sim.run();
+        let events = Rc::try_unwrap(log).expect("run complete").into_inner();
+        (events, sim.now().as_nanos(), sim.events_executed())
+    }};
+}
+
+/// One timer: starts at `first`, ticks every `period`, cancels itself after
+/// `ticks` firings.
+#[derive(Debug, Clone)]
+struct TimerSpec {
+    id: u32,
+    first: u64,
+    period: u64,
+    ticks: u8,
+}
+
+macro_rules! run_timer_program {
+    ($sim_ty:ty, $every:path, $timers:expr, $bursts:expr) => {{
+        let timers: &[TimerSpec] = $timers;
+        let bursts: &[u64] = $bursts;
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = <$sim_ty>::new(7);
+        for (i, spec) in timers.iter().cloned().enumerate() {
+            let tick_log = Rc::clone(&log);
+            let mut left = u32::from(spec.ticks) + 1;
+            $every(
+                &mut sim,
+                SimTime::from_nanos(spec.first * TICK),
+                SimDuration::from_nanos((spec.period + 1) * TICK),
+                move |sim: &mut $sim_ty| {
+                    tick_log.borrow_mut().push((sim.now().as_nanos(), spec.id));
+                    left -= 1;
+                    left > 0
+                },
+            );
+            // Interleave one-shot closures between timer registrations so
+            // the two engines must agree on mixed-variant FIFO order too.
+            if let Some(&delay) = bursts.get(i) {
+                let log = Rc::clone(&log);
+                sim.schedule(SimDuration::from_nanos(delay * TICK), move |sim| {
+                    log.borrow_mut().push((sim.now().as_nanos(), u32::MAX));
+                });
+            }
+        }
+        sim.run();
+        let events = Rc::try_unwrap(log).expect("run complete").into_inner();
+        (events, sim.now().as_nanos(), sim.events_executed())
+    }};
+}
+
+/// One station job: submitted at `submit_at`, needing `service` time, on
+/// station `station` (two stations exist, with 1 and 2 servers).
+#[derive(Debug, Clone)]
+struct JobSpec {
+    id: u32,
+    submit_at: u64,
+    service: u64,
+    station: bool,
+}
+
+macro_rules! run_station_program {
+    ($sim_ty:ty, $station_ty:ty, $new_station:expr, $jobs:expr, $resizes:expr) => {{
+        let jobs: &[JobSpec] = $jobs;
+        let resizes: &[(u64, bool, u32)] = $resizes;
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = <$sim_ty>::new(7);
+        let stations = [$new_station(1), $new_station(2)];
+        for job in jobs.iter().cloned() {
+            let log = Rc::clone(&log);
+            let station = Rc::clone(&stations[usize::from(job.station)]);
+            sim.schedule(SimDuration::from_nanos(job.submit_at * TICK), move |sim| {
+                let log = Rc::clone(&log);
+                <$station_ty>::submit(
+                    &station,
+                    sim,
+                    SimDuration::from_nanos(job.service * TICK),
+                    move |sim: &mut $sim_ty| {
+                        log.borrow_mut().push((sim.now().as_nanos(), job.id));
+                    },
+                );
+            });
+        }
+        for (at, which, servers) in resizes.iter().copied() {
+            let station = Rc::clone(&stations[usize::from(which)]);
+            sim.schedule(SimDuration::from_nanos(at * TICK), move |_| {
+                station.borrow_mut().set_servers(servers + 1);
+            });
+        }
+        sim.run();
+        let stats = [stations[0].borrow().stats(), stations[1].borrow().stats()];
+        let events = Rc::try_unwrap(log).expect("run complete").into_inner();
+        (events, sim.now().as_nanos(), sim.events_executed(), stats)
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn closure_schedules_fire_identically(
+        raw in prop::collection::vec(
+            (
+                0..8u64,
+                prop::collection::vec(
+                    (0..8u64, any::<bool>(), prop::collection::vec(0..8u64, 0..3)),
+                    0..4,
+                ),
+            ),
+            0..24,
+        ),
+    ) {
+        let program = number_program(raw);
+        let slab = run_closure_program!(Sim, &program);
+        let boxed = run_closure_program!(BoxedSim, &program);
+        prop_assert_eq!(slab, boxed);
+    }
+
+    #[test]
+    fn timer_programs_tick_identically(
+        raw in prop::collection::vec((0..6u64, 0..4u64, 0..5u8), 0..8),
+        bursts in prop::collection::vec(0..20u64, 0..8),
+    ) {
+        let timers: Vec<TimerSpec> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (first, period, ticks))| TimerSpec {
+                id: u32::try_from(i).expect("small index"),
+                first,
+                period,
+                ticks,
+            })
+            .collect();
+        let slab = run_timer_program!(Sim, every, &timers, &bursts);
+        let boxed = run_timer_program!(BoxedSim, boxed_every, &timers, &bursts);
+        prop_assert_eq!(slab, boxed);
+    }
+
+    #[test]
+    fn station_programs_complete_identically(
+        raw in prop::collection::vec((0..12u64, 0..10u64, any::<bool>()), 0..32),
+        resizes in prop::collection::vec((0..12u64, any::<bool>(), 0..3u32), 0..4),
+    ) {
+        let jobs: Vec<JobSpec> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit_at, service, station))| JobSpec {
+                id: u32::try_from(i).expect("small index"),
+                submit_at,
+                service,
+                station,
+            })
+            .collect();
+        let slab = run_station_program!(
+            Sim, Station, |k| Station::new("s", k), &jobs, &resizes
+        );
+        let boxed = run_station_program!(
+            BoxedSim, BoxedStation, BoxedStation::new, &jobs, &resizes
+        );
+        prop_assert_eq!(slab, boxed);
+    }
+}
+
+/// A fixed mixed workload driven through both engines: closures, timers,
+/// and stations interleaved at the same instants, comparing the complete
+/// firing transcript. Deterministic companion to the properties above.
+#[test]
+fn mixed_kernel_transcripts_match() {
+    fn drive_slab() -> (Vec<(u64, u32)>, u64, u64) {
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(99);
+        let station = Station::new("mix", 2);
+        {
+            let log = Rc::clone(&log);
+            let mut left = 5u32;
+            every(&mut sim, SimTime::ZERO, SimDuration::from_nanos(3 * TICK), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), 1000));
+                left -= 1;
+                left > 0
+            });
+        }
+        for i in 0..10u32 {
+            let log = Rc::clone(&log);
+            let station = Rc::clone(&station);
+            sim.schedule(SimDuration::from_nanos(u64::from(i % 3) * TICK), move |sim| {
+                let log = Rc::clone(&log);
+                Station::submit(&station, sim, SimDuration::from_nanos(2 * TICK), move |sim| {
+                    log.borrow_mut().push((sim.now().as_nanos(), i));
+                });
+            });
+        }
+        sim.run();
+        let events = Rc::try_unwrap(log).expect("run complete").into_inner();
+        (events, sim.now().as_nanos(), sim.events_executed())
+    }
+    fn drive_boxed() -> (Vec<(u64, u32)>, u64, u64) {
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = BoxedSim::new(99);
+        let station = BoxedStation::new(2);
+        {
+            let log = Rc::clone(&log);
+            let mut left = 5u32;
+            boxed_every(&mut sim, SimTime::ZERO, SimDuration::from_nanos(3 * TICK), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), 1000));
+                left -= 1;
+                left > 0
+            });
+        }
+        for i in 0..10u32 {
+            let log = Rc::clone(&log);
+            let station = Rc::clone(&station);
+            sim.schedule(SimDuration::from_nanos(u64::from(i % 3) * TICK), move |sim| {
+                let log = Rc::clone(&log);
+                BoxedStation::submit(&station, sim, SimDuration::from_nanos(2 * TICK), move |sim| {
+                    log.borrow_mut().push((sim.now().as_nanos(), i));
+                });
+            });
+        }
+        sim.run();
+        let events = Rc::try_unwrap(log).expect("run complete").into_inner();
+        (events, sim.now().as_nanos(), sim.events_executed())
+    }
+    assert_eq!(drive_slab(), drive_boxed());
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One entry point for correctness + perf verification of a PR:
+#   1. tier-1: release build + full test suite (quiet)
+#   2. kernel bench smoke: a fast liveness run of the DES-kernel
+#      throughput microbench (slab/wheel engine vs boxed baseline).
+#
+# The smoke bench writes results/BENCH_kernel_smoke.json and is
+# informational at that scale; the recorded full-size numbers live in
+# results/BENCH_kernel.json (regenerate with `bench_kernel --scale=25`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+# The workspace build does not cover the bench crate's binaries; the smoke
+# step below needs this one.
+cargo build --release --offline -p lambda-bench --bin bench_kernel
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "== kernel bench smoke =="
+./target/release/bench_kernel --smoke
+
+echo "verify.sh: all checks passed"

@@ -1,0 +1,152 @@
+//! Offline drop-in replacement for the subset of the `bytes` crate used by
+//! this workspace (`lambda-lsm`'s keys and values).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! `[patch.crates-io]` table substitutes this crate. [`Bytes`] here is a
+//! cheaply clonable, immutable byte string backed by `Arc<[u8]>` — the same
+//! contract the real crate provides for the operations the LSM tree uses
+//! (construction, ordering, hashing, slicing via `Deref`).
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty byte string.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies `data` into a new byte string.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the byte string is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn ordering_matches_slices() {
+        let a = Bytes::copy_from_slice(b"abc");
+        let b = Bytes::from(b"abd".to_vec());
+        assert!(a < b);
+        assert_eq!(a, Bytes::from("abc"));
+        assert_eq!(&a[..], b"abc");
+    }
+
+    #[test]
+    fn works_as_ordered_map_key_with_slice_lookup() {
+        let mut m: BTreeMap<Bytes, u32> = BTreeMap::new();
+        m.insert(Bytes::from("k1"), 1);
+        m.insert(Bytes::from("k2"), 2);
+        assert_eq!(m.get(&b"k1"[..]), Some(&1));
+        let hits: Vec<u32> = m
+            .range::<[u8], _>((
+                std::ops::Bound::Included(&b"k1"[..]),
+                std::ops::Bound::Excluded(&b"k2"[..]),
+            ))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn debug_is_printable() {
+        let b = Bytes::copy_from_slice(&[b'a', 0x00, b'"']);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\\\"\"");
+    }
+}

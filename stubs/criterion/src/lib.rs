@@ -1,0 +1,240 @@
+//! Offline drop-in replacement for the subset of `criterion` 0.5 used by
+//! this workspace's bench targets.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! `[patch.crates-io]` table substitutes this crate. It keeps the same
+//! authoring API — [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros — but the measurement core is a simple
+//! calibrated timing loop: warm up, pick an iteration count that makes a
+//! sample take a few milliseconds, take `sample_size` samples, report the
+//! median ns/iter to stdout. No statistical analysis, no HTML reports,
+//! no `target/criterion` history.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How samples are collected. Accepted for API compatibility; this stub
+/// times every benchmark the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion picks (default).
+    Auto,
+    /// Equal iterations per sample.
+    Flat,
+    /// Linearly increasing iterations per sample.
+    Linear,
+}
+
+/// How batched inputs are grouped. Accepted for API compatibility; this
+/// stub always sets up one input per timed call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output: fewer per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { sample_size: 12, target_sample_time: Duration::from_millis(8) }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), settings: self.settings, _parent: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.settings, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sampling mode (accepted, not used by the stub's timer).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), self.settings, f);
+        self
+    }
+
+    /// Ends the group. (No-op here; kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Times the closure the benchmark hands work to.
+pub struct Bencher {
+    settings: Settings,
+    /// Median ns per iteration, filled in by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and calibration: find an iteration count that makes one
+        // sample take roughly `target_sample_time`.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let sample_iters =
+            ((self.settings.target_sample_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / sample_iters as f64);
+        }
+        self.median_ns = median(&mut samples);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only `routine` is on
+    /// the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            // One timed call per sample: setup cost stays off the clock and
+            // inputs are never reused, which is correct for every BatchSize.
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        self.median_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    samples[samples.len() / 2]
+}
+
+fn run_benchmark<F>(name: &str, settings: Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { settings, median_ns: f64::NAN };
+    f(&mut b);
+    if b.median_ns.is_nan() {
+        println!("{name:<48} (no measurement: bencher closure never called iter)");
+        return;
+    }
+    let (value, unit) = if b.median_ns >= 1e9 {
+        (b.median_ns / 1e9, "s")
+    } else if b.median_ns >= 1e6 {
+        (b.median_ns / 1e6, "ms")
+    } else if b.median_ns >= 1e3 {
+        (b.median_ns / 1e3, "us")
+    } else {
+        (b.median_ns, "ns")
+    };
+    println!("{name:<48} time: {value:>9.3} {unit}/iter");
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards flags like `--bench`; accept and
+            // ignore them the way the real harness does for unknowns.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_positive_median() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sampling_mode(SamplingMode::Flat).sample_size(4);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline drop-in replacement for the subset of `rand` 0.8 used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! `[patch.crates-io]` table substitutes this crate for the real `rand`.
+//! It provides `StdRng`, `SeedableRng`, `Rng::{gen, gen_range, gen_bool}`,
+//! and the `distributions::uniform` trait plumbing that `lambda-sim`'s
+//! `SimRng` wrapper is written against.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the
+//! ChaCha12 stream the real `StdRng` uses, which is fine here: nothing in
+//! the workspace depends on the concrete stream, only on determinism
+//! (identical seeds ⇒ identical draws) and reasonable statistical quality.
+
+#![forbid(unsafe_code)]
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a type with a standard distribution (uniform over
+    /// all values for integers, uniform in `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniformly samples from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Maps 64 random bits to a uniform draw in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> the full f64 mantissa precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the 256-bit state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Standard and uniform distributions.
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// Types samplable "naturally": integers over their full range, floats
+    /// uniform in `[0, 1)`, bools as a fair coin.
+    pub trait Standard: Sized {
+        /// Draws one value.
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Standard for u128 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    /// Uniform sampling over ranges.
+    pub mod uniform {
+        use super::super::{unit_f64, RngCore};
+        use core::ops::{Range, RangeInclusive};
+
+        /// Types that can be drawn uniformly from a bounded range.
+        pub trait SampleUniform: Sized {
+            /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when
+            /// `inclusive`).
+            fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+                -> Self;
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                        assert!(span > 0, "cannot sample from an empty range");
+                        // Multiply-shift (Lemire) keeps the draw cheap; any
+                        // residual bias over these spans is far below what
+                        // the simulator could observe.
+                        let word = u128::from(rng.next_u64());
+                        let off = (word * span as u128) >> 64;
+                        (lo as i128 + off as i128) as $t
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo <= hi, "cannot sample from an empty range");
+                lo + unit_f64(rng.next_u64()) * (hi - lo)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo <= hi, "cannot sample from an empty range");
+                lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+            }
+        }
+
+        /// Range forms accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                T::sample_between(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                T::sample_between(rng, lo, hi, true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleUniform;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_seeds_reproduce_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..3);
+            assert!(w < 3);
+            let x: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&x));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_draws_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean drifted: {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "p=0.3 produced {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn full_range_sampling_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = u64::sample_between(&mut rng, 0, u64::MAX, true);
+        let _ = i64::sample_between(&mut rng, i64::MIN, i64::MAX, true);
+    }
+}
