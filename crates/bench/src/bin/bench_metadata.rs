@@ -1,0 +1,465 @@
+//! Metadata-plane hot-path benchmark: the interned-symbol path, arena-trie
+//! cache, and zero-clone store versus their preserved baselines.
+//!
+//! Three scenarios, one per overhauled layer:
+//!
+//! * `path_resolve` — parse / `parent` / `ancestors` / `join` over deep
+//!   paths: the symbol-slice [`DfsPath`] (zero-alloc ancestor walks)
+//!   versus a bench-private copy of the pre-overhaul `String`-backed path
+//!   (every `parent()` reallocates, `ancestors()` is O(depth²) bytes);
+//! * `cache_walk` — insert / lookup / prefix-invalidate mixes against
+//!   [`MetadataCache`] (slab trie, intrusive O(1) LRU) versus
+//!   [`lambda_namespace::cache_baseline::MetadataCache`] (String-keyed
+//!   `BTreeMap` children, `BTreeSet` LRU);
+//! * `store_txn` — identical seeded lock → read → upsert → commit scripts
+//!   through [`lambda_store::Db`] (pooled keys, slab continuations,
+//!   inline-encoded lock keys) versus [`lambda_store::baseline::Db`]
+//!   (per-op key clones and boxed-continuation maps).
+//!
+//! Each scenario reports wall-clock ops/sec for both sides; the composite
+//! (geometric-mean) speedup is checked against the ≥1.5× target. Results
+//! go to `results/BENCH_metadata.json`.
+//!
+//! Flags: `--smoke` (small op counts, for CI), `--seed=N`.
+
+use lambda_bench::{arg_f64, arg_flag, fmt_events_per_sec, print_table, write_json};
+use lambda_namespace::{DfsPath, Inode, MetadataCache, ROOT_INODE_ID};
+use lambda_sim::params::StoreParams;
+use lambda_sim::{Sim, SimDuration};
+use lambda_store::LockMode;
+use std::time::Instant;
+
+/// One side's measurement of one scenario.
+struct Measurement {
+    events: u64,
+    wall_s: f64,
+}
+
+impl Measurement {
+    fn rate(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Best-of-`reps` wall clock for `run`, which returns executed ops.
+fn measure(reps: u32, mut run: impl FnMut() -> u64) -> Measurement {
+    let mut best = Measurement { events: 0, wall_s: f64::INFINITY };
+    for _ in 0..reps {
+        let started = Instant::now();
+        let events = run();
+        let wall_s = started.elapsed().as_secs_f64();
+        if wall_s < best.wall_s {
+            best = Measurement { events, wall_s };
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------
+// path_resolve: bench-private copy of the pre-overhaul String path
+// ---------------------------------------------------------------------
+
+/// The pre-overhaul path representation: one normalized `String`. Kept
+/// verbatim from the original `namespace::path` so the scenario measures
+/// exactly what the symbol overhaul replaced. Its value is standing still.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct StrPath(String);
+
+impl StrPath {
+    fn root() -> StrPath {
+        StrPath("/".to_string())
+    }
+
+    fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    fn parse(s: &str) -> Option<StrPath> {
+        if !s.starts_with('/') {
+            return None;
+        }
+        if s == "/" {
+            return Some(StrPath::root());
+        }
+        let mut normalized = String::with_capacity(s.len());
+        for comp in s.split('/').filter(|c| !c.is_empty()) {
+            if comp == "." || comp == ".." {
+                return None;
+            }
+            normalized.push('/');
+            normalized.push_str(comp);
+        }
+        Some(StrPath(normalized))
+    }
+
+    fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    fn parent(&self) -> Option<StrPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(StrPath::root()),
+            Some(idx) => Some(StrPath(self.0[..idx].to_string())),
+            None => None,
+        }
+    }
+
+    fn join(&self, name: &str) -> Result<StrPath, ()> {
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(());
+        }
+        if self.is_root() {
+            Ok(StrPath(format!("/{name}")))
+        } else {
+            Ok(StrPath(format!("{}/{name}", self.0)))
+        }
+    }
+
+    /// Ancestors root→parent, exclusive of `self` (the pre-overhaul
+    /// signature: an owned `Vec`, one fresh `String` per ancestor).
+    fn ancestors(&self) -> Vec<StrPath> {
+        let mut out = Vec::new();
+        let mut current = self.parent();
+        while let Some(p) = current {
+            current = p.parent();
+            out.push(p);
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// The resolve-shaped op mix both path types run: parse, full ancestor
+/// walk (what `resolve_chain` and cache fills do per op), a child join,
+/// and a file-name probe. Returns an accumulator so nothing is optimized
+/// away; `events` is the op count.
+macro_rules! path_scenario {
+    ($parse:expr, $inputs:expr) => {{
+        let mut acc = 0u64;
+        let mut ops = 0u64;
+        for s in $inputs {
+            let p = $parse(s.as_str());
+            for a in p.ancestors() {
+                acc = acc.wrapping_add(a.depth() as u64);
+            }
+            let child = p.join("attempt").expect("valid component");
+            acc = acc.wrapping_add(child.depth() as u64);
+            acc = acc.wrapping_add(p.file_name().map_or(0, str::len) as u64);
+            if let Some(parent) = p.parent() {
+                acc ^= parent.depth() as u64;
+            }
+            ops += 4;
+        }
+        (ops, acc)
+    }};
+}
+
+fn path_inputs(count: usize) -> Vec<String> {
+    // Depths 2..=9 across a synthetic tree; realistic component lengths.
+    (0..count)
+        .map(|i| {
+            let depth = 2 + i % 8;
+            let mut s = String::new();
+            for d in 0..depth {
+                s.push_str(&format!("/dir{:02}-{:03}", d, (i * 31 + d) % 200));
+            }
+            s.push_str(&format!("/file{:05}.dat", i % 10_000));
+            s
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// cache_walk
+// ---------------------------------------------------------------------
+
+/// Pre-built working set: `(path, chain)` pairs for `dirs` directories of
+/// `files` files each, plus per-directory prefixes for invalidation.
+struct CacheWorkload {
+    entries: Vec<(DfsPath, Vec<Inode>)>,
+    dir_paths: Vec<DfsPath>,
+}
+
+fn cache_workload(dirs: usize, files: usize) -> CacheWorkload {
+    let root = Inode::root();
+    let mut entries = Vec::with_capacity(dirs * files);
+    let mut dir_paths = Vec::with_capacity(dirs);
+    let mut next_id = ROOT_INODE_ID + 1;
+    for d in 0..dirs {
+        let dir_name = format!("dir{d:04}");
+        let dir_path: DfsPath = format!("/{dir_name}").parse().expect("valid");
+        let dir_inode = Inode::directory(next_id, ROOT_INODE_ID, dir_name);
+        next_id += 1;
+        dir_paths.push(dir_path.clone());
+        for f in 0..files {
+            let file_name = format!("file{f:04}");
+            let file_path = dir_path.join(&file_name).expect("valid");
+            let file_inode = Inode::file(next_id, dir_inode.id, file_name);
+            next_id += 1;
+            entries.push((file_path, vec![root.clone(), dir_inode.clone(), file_inode]));
+        }
+    }
+    CacheWorkload { entries, dir_paths }
+}
+
+/// The NameNode-shaped op mix: fill, then a lookup-heavy steady state with
+/// periodic prefix invalidations and re-fills. Capacity is set below the
+/// working set so the LRU actually evicts. Returns the op count; asserts
+/// the two implementations agree via the hit counter.
+macro_rules! cache_scenario {
+    ($cache_ty:ty, $wl:expr, $lookups:expr) => {{
+        let wl: &CacheWorkload = $wl;
+        let mut cache = <$cache_ty>::new(wl.entries.len() * 2 / 3);
+        let mut ops = 0u64;
+        for (path, chain) in &wl.entries {
+            cache.insert_chain(path, chain);
+            ops += 1;
+        }
+        for i in 0..$lookups {
+            let (path, chain) = &wl.entries[(i * 7919) % wl.entries.len()];
+            if cache.lookup(path).is_none() {
+                cache.insert_chain(path, chain);
+                ops += 1;
+            }
+            ops += 1;
+            if i % 4096 == 4095 {
+                cache.invalidate_prefix(&wl.dir_paths[(i / 4096) % wl.dir_paths.len()]);
+                ops += 1;
+            }
+        }
+        (ops, cache.stats().hits)
+    }};
+}
+
+// ---------------------------------------------------------------------
+// store_txn
+// ---------------------------------------------------------------------
+
+/// Closed-loop transaction script: each txn exclusively locks two rows,
+/// reads them under the locks, rewrites one, and commits; the commit
+/// continuation starts the next txn. Identical keys, seed, and charge
+/// sequence on both stores. Returns (ops, final sim time in nanos) so the
+/// engines' agreement is also checked.
+macro_rules! store_scenario {
+    ($db_ty:ty, $seed:expr, $rows:expr, $txns:expr) => {{
+        let mut sim = Sim::new($seed);
+        let db = <$db_ty>::new(&StoreParams::default(), SimDuration::from_secs(5));
+        let table = db.create_table::<u64, u64>("inodes");
+        for i in 0..$rows {
+            db.bootstrap_insert(table, i, i * 10);
+        }
+        fn pump(
+            db: &$db_ty,
+            table: lambda_store::TableHandle<u64, u64>,
+            sim: &mut Sim,
+            rows: u64,
+            i: u64,
+            left: u64,
+        ) {
+            if left == 0 {
+                return;
+            }
+            let a = (i * 17) % rows;
+            let b = (i * 31 + 7) % rows;
+            let txn = db.begin();
+            let mut keys = vec![db.lock_key(table, &a), db.lock_key(table, &b)];
+            keys.sort();
+            keys.dedup();
+            let db2 = db.clone();
+            db.lock(sim, txn, keys, LockMode::Exclusive, move |sim, r| {
+                r.expect("uncontended");
+                let db3 = db2.clone();
+                db2.read_locked(
+                    sim,
+                    txn,
+                    table,
+                    vec![a, b],
+                    LockMode::Exclusive,
+                    move |sim, values| {
+                        let values = values.expect("locked");
+                        let sum: u64 = values.iter().map(|r| r.unwrap_or(0)).sum();
+                        db3.upsert(txn, table, a, sum).expect("locked");
+                        let db4 = db3.clone();
+                        db3.commit(sim, txn, move |sim, r| {
+                            r.expect("commit");
+                            pump(&db4, table, sim, rows, i + 1, left - 1);
+                        });
+                    },
+                );
+            });
+        }
+        pump(&db, table, &mut sim, $rows, 0, $txns);
+        sim.run();
+        assert_eq!(db.stats().commits, $txns, "script ran to completion");
+        ($txns, sim.now().as_nanos())
+    }};
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let reps = if smoke { 2 } else { 3 };
+    let seed = arg_f64("seed", 42.0) as u64;
+    // Op counts per scenario; the full run sizes match a fig10-scale
+    // steady state (hundreds of directories, tens of thousands of ops).
+    let (n_paths, cache_dirs, cache_files, cache_lookups, store_rows, store_txns): (
+        usize,
+        usize,
+        usize,
+        usize,
+        u64,
+        u64,
+    ) = if smoke { (4_000, 32, 16, 20_000, 64, 2_000) } else { (120_000, 192, 48, 600_000, 512, 40_000) };
+
+    let inputs = path_inputs(n_paths);
+    let wl = cache_workload(cache_dirs, cache_files);
+
+    let mut agreement: Vec<String> = Vec::new();
+    let scenarios: Vec<(&str, Measurement, Measurement)> = vec![
+        (
+            "path_resolve",
+            measure(reps, || {
+                let (ops, acc) = path_scenario!(
+                    |s: &str| -> DfsPath { s.parse().expect("valid") },
+                    &inputs
+                );
+                std::hint::black_box(acc);
+                ops
+            }),
+            measure(reps, || {
+                let (ops, acc) =
+                    path_scenario!(|s: &str| StrPath::parse(s).expect("valid"), &inputs);
+                std::hint::black_box(acc);
+                ops
+            }),
+        ),
+        {
+            let new = measure(reps, || {
+                let (ops, hits) = cache_scenario!(MetadataCache, &wl, cache_lookups);
+                std::hint::black_box(hits);
+                ops
+            });
+            let (_, new_hits) = cache_scenario!(MetadataCache, &wl, cache_lookups);
+            let (_, base_hits) = cache_scenario!(
+                lambda_namespace::cache_baseline::MetadataCache,
+                &wl,
+                cache_lookups
+            );
+            agreement.push(format!(
+                "cache_walk: arena and baseline caches agree on {new_hits} hits: {}",
+                new_hits == base_hits
+            ));
+            assert_eq!(new_hits, base_hits, "cache implementations diverged");
+            let base = measure(reps, || {
+                let (ops, hits) = cache_scenario!(
+                    lambda_namespace::cache_baseline::MetadataCache,
+                    &wl,
+                    cache_lookups
+                );
+                std::hint::black_box(hits);
+                ops
+            });
+            ("cache_walk", new, base)
+        },
+        {
+            let mut new_clock = 0u64;
+            let new = measure(reps, || {
+                let (ops, clock) = store_scenario!(lambda_store::Db, seed, store_rows, store_txns);
+                new_clock = clock;
+                ops
+            });
+            let mut base_clock = 0u64;
+            let base = measure(reps, || {
+                let (ops, clock) =
+                    store_scenario!(lambda_store::baseline::Db, seed, store_rows, store_txns);
+                base_clock = clock;
+                ops
+            });
+            agreement.push(format!(
+                "store_txn: both stores finish the script at sim time {new_clock}ns: {}",
+                new_clock == base_clock
+            ));
+            assert_eq!(new_clock, base_clock, "store charge sequences diverged");
+            ("store_txn", new, base)
+        },
+    ];
+
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|(name, new, base)| {
+            vec![
+                (*name).to_string(),
+                new.events.to_string(),
+                fmt_events_per_sec(new.events, new.wall_s),
+                fmt_events_per_sec(base.events, base.wall_s),
+                format!("{:.2}x", new.rate() / base.rate()),
+            ]
+        })
+        .collect();
+    print_table(
+        "metadata-plane hot path (overhauled vs baseline)",
+        &["scenario", "ops", "new", "baseline", "speedup"],
+        &rows,
+    );
+    for line in &agreement {
+        println!("{line}");
+    }
+
+    // Composite: geometric mean across the three layers, so no single
+    // scenario's op-count choice dominates the acceptance number.
+    let product: f64 =
+        scenarios.iter().map(|(_, new, base)| new.rate() / base.rate()).product();
+    let composite = product.powf(1.0 / scenarios.len() as f64);
+    let meets = composite >= 1.5;
+    let status = if meets {
+        "ok"
+    } else if smoke {
+        "below target at smoke scale (expected; the full run is authoritative)"
+    } else {
+        "BELOW TARGET"
+    };
+    println!("composite speedup (geomean): {composite:.2}x (target 1.50x) -- {status}");
+
+    let scenario_json: Vec<String> = scenarios
+        .iter()
+        .map(|(name, new, base)| {
+            format!(
+                concat!(
+                    "    {{\"scenario\": \"{}\", \"events\": {}, ",
+                    "\"new_events_per_sec\": {:.0}, \"baseline_events_per_sec\": {:.0}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                name,
+                new.events,
+                new.rate(),
+                base.rate(),
+                new.rate() / base.rate(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"metadata\",\n  \"mode\": \"{mode}\",\n  \"scenarios\": [\n{scenarios}\n  ],\n  \
+         \"composite_speedup\": {composite:.3},\n  \"target_speedup\": 1.5,\n  \
+         \"meets_target\": {meets}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        scenarios = scenario_json.join(",\n"),
+    );
+    // Smoke runs are a CI liveness check, not a measurement; keep them from
+    // clobbering the recorded full-size numbers.
+    let path = write_json(if smoke { "BENCH_metadata_smoke" } else { "BENCH_metadata" }, &json);
+    println!("wrote {}", path.display());
+}

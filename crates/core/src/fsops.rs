@@ -411,11 +411,14 @@ impl OpEngine {
                 }
                 let new_id = this2.schema.next_id();
                 // Exclusive write set: parent row, the (parent, name)
-                // children slot, and the new inode row.
+                // children slot, and the new inode row. The children key
+                // tuple is built once and reused for the post-lock
+                // revalidation probe below.
+                let child_key = (parent.id, name.clone());
                 let mut keys = vec![
                     this2.db.lock_key(this2.schema.inodes, &parent.id),
                     this2.db.lock_key(this2.schema.inodes, &new_id),
-                    this2.db.lock_key(this2.schema.children, &(parent.id, name.clone())),
+                    this2.db.lock_key(this2.schema.children, &child_key),
                 ];
                 keys.sort();
                 let txn = this2.db.begin();
@@ -429,7 +432,7 @@ impl OpEngine {
                     }
                     // Re-validate under the exclusive locks.
                     let parent_now = this3.db.peek(this3.schema.inodes, &parent.id);
-                    let slot = this3.db.peek(this3.schema.children, &(parent.id, name.clone()));
+                    let slot = this3.db.peek(this3.schema.children, &child_key);
                     match (&parent_now, &slot) {
                         (None, _) => {
                             this3.db.abort(sim, txn);

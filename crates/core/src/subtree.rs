@@ -467,11 +467,15 @@ impl SubtreeExecutor {
                 let engine = self.engine.clone();
                 let txn = engine.db.begin();
                 let mut keys = Vec::with_capacity(batch.items.len() * 2);
+                // Reused probe tuple: one String allocation for the whole
+                // batch rather than one clone per deleted row.
+                let mut child_key = (0u64, String::new());
                 for item in &batch.items {
                     keys.push(engine.db.lock_key(engine.schema.inodes, &item.id));
-                    keys.push(
-                        engine.db.lock_key(engine.schema.children, &(item.parent, item.name.clone())),
-                    );
+                    child_key.0 = item.parent;
+                    child_key.1.clear();
+                    child_key.1.push_str(&item.name);
+                    keys.push(engine.db.lock_key(engine.schema.children, &child_key));
                 }
                 keys.sort();
                 keys.dedup();

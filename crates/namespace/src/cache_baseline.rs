@@ -1,144 +1,27 @@
-//! The in-memory metadata cache trie.
+//! The **pre-overhaul** metadata cache trie, retained verbatim as a
+//! differential-testing and benchmarking baseline.
 //!
-//! Each λFS NameNode keeps cached metadata "stored in a trie data structure
-//! maintained in-memory" (paper §3.3): a node per path component, holding
-//! the [`Inode`] for that component when cached. NameNodes cache *all*
-//! INodes along a resolved path, so a hit serves the whole permission-check
-//! chain without touching the store.
-//!
-//! The trie supports the two invalidation granularities of the coherence
-//! protocol: single-INode invalidation (§3.5) and **prefix (subtree)
-//! invalidation** (Appendix D), which drops an entire cached subtree in one
-//! traversal.
-//!
-//! Capacity is bounded (entries), with LRU eviction — the
-//! "reduced-cache λFS" experiment (§5.2.3) shrinks this bound below the
-//! workload's working-set size.
-//!
-//! ## Layout
-//!
-//! Nodes live in a slab (`Vec<Node>` plus a free list of recycled slots)
-//! and refer to each other by `u32` index. Children are found through one
-//! flat `HashMap` keyed by `(parent index, component symbol)` packed into a
-//! `u64` — path components arrive pre-interned from [`DfsPath`], so a trie
-//! descent hashes one integer per component and never touches component
-//! strings. Recency is an **intrusive doubly-linked LRU list** threaded
-//! through the nodes (`lru_prev`/`lru_next`): touch and evict are O(1)
-//! pointer splices, with no ordered set and no timestamp scans. A node is
-//! on the LRU list iff it holds an entry; interior nodes whose entry was
-//! invalidated stay in the trie (they still route lookups) but cost no LRU
-//! bookkeeping.
-//!
-//! The pre-overhaul implementation is preserved in
-//! [`crate::cache_baseline`]; `tests/cache_differential.rs` holds the two
-//! observationally equal.
+//! PR 3 replaced this `HashMap<String, usize>`-child, `BTreeSet`-LRU trie
+//! with the arena/symbol-keyed trie in [`crate::MetadataCache`]. The two
+//! implementations must stay observationally equivalent: the differential
+//! proptest in `tests/cache_differential.rs` drives identical operation
+//! sequences through both and asserts equal statistics and surviving-entry
+//! sets, and `bench_metadata` measures the speedup of the new trie against
+//! this one. Do not "improve" this module — its value is standing still.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::{BTreeSet, HashMap};
 
+use crate::cache::CacheStats;
 use crate::inode::{Inode, InodeId};
-use crate::path::{DfsPath, Sym};
-
-/// Cache effectiveness counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Full-chain lookups served from the cache.
-    pub hits: u64,
-    /// Lookups that had to go to the store.
-    pub misses: u64,
-    /// Entries inserted.
-    pub insertions: u64,
-    /// Entries evicted by the LRU bound.
-    pub evictions: u64,
-    /// Entries dropped by single-INode invalidations.
-    pub invalidations: u64,
-    /// Entries dropped by prefix invalidations.
-    pub prefix_invalidations: u64,
-    /// Directory listings served from the cache.
-    pub listing_hits: u64,
-    /// Directory listings that had to scan the store.
-    pub listing_misses: u64,
-}
-
-impl CacheStats {
-    /// Hit ratio over all lookups, or 0 when none occurred.
-    #[must_use]
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// Sentinel for "no node" in the slab's intrusive lists.
-const NIL: u32 = u32::MAX;
-/// The root's slab slot (never freed).
-const ROOT: u32 = 0;
-
-/// Integer-keyed hasher: splitmix64 finalizer over the raw key. The child
-/// map's `(parent, symbol)` keys and `by_id`'s inode ids are both single
-/// `u64` writes, so this avoids SipHash entirely on the descent path.
-#[derive(Default, Clone)]
-struct MixHasher(u64);
-
-impl Hasher for MixHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Fallback for non-integer keys (unused on the hot path).
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_u64(&mut self, x: u64) {
-        let mut x = x ^ self.0;
-        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        self.0 = x ^ (x >> 31);
-    }
-}
-
-type MixBuild = BuildHasherDefault<MixHasher>;
-
-fn child_key(parent: u32, sym: Sym) -> u64 {
-    (u64::from(parent) << 32) | u64::from(sym.0)
-}
+use crate::path::DfsPath;
 
 #[derive(Debug)]
 struct Node {
-    /// Component symbol naming this node under its parent.
-    name: Sym,
-    parent: u32,
-    /// Head of this node's sibling-linked child list.
-    first_child: u32,
-    next_sib: u32,
-    prev_sib: u32,
-    /// Intrusive LRU links; on the list iff `entry.is_some()`.
-    lru_prev: u32,
-    lru_next: u32,
+    name: String,
+    parent: Option<usize>,
+    children: HashMap<String, usize>,
     entry: Option<Inode>,
-}
-
-impl Node {
-    fn new(name: Sym, parent: u32) -> Node {
-        Node {
-            name,
-            parent,
-            first_child: NIL,
-            next_sib: NIL,
-            prev_sib: NIL,
-            lru_prev: NIL,
-            lru_next: NIL,
-            entry: None,
-        }
-    }
+    last_used: u64,
 }
 
 /// A bounded, LRU-evicting metadata trie.
@@ -146,7 +29,8 @@ impl Node {
 /// # Examples
 ///
 /// ```
-/// use lambda_namespace::{Inode, MetadataCache};
+/// use lambda_namespace::Inode;
+/// use lambda_namespace::cache_baseline::MetadataCache;
 ///
 /// let mut cache = MetadataCache::new(1024);
 /// let path = "/a/b".parse().unwrap();
@@ -162,21 +46,17 @@ impl Node {
 /// ```
 #[derive(Debug)]
 pub struct MetadataCache {
-    nodes: Vec<Node>,
-    free: Vec<u32>,
-    children: HashMap<u64, u32, MixBuild>,
-    by_id: HashMap<InodeId, u32, MixBuild>,
-    /// Most recently used entry.
-    lru_head: u32,
-    /// Least recently used entry — the next eviction victim.
-    lru_tail: u32,
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    root: usize,
+    by_id: HashMap<InodeId, usize>,
+    lru: BTreeSet<(u64, usize)>,
+    tick: u64,
     capacity: usize,
     len: usize,
     listings: HashMap<InodeId, Vec<String>>,
     listing_capacity: usize,
     stats: CacheStats,
-    /// Reusable scratch for the node indices of a path walk.
-    walk: Vec<u32>,
 }
 
 impl MetadataCache {
@@ -199,19 +79,25 @@ impl MetadataCache {
     pub fn with_listing_capacity(capacity: usize, listing_capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         assert!(listing_capacity > 0, "listing capacity must be positive");
+        let root = Node {
+            name: String::new(),
+            parent: None,
+            children: HashMap::new(),
+            entry: None,
+            last_used: 0,
+        };
         MetadataCache {
-            nodes: vec![Node::new(Sym(0), NIL)],
+            nodes: vec![Some(root)],
             free: Vec::new(),
-            children: HashMap::default(),
-            by_id: HashMap::default(),
-            lru_head: NIL,
-            lru_tail: NIL,
+            root: 0,
+            by_id: HashMap::new(),
+            lru: BTreeSet::new(),
+            tick: 0,
             capacity,
             len: 0,
             listings: HashMap::new(),
             listing_capacity,
             stats: CacheStats::default(),
-            walk: Vec::new(),
         }
     }
 
@@ -287,59 +173,32 @@ impl MetadataCache {
         self.stats
     }
 
-    fn child(&self, parent: u32, sym: Sym) -> Option<u32> {
-        self.children.get(&child_key(parent, sym)).copied()
+    fn node(&self, idx: usize) -> &Node {
+        self.nodes[idx].as_ref().expect("live node")
     }
 
-    fn lru_unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let n = &mut self.nodes[idx as usize];
-            let links = (n.lru_prev, n.lru_next);
-            n.lru_prev = NIL;
-            n.lru_next = NIL;
-            links
-        };
-        if prev == NIL {
-            self.lru_head = next;
-        } else {
-            self.nodes[prev as usize].lru_next = next;
-        }
-        if next == NIL {
-            self.lru_tail = prev;
-        } else {
-            self.nodes[next as usize].lru_prev = prev;
-        }
+    fn node_mut(&mut self, idx: usize) -> &mut Node {
+        self.nodes[idx].as_mut().expect("live node")
     }
 
-    fn lru_push_front(&mut self, idx: u32) {
-        let head = self.lru_head;
-        {
-            let n = &mut self.nodes[idx as usize];
-            n.lru_prev = NIL;
-            n.lru_next = head;
-        }
-        if head == NIL {
-            self.lru_tail = idx;
-        } else {
-            self.nodes[head as usize].lru_prev = idx;
-        }
-        self.lru_head = idx;
-    }
-
-    /// Moves a cached node to the MRU end; no-op for entryless nodes
-    /// (which are not on the LRU list).
-    fn touch(&mut self, idx: u32) {
-        if self.nodes[idx as usize].entry.is_some() {
-            self.lru_unlink(idx);
-            self.lru_push_front(idx);
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        let node = self.node_mut(idx);
+        let had_entry = node.entry.is_some();
+        let old = node.last_used;
+        node.last_used = tick;
+        if had_entry {
+            self.lru.remove(&(old, idx));
+            self.lru.insert((tick, idx));
         }
     }
 
     /// Finds the trie node for `path`, if present.
-    fn find(&self, path: &DfsPath) -> Option<u32> {
-        let mut idx = ROOT;
-        for &sym in path.comp_syms() {
-            idx = self.child(idx, sym)?;
+    fn find(&self, path: &DfsPath) -> Option<usize> {
+        let mut idx = self.root;
+        for comp in path.components() {
+            idx = *self.node(idx).children.get(comp)?;
         }
         Some(idx)
     }
@@ -350,39 +209,34 @@ impl MetadataCache {
     /// root inode — is cached (a hit serves the whole permission-check
     /// walk); otherwise records a miss.
     pub fn lookup(&mut self, path: &DfsPath) -> Option<Vec<Inode>> {
-        let mut idxs = std::mem::take(&mut self.walk);
-        idxs.clear();
-        idxs.push(ROOT);
-        let mut idx = ROOT;
-        for &sym in path.comp_syms() {
-            match self.child(idx, sym) {
+        let mut idxs = vec![self.root];
+        let mut idx = self.root;
+        for comp in path.components() {
+            match self.node(idx).children.get(comp) {
                 Some(child) => {
-                    idx = child;
-                    idxs.push(child);
+                    idx = *child;
+                    idxs.push(idx);
                 }
                 None => {
                     self.stats.misses += 1;
-                    self.walk = idxs;
                     return None;
                 }
             }
         }
         let mut chain = Vec::with_capacity(idxs.len());
-        for &i in &idxs {
-            match &self.nodes[i as usize].entry {
+        for i in &idxs {
+            match &self.node(*i).entry {
                 Some(inode) => chain.push(inode.clone()),
                 None => {
                     self.stats.misses += 1;
-                    self.walk = idxs;
                     return None;
                 }
             }
         }
-        for &i in &idxs {
+        for i in idxs {
             self.touch(i);
         }
         self.stats.hits += 1;
-        self.walk = idxs;
         Some(chain)
     }
 
@@ -395,30 +249,45 @@ impl MetadataCache {
     /// Does not count hit/miss statistics (the caller records the miss)
     /// but does refresh the prefix's LRU position.
     pub fn lookup_prefix(&mut self, path: &DfsPath) -> Vec<Inode> {
-        let mut idxs = std::mem::take(&mut self.walk);
-        idxs.clear();
-        idxs.push(ROOT);
-        let mut idx = ROOT;
-        for &sym in path.comp_syms() {
-            match self.child(idx, sym) {
+        let mut idxs = vec![self.root];
+        let mut idx = self.root;
+        for comp in path.components() {
+            match self.node(idx).children.get(comp) {
                 Some(child) => {
-                    idx = child;
-                    idxs.push(child);
+                    idx = *child;
+                    idxs.push(idx);
                 }
                 None => break,
             }
         }
         let mut chain = Vec::new();
-        for &i in &idxs {
-            match &self.nodes[i as usize].entry {
+        for i in idxs {
+            match &self.node(i).entry {
                 Some(inode) => chain.push(inode.clone()),
                 None => break,
             }
         }
-        for &i in &idxs[..chain.len()] {
-            self.touch(i);
+        // Touch after the immutable walk.
+        let len = chain.len();
+        let mut idx = self.root;
+        let mut touched = 0;
+        if len > 0 {
+            self.touch(idx);
+            touched += 1;
         }
-        self.walk = idxs;
+        for comp in path.components() {
+            if touched >= len {
+                break;
+            }
+            match self.node(idx).children.get(comp).copied() {
+                Some(child) => {
+                    idx = child;
+                    self.touch(idx);
+                    touched += 1;
+                }
+                None => break,
+            }
+        }
         chain
     }
 
@@ -429,14 +298,24 @@ impl MetadataCache {
     /// Panics if `chain.len() != path.depth() + 1`.
     pub fn insert_chain(&mut self, path: &DfsPath, chain: &[Inode]) {
         assert_eq!(chain.len(), path.depth() + 1, "chain must cover root through target");
-        let mut idx = ROOT;
-        self.set_entry(idx, &chain[0]);
-        for (&sym, inode) in path.comp_syms().iter().zip(&chain[1..]) {
-            let child = match self.child(idx, sym) {
-                Some(c) => c,
-                None => self.alloc_child(idx, sym),
+        let mut idx = self.root;
+        self.set_entry(idx, chain[0].clone());
+        for (comp, inode) in path.components().zip(&chain[1..]) {
+            let child = match self.node(idx).children.get(comp) {
+                Some(c) => *c,
+                None => {
+                    let c = self.alloc(Node {
+                        name: comp.to_string(),
+                        parent: Some(idx),
+                        children: HashMap::new(),
+                        entry: None,
+                        last_used: 0,
+                    });
+                    self.node_mut(idx).children.insert(comp.to_string(), c);
+                    c
+                }
             };
-            self.set_entry(child, inode);
+            self.set_entry(child, inode.clone());
             idx = child;
         }
         while self.len > self.capacity {
@@ -444,49 +323,20 @@ impl MetadataCache {
         }
     }
 
-    /// Allocates a fresh child of `parent` named `sym` and links it into
-    /// the parent's sibling list and the child map.
-    fn alloc_child(&mut self, parent: u32, sym: Sym) -> u32 {
-        let idx = match self.free.pop() {
-            Some(slot) => {
-                self.nodes[slot as usize] = Node::new(sym, parent);
-                slot
+    fn alloc(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Some(node);
+                idx
             }
             None => {
-                self.nodes.push(Node::new(sym, parent));
-                u32::try_from(self.nodes.len() - 1).expect("trie slab overflow")
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
             }
-        };
-        let first = self.nodes[parent as usize].first_child;
-        self.nodes[idx as usize].next_sib = first;
-        if first != NIL {
-            self.nodes[first as usize].prev_sib = idx;
         }
-        self.nodes[parent as usize].first_child = idx;
-        self.children.insert(child_key(parent, sym), idx);
-        idx
     }
 
-    /// Unlinks `idx` from its parent's child map and sibling list and
-    /// recycles the slot. The node must be entryless and childless.
-    fn detach(&mut self, idx: u32) {
-        let (parent, name, prev, next) = {
-            let n = &self.nodes[idx as usize];
-            (n.parent, n.name, n.prev_sib, n.next_sib)
-        };
-        self.children.remove(&child_key(parent, name));
-        if prev == NIL {
-            self.nodes[parent as usize].first_child = next;
-        } else {
-            self.nodes[prev as usize].next_sib = next;
-        }
-        if next != NIL {
-            self.nodes[next as usize].prev_sib = prev;
-        }
-        self.free.push(idx);
-    }
-
-    fn set_entry(&mut self, idx: u32, inode: &Inode) {
+    fn set_entry(&mut self, idx: usize, inode: Inode) {
         // An inode id may move (mv); drop any stale placement first.
         if let Some(&old_idx) = self.by_id.get(&inode.id) {
             if old_idx != idx {
@@ -494,25 +344,24 @@ impl MetadataCache {
                 self.prune(old_idx);
             }
         }
-        let node = &mut self.nodes[idx as usize];
+        let node = self.node_mut(idx);
         let fresh = node.entry.is_none();
         node.entry = Some(inode.clone());
         if fresh {
             self.len += 1;
             self.stats.insertions += 1;
-        } else {
-            self.lru_unlink(idx);
         }
-        self.lru_push_front(idx);
         self.by_id.insert(inode.id, idx);
+        self.touch(idx);
     }
 
-    /// Clears an entry without pruning; updates `len`, `by_id`, the LRU
-    /// list, and any cached listing for the inode.
-    fn clear_entry(&mut self, idx: u32) -> bool {
-        match self.nodes[idx as usize].entry.take() {
+    /// Clears an entry without pruning; updates `len`, `by_id`, `lru`.
+    fn clear_entry(&mut self, idx: usize) -> bool {
+        let node = self.node_mut(idx);
+        match node.entry.take() {
             Some(inode) => {
-                self.lru_unlink(idx);
+                let last = node.last_used;
+                self.lru.remove(&(last, idx));
                 self.by_id.remove(&inode.id);
                 self.listings.remove(&inode.id);
                 self.len -= 1;
@@ -523,31 +372,34 @@ impl MetadataCache {
     }
 
     /// Removes childless, entryless nodes from `idx` upward.
-    fn prune(&mut self, mut idx: u32) {
-        while idx != ROOT {
-            let node = &self.nodes[idx as usize];
-            if node.entry.is_some() || node.first_child != NIL {
+    fn prune(&mut self, mut idx: usize) {
+        while idx != self.root {
+            let node = self.node(idx);
+            if node.entry.is_some() || !node.children.is_empty() {
                 break;
             }
-            let parent = node.parent;
-            self.detach(idx);
+            let parent = node.parent.expect("non-root has a parent");
+            let name = node.name.clone();
+            self.node_mut(parent).children.remove(&name);
+            self.nodes[idx] = None;
+            self.free.push(idx);
             idx = parent;
         }
     }
 
     fn evict_one(&mut self) {
-        let idx = self.lru_tail;
-        if idx == NIL {
-            return;
+        if let Some(&(tick, idx)) = self.lru.iter().next() {
+            self.lru.remove(&(tick, idx));
+            // clear_entry re-removes from lru (no-op) and fixes len/by_id.
+            let node = self.node_mut(idx);
+            if let Some(inode) = node.entry.take() {
+                self.by_id.remove(&inode.id);
+                self.listings.remove(&inode.id);
+                self.len -= 1;
+                self.stats.evictions += 1;
+            }
+            self.prune(idx);
         }
-        self.lru_unlink(idx);
-        if let Some(inode) = self.nodes[idx as usize].entry.take() {
-            self.by_id.remove(&inode.id);
-            self.listings.remove(&inode.id);
-            self.len -= 1;
-            self.stats.evictions += 1;
-        }
-        self.prune(idx);
     }
 
     /// Drops the entry for `id`, wherever it is cached (single-INode INV).
@@ -574,35 +426,32 @@ impl MetadataCache {
         let mut subtree = Vec::new();
         while let Some(idx) = stack.pop() {
             subtree.push(idx);
-            let mut child = self.nodes[idx as usize].first_child;
-            while child != NIL {
-                stack.push(child);
-                child = self.nodes[child as usize].next_sib;
-            }
+            stack.extend(self.node(idx).children.values().copied());
         }
         let mut dropped = 0;
-        for &idx in &subtree {
-            if self.clear_entry(idx) {
+        for idx in &subtree {
+            if self.clear_entry(*idx) {
                 dropped += 1;
             }
         }
         self.stats.prefix_invalidations += dropped;
         // Remove subtree nodes bottom-up (children were pushed after
-        // parents, so reverse order detaches leaves first), then prune
-        // upward from the prefix node if it survived.
-        let mut start_alive = true;
-        for &idx in subtree.iter().rev() {
-            if idx == ROOT {
+        // parents, so reverse order is safe), then prune upward from the
+        // prefix node.
+        for idx in subtree.into_iter().rev() {
+            if idx == self.root {
                 continue;
             }
-            if self.nodes[idx as usize].first_child == NIL {
-                self.detach(idx);
-                if idx == start {
-                    start_alive = false;
-                }
+            let node = self.node(idx);
+            if node.children.is_empty() {
+                let parent = node.parent.expect("non-root");
+                let name = node.name.clone();
+                self.node_mut(parent).children.remove(&name);
+                self.nodes[idx] = None;
+                self.free.push(idx);
             }
         }
-        if start_alive {
+        if self.nodes[start].is_some() {
             self.prune(start);
         }
         dropped

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod cache_baseline;
 mod datanode;
 mod inode;
 mod ops;
@@ -34,7 +35,7 @@ pub use inode::{
 };
 pub use ops::{FsError, FsOp, OpClass, OpOutcome, OpResult};
 pub use partition::Partitioner;
-pub use path::{DfsPath, ParsePathError};
+pub use path::{Ancestors, DfsPath, ParsePathError};
 pub use schema::{MetadataSchema, SubtreeLockRow};
 
 #[cfg(test)]
@@ -86,9 +87,8 @@ mod proptests {
 
     impl Model {
         fn lookup(&self, path: &DfsPath) -> Option<Vec<Inode>> {
-            let mut all = path.ancestors();
-            all.push(path.clone());
-            all.iter().map(|p| self.entries.get(p.as_str()).cloned()).collect()
+            let all = path.ancestors().chain(std::iter::once(path.clone()));
+            all.map(|p| self.entries.get(p.as_str()).cloned()).collect()
         }
     }
 
@@ -106,9 +106,8 @@ mod proptests {
             (h | 1).max(2)
         }
         let mut chain = vec![Inode::root()];
-        let mut ancestors = path.ancestors();
-        ancestors.push(path.clone());
-        for p in &ancestors[1..] {
+        for p in path.ancestors().skip(1).chain(std::iter::once(path.clone())) {
+            let p = &p;
             let parent = id_of(p.parent().expect("non-root").as_str());
             chain.push(Inode::directory(id_of(p.as_str()), parent, p.file_name().unwrap()));
         }
@@ -129,9 +128,8 @@ mod proptests {
                     CacheOp::Insert(path) => {
                         let chain = chain_for(path);
                         cache.insert_chain(path, &chain);
-                        let mut all = path.ancestors();
-                        all.push(path.clone());
-                        for (i, p) in all.iter().enumerate() {
+                        let all = path.ancestors().chain(std::iter::once(path.clone()));
+                        for (i, p) in all.enumerate() {
                             model.entries.insert(p.as_str().to_string(), chain[i].clone());
                         }
                     }

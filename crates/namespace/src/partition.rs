@@ -13,8 +13,9 @@
 use crate::inode::InodeId;
 use crate::path::DfsPath;
 
-fn fnv1a_bytes(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a_step(mut h: u64, data: &[u8]) -> u64 {
     for b in data {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -95,8 +96,21 @@ impl Partitioner {
     /// ring lookup.
     #[must_use]
     pub fn deployment_for_path(&self, path: &DfsPath) -> u32 {
-        let parent = path.parent().unwrap_or_else(DfsPath::root);
-        self.owner_of_hash(mix64(fnv1a_bytes(parent.as_str().as_bytes())))
+        // Hash the parent's rendered bytes without materializing it: feed
+        // `/component` per parent component (the root hashes as a lone
+        // `/`, both for root-keyed top-level items and for the root path
+        // itself, which the paper keys by itself).
+        let parent_comps = path.depth().saturating_sub(1);
+        let mut h = FNV_OFFSET;
+        if parent_comps == 0 {
+            h = fnv1a_step(h, b"/");
+        } else {
+            for comp in path.components().take(parent_comps) {
+                h = fnv1a_step(h, b"/");
+                h = fnv1a_step(h, comp.as_bytes());
+            }
+        }
+        self.owner_of_hash(mix64(h))
     }
 
     /// The deployment responsible for an inode, keyed by its **parent

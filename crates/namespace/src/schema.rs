@@ -86,11 +86,16 @@ impl MetadataSchema {
     #[must_use]
     pub fn peek_chain(&self, db: &Db, path: &DfsPath) -> Option<Vec<Inode>> {
         let mut chain = vec![db.peek(self.inodes, &ROOT_INODE_ID)?];
-        let mut current = ROOT_INODE_ID;
+        // One children-table probe per component; the probe key tuple is
+        // reused so a deep path costs a single String allocation, not one
+        // per component.
+        let mut key = (ROOT_INODE_ID, String::new());
         for comp in path.components() {
-            let child = db.peek(self.children, &(current, comp.to_string()))?;
+            key.1.clear();
+            key.1.push_str(comp);
+            let child = db.peek(self.children, &key)?;
             let inode = db.peek(self.inodes, &child)?;
-            current = child;
+            key.0 = child;
             chain.push(inode);
         }
         Some(chain)

@@ -51,21 +51,20 @@ proptest! {
     fn ancestors_are_orderly_prefixes(p in path()) {
         // Root first, the parent last (exclusive of `p`), depth
         // increasing by one.
-        let ancestors = p.ancestors();
-        prop_assert_eq!(ancestors.len(), p.depth());
-        prop_assert_eq!(ancestors.first(), Some(&DfsPath::root()));
+        prop_assert_eq!(p.ancestors().len(), p.depth());
+        prop_assert_eq!(p.ancestors().next(), Some(DfsPath::root()));
         let parent = p.parent();
-        prop_assert_eq!(ancestors.last(), parent.as_ref());
-        for (i, a) in ancestors.iter().enumerate() {
+        prop_assert_eq!(p.ancestors().next_back(), parent);
+        for (i, a) in p.ancestors().enumerate() {
             prop_assert_eq!(a.depth(), i);
-            prop_assert!(p.starts_with(a));
+            prop_assert!(p.starts_with(&a));
         }
     }
 
     #[test]
     fn starts_with_agrees_with_ancestor_set(p in path(), q in path()) {
         // `starts_with` means "is `q` or descends from `q`".
-        let is_ancestor_or_self = p == q || p.ancestors().contains(&q);
+        let is_ancestor_or_self = p == q || p.ancestors().any(|a| a == q);
         prop_assert_eq!(p.starts_with(&q), is_ancestor_or_self);
     }
 }
@@ -94,8 +93,8 @@ impl Interner {
 
     /// The root-through-target inode chain for `path`.
     fn chain(&mut self, path: &DfsPath) -> Vec<Inode> {
-        let mut full = path.ancestors();
-        full.push(path.clone());
+        let full: Vec<DfsPath> =
+            path.ancestors().chain(std::iter::once(path.clone())).collect();
         let mut chain = vec![Inode::root()];
         for pair in full.windows(2) {
             let parent = self.id(&pair[0]);
@@ -154,7 +153,7 @@ proptest! {
                 CacheOp::Lookup(i) => {
                     let p = &paths[i % paths.len()];
                     let model_hit = model.contains(p.as_str())
-                        && p.ancestors().iter().all(|a| model.contains(a.as_str()));
+                        && p.ancestors().all(|a| model.contains(a.as_str()));
                     let got = cache.lookup(p);
                     prop_assert_eq!(got.is_some(), model_hit, "lookup({}) disagrees", p);
                     if let Some(chain) = got {

@@ -1,0 +1,798 @@
+//! The pre-overhaul store hot path, retained as a benchmark baseline.
+//!
+//! This module is a self-contained copy of the lock manager and the
+//! transactional store **as they existed before the metadata-plane hot-path
+//! overhaul**: lock keys carry an owned `Vec<u8>` per row, every lock batch
+//! clones its encoded keys into a `Vec<Vec<u8>>` for the capacity charge,
+//! pending lock sequences live in hash maps keyed by a monotonically
+//! growing sequence id, and commit clones the per-shard write map.
+//!
+//! `bench_metadata` drives this implementation and the current [`crate::Db`]
+//! through identical transaction scripts to measure the speedup. Its value
+//! is standing still: do not "improve" this module, and do not use it from
+//! protocol code.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use lambda_sim::params::StoreParams;
+use lambda_sim::{Sim, SimDuration, Station, StationRef};
+
+use crate::error::{StoreError, StoreResult};
+use crate::key::KeyCodec;
+use crate::table::{AnyTable, TableHandle, TableId, TypedTable};
+use crate::txn::{TxnId, TxnPhase, TxnState};
+use crate::DbStats;
+pub use crate::{Acquire, LockMode, WaiterToken};
+
+/// The pre-overhaul lock key: table plus an owned, heap-allocated encoding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockKey {
+    /// Owning table.
+    pub table: TableId,
+    /// Order-preserving encoded primary key (always heap-allocated).
+    pub key: Vec<u8>,
+}
+
+impl fmt::Display for LockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{:02x?}]", self.table, self.key)
+    }
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+    token: WaiterToken,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl LockState {
+    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+    }
+
+    fn compatible_with_holders(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Exclusive => {
+                self.holders.is_empty() || (self.holders.len() == 1 && self.holders[0].0 == txn)
+            }
+            LockMode::Shared => self.holders.iter().all(|(_, m)| *m == LockMode::Shared),
+        }
+    }
+
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Exclusive => {
+                self.holders.is_empty() || (self.holders.len() == 1 && self.holders[0].0 == txn)
+            }
+            LockMode::Shared => {
+                let no_x_holder = self.holders.iter().all(|(_, m)| *m == LockMode::Shared);
+                let no_queued_writer = self.waiters.iter().all(|w| w.mode != LockMode::Exclusive)
+                    || self.holder_mode(txn).is_some();
+                no_x_holder && no_queued_writer
+            }
+        }
+    }
+
+    fn grant(&mut self, txn: TxnId, mode: LockMode) {
+        match self.holders.iter_mut().find(|(t, _)| *t == txn) {
+            Some(entry) => entry.1 = entry.1.max(mode),
+            None => self.holders.push((txn, mode)),
+        }
+    }
+}
+
+/// The pre-overhaul lock manager (identical policy, `Vec<u8>`-keyed).
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: HashMap<LockKey, LockState>,
+    held_by: HashMap<TxnId, Vec<LockKey>>,
+    next_token: WaiterToken,
+}
+
+impl LockManager {
+    /// Creates an empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `txn` holds `key` with at least `mode` strength.
+    #[must_use]
+    pub fn holds(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> bool {
+        self.locks.get(key).and_then(|s| s.holder_mode(txn)).is_some_and(|held| held >= mode)
+    }
+
+    /// Attempts to acquire `key` in `mode` for `txn`.
+    pub fn acquire(&mut self, txn: TxnId, key: &LockKey, mode: LockMode) -> (Acquire, WaiterToken) {
+        let state = self.locks.entry(key.clone()).or_default();
+        if state.holder_mode(txn).is_some_and(|held| held >= mode) {
+            return (Acquire::Granted, 0);
+        }
+        if state.grantable(txn, mode) {
+            let newly = state.holder_mode(txn).is_none();
+            state.grant(txn, mode);
+            if newly {
+                self.held_by.entry(txn).or_default().push(key.clone());
+            }
+            (Acquire::Granted, 0)
+        } else {
+            self.next_token += 1;
+            let token = self.next_token;
+            let waiter = Waiter { txn, mode, token };
+            if state.holder_mode(txn).is_some() {
+                state.waiters.push_front(waiter);
+            } else {
+                state.waiters.push_back(waiter);
+            }
+            (Acquire::Wait, token)
+        }
+    }
+
+    /// Removes a queued waiter; grants that become possible are reported
+    /// like a release.
+    pub fn cancel_waiter(
+        &mut self,
+        key: &LockKey,
+        token: WaiterToken,
+        granted: &mut Vec<WaiterToken>,
+    ) -> bool {
+        let Some(state) = self.locks.get_mut(key) else { return false };
+        let before = state.waiters.len();
+        state.waiters.retain(|w| w.token != token);
+        let removed = state.waiters.len() != before;
+        if removed {
+            Self::pump(state, &mut self.held_by, key, granted);
+            if state.holders.is_empty() && state.waiters.is_empty() {
+                self.locks.remove(key);
+            }
+        }
+        removed
+    }
+
+    /// Releases every lock held by `txn`, returning newly granted waiters.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<WaiterToken> {
+        let mut granted = Vec::new();
+        let keys = self.held_by.remove(&txn).unwrap_or_default();
+        for key in keys {
+            if let Some(state) = self.locks.get_mut(&key) {
+                state.holders.retain(|(t, _)| *t != txn);
+                Self::pump(state, &mut self.held_by, &key, &mut granted);
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    self.locks.remove(&key);
+                }
+            }
+        }
+        granted
+    }
+
+    fn pump(
+        state: &mut LockState,
+        held_by: &mut HashMap<TxnId, Vec<LockKey>>,
+        key: &LockKey,
+        granted: &mut Vec<WaiterToken>,
+    ) {
+        while let Some(front) = state.waiters.front() {
+            if !state.compatible_with_holders(front.txn, front.mode) {
+                break;
+            }
+            let w = state.waiters.pop_front().expect("front exists");
+            let newly = state.holder_mode(w.txn).is_none();
+            state.grant(w.txn, w.mode);
+            if newly {
+                held_by.entry(w.txn).or_default().push(key.clone());
+            }
+            granted.push(w.token);
+        }
+    }
+}
+
+type LockCont = Box<dyn FnOnce(&mut Sim, StoreResult<()>)>;
+
+struct PendingSeq {
+    txn: TxnId,
+    keys: Vec<LockKey>,
+    next_idx: usize,
+    mode: LockMode,
+    current: Option<(LockKey, WaiterToken)>,
+    cont: LockCont,
+}
+
+struct DbInner {
+    tables: Vec<Box<dyn AnyTable>>,
+    locks: LockManager,
+    txns: HashMap<TxnId, TxnState>,
+    next_txn: u64,
+    shards: Vec<StationRef>,
+    params: StoreParams,
+    lock_timeout: SimDuration,
+    pending: HashMap<u64, PendingSeq>,
+    token_to_seq: HashMap<WaiterToken, u64>,
+    next_seq: u64,
+    stats: DbStats,
+}
+
+enum TxnCheck {
+    Ok,
+    Fail(StoreError),
+}
+
+/// The pre-overhaul store: per-op heap-allocated keys, hash-map pending
+/// sequences, and cloned charge metadata. API-compatible with the subset of
+/// [`crate::Db`] that `bench_metadata` exercises.
+#[derive(Clone)]
+pub struct Db {
+    inner: Rc<RefCell<DbInner>>,
+}
+
+impl Db {
+    /// Creates a store with the capacity model in `params`.
+    #[must_use]
+    pub fn new(params: &StoreParams, lock_timeout: SimDuration) -> Self {
+        let shards = (0..params.shards.max(1))
+            .map(|i| Station::new(format!("ndb-shard-{i}"), params.workers_per_shard.max(1)))
+            .collect();
+        Db {
+            inner: Rc::new(RefCell::new(DbInner {
+                tables: Vec::new(),
+                locks: LockManager::new(),
+                txns: HashMap::new(),
+                next_txn: 0,
+                shards,
+                params: params.clone(),
+                lock_timeout,
+                pending: HashMap::new(),
+                token_to_seq: HashMap::new(),
+                next_seq: 0,
+                stats: DbStats::default(),
+            })),
+        }
+    }
+
+    /// Registers a new, empty table.
+    pub fn create_table<K: KeyCodec, V: Clone + 'static>(
+        &self,
+        name: impl Into<String>,
+    ) -> TableHandle<K, V> {
+        let mut inner = self.inner.borrow_mut();
+        let id = TableId::new(inner.tables.len() as u32);
+        inner.tables.push(Box::new(TypedTable::<K, V>::new(name)));
+        TableHandle::new(id)
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> DbStats {
+        self.inner.borrow().stats
+    }
+
+    /// Builds the canonical lock key for a row (allocates per call, as the
+    /// pre-overhaul store did).
+    #[must_use]
+    pub fn lock_key<K: KeyCodec, V>(&self, table: TableHandle<K, V>, key: &K) -> LockKey {
+        LockKey { table: table.id(), key: key.encode() }
+    }
+
+    /// Starts a transaction.
+    #[must_use]
+    pub fn begin(&self) -> TxnId {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_txn += 1;
+        let id = TxnId::new(inner.next_txn);
+        inner.txns.insert(id, TxnState::new());
+        id
+    }
+
+    fn check_txn(inner: &DbInner, txn: TxnId) -> TxnCheck {
+        match inner.txns.get(&txn) {
+            None => TxnCheck::Fail(StoreError::UnknownTxn { txn }),
+            Some(state) if state.phase == TxnPhase::Aborted => {
+                TxnCheck::Fail(StoreError::Aborted { txn })
+            }
+            Some(_) => TxnCheck::Ok,
+        }
+    }
+
+    /// Acquires `keys` (sorted, deduplicated) in `mode`, then calls `cont`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is not sorted/deduplicated.
+    pub fn lock<F>(&self, sim: &mut Sim, txn: TxnId, keys: Vec<LockKey>, mode: LockMode, cont: F)
+    where
+        F: FnOnce(&mut Sim, StoreResult<()>) + 'static,
+    {
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "lock keys must be sorted and unique");
+        let check = Self::check_txn(&self.inner.borrow(), txn);
+        if let TxnCheck::Fail(e) = check {
+            sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Err(e)));
+            return;
+        }
+        let seq_id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_seq += 1;
+            let seq_id = inner.next_seq;
+            inner.pending.insert(
+                seq_id,
+                PendingSeq { txn, keys, next_idx: 0, mode, current: None, cont: Box::new(cont) },
+            );
+            seq_id
+        };
+        self.drive_seq(sim, seq_id);
+        if self.inner.borrow().pending.contains_key(&seq_id) {
+            let timeout = self.inner.borrow().lock_timeout;
+            let db = self.clone();
+            sim.schedule(timeout, move |sim| db.timeout_seq(sim, seq_id));
+        }
+    }
+
+    fn drive_seq(&self, sim: &mut Sim, seq_id: u64) {
+        let finished = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(mut seq) = inner.pending.remove(&seq_id) else { return };
+            seq.current = None;
+            let mut waiting = false;
+            while seq.next_idx < seq.keys.len() {
+                let key = seq.keys[seq.next_idx].clone();
+                match inner.locks.acquire(seq.txn, &key, seq.mode) {
+                    (Acquire::Granted, _) => seq.next_idx += 1,
+                    (Acquire::Wait, token) => {
+                        seq.current = Some((key, token));
+                        inner.token_to_seq.insert(token, seq_id);
+                        waiting = true;
+                        break;
+                    }
+                }
+            }
+            if waiting {
+                inner.pending.insert(seq_id, seq);
+                None
+            } else {
+                Some(seq.cont)
+            }
+        };
+        if let Some(cont) = finished {
+            sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Ok(())));
+        }
+    }
+
+    fn on_grant(&self, sim: &mut Sim, token: WaiterToken) {
+        let seq_id = self.inner.borrow_mut().token_to_seq.remove(&token);
+        let Some(seq_id) = seq_id else { return };
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(seq) = inner.pending.get_mut(&seq_id) {
+                seq.next_idx += 1;
+                seq.current = None;
+            }
+        }
+        self.drive_seq(sim, seq_id);
+    }
+
+    fn timeout_seq(&self, sim: &mut Sim, seq_id: u64) {
+        let victim = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(seq) = inner.pending.remove(&seq_id) else { return };
+            inner.stats.lock_timeouts += 1;
+            let mut granted = Vec::new();
+            if let Some((key, token)) = &seq.current {
+                inner.token_to_seq.remove(token);
+                inner.locks.cancel_waiter(key, *token, &mut granted);
+            }
+            Self::abort_in(&mut inner, seq.txn, &mut granted);
+            (seq.txn, seq.cont, granted)
+        };
+        let (txn, cont, granted) = victim;
+        self.dispatch_grants(sim, granted);
+        sim.schedule(SimDuration::ZERO, move |sim| {
+            cont(sim, Err(StoreError::LockTimeout { txn }));
+        });
+    }
+
+    fn dispatch_grants(&self, sim: &mut Sim, granted: Vec<WaiterToken>) {
+        for token in granted {
+            let db = self.clone();
+            sim.schedule(SimDuration::ZERO, move |sim| db.on_grant(sim, token));
+        }
+    }
+
+    fn abort_in(inner: &mut DbInner, txn: TxnId, granted: &mut Vec<WaiterToken>) {
+        if let Some(mut state) = inner.txns.remove(&txn) {
+            inner.stats.aborts += 1;
+            for undo in state.undo.drain(..).rev() {
+                undo(&mut inner.tables);
+            }
+        }
+        granted.extend(inner.locks.release_all(txn));
+    }
+
+    /// Aborts `txn` immediately.
+    pub fn abort(&self, sim: &mut Sim, txn: TxnId) {
+        let granted = {
+            let mut inner = self.inner.borrow_mut();
+            let mut granted = Vec::new();
+            Self::abort_in(&mut inner, txn, &mut granted);
+            granted
+        };
+        self.dispatch_grants(sim, granted);
+    }
+
+    fn with_table<K: KeyCodec, V: Clone + 'static, R>(
+        &self,
+        table: TableHandle<K, V>,
+        f: impl FnOnce(&TypedTable<K, V>) -> R,
+    ) -> R {
+        let inner = self.inner.borrow();
+        let t = inner.tables[table.id().raw() as usize]
+            .as_any()
+            .downcast_ref::<TypedTable<K, V>>()
+            .expect("table handle type mismatch");
+        f(t)
+    }
+
+    /// Inserts a row with no transaction, no locks, and no capacity charge
+    /// (pre-run bulk loading only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction is active.
+    pub fn bootstrap_insert<K, V>(&self, table: TableHandle<K, V>, key: K, value: V)
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.txns.is_empty(), "bootstrap_insert only before transactions");
+        let t = inner.tables[table.id().raw() as usize]
+            .as_any_mut()
+            .downcast_mut::<TypedTable<K, V>>()
+            .expect("table handle type mismatch");
+        t.insert(key, value);
+    }
+
+    /// Reads a row with no lock and no capacity charge.
+    #[must_use]
+    pub fn peek<K: KeyCodec, V: Clone + 'static>(
+        &self,
+        table: TableHandle<K, V>,
+        key: &K,
+    ) -> Option<V> {
+        self.with_table(table, |t| t.get(key).cloned())
+    }
+
+    fn shard_of(shards: usize, enc: &[u8]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in enc {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % shards as u64) as usize
+    }
+
+    fn join_jobs<F>(sim: &mut Sim, jobs: Vec<(StationRef, SimDuration)>, done: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        if jobs.is_empty() {
+            sim.schedule(SimDuration::ZERO, done);
+            return;
+        }
+        let remaining = Rc::new(Cell::new(jobs.len()));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for (station, service) in jobs {
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            Station::submit(&station, sim, service, move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(done) = done.borrow_mut().take() {
+                        done(sim);
+                    }
+                }
+            });
+        }
+    }
+
+    fn charge_batch_read<F>(&self, sim: &mut Sim, enc_keys: &[Vec<u8>], done: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let (stations, params) = {
+            let inner = self.inner.borrow();
+            (inner.shards.clone(), inner.params.clone())
+        };
+        let mut per_shard: HashMap<usize, u32> = HashMap::new();
+        for enc in enc_keys {
+            *per_shard.entry(Self::shard_of(stations.len(), enc)).or_default() += 1;
+        }
+        let mut shard_ids: Vec<usize> = per_shard.keys().copied().collect();
+        shard_ids.sort_unstable();
+        let jobs = shard_ids
+            .into_iter()
+            .map(|s| {
+                let rows = per_shard[&s];
+                let service = sim.rng().sample_duration(&params.batch_read)
+                    + sim.rng().sample_duration(&params.batch_row_extra)
+                        * u64::from(rows.saturating_sub(1));
+                (Rc::clone(&stations[s]), service)
+            })
+            .collect();
+        Self::join_jobs(sim, jobs, done);
+    }
+
+    /// Acquires locks on `keys`, charges one batched read, and delivers
+    /// the row values.
+    pub fn read_locked<K, V, F>(
+        &self,
+        sim: &mut Sim,
+        txn: TxnId,
+        table: TableHandle<K, V>,
+        keys: Vec<K>,
+        mode: LockMode,
+        cont: F,
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+        F: FnOnce(&mut Sim, StoreResult<Vec<Option<V>>>) + 'static,
+    {
+        self.inner.borrow_mut().stats.locked_reads += 1;
+        let mut lock_keys: Vec<LockKey> = keys.iter().map(|k| self.lock_key(table, k)).collect();
+        lock_keys.sort();
+        lock_keys.dedup();
+        let enc: Vec<Vec<u8>> = lock_keys.iter().map(|lk| lk.key.clone()).collect();
+        let db = self.clone();
+        self.lock(sim, txn, lock_keys, mode, move |sim, res| match res {
+            Err(e) => cont(sim, Err(e)),
+            Ok(()) => {
+                let db2 = db.clone();
+                db.charge_batch_read(sim, &enc, move |sim| {
+                    let values =
+                        db2.with_table(table, |t| keys.iter().map(|k| t.get(k).cloned()).collect());
+                    cont(sim, Ok(values));
+                });
+            }
+        });
+    }
+
+    /// Reads rows without locks, charging one batched read.
+    pub fn read_committed<K, V, F>(
+        &self,
+        sim: &mut Sim,
+        table: TableHandle<K, V>,
+        keys: Vec<K>,
+        cont: F,
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+        F: FnOnce(&mut Sim, Vec<Option<V>>) + 'static,
+    {
+        self.inner.borrow_mut().stats.unlocked_reads += 1;
+        let enc: Vec<Vec<u8>> = keys.iter().map(|k| k.encode()).collect();
+        let db = self.clone();
+        self.charge_batch_read(sim, &enc, move |sim| {
+            let values = db.with_table(table, |t| keys.iter().map(|k| t.get(k).cloned()).collect());
+            cont(sim, values);
+        });
+    }
+
+    /// Inserts or replaces a row under `txn`'s exclusive lock.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::Db::upsert`].
+    pub fn upsert<K, V>(
+        &self,
+        txn: TxnId,
+        table: TableHandle<K, V>,
+        key: K,
+        value: V,
+    ) -> StoreResult<()>
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let lk = self.lock_key(table, &key);
+        let mut inner = self.inner.borrow_mut();
+        if let TxnCheck::Fail(e) = Self::check_txn(&inner, txn) {
+            return Err(e);
+        }
+        if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
+            return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
+        }
+        let shard = Self::shard_of(inner.shards.len(), &lk.key) as u32;
+        let old = {
+            let t = inner.tables[table.id().raw() as usize]
+                .as_any_mut()
+                .downcast_mut::<TypedTable<K, V>>()
+                .expect("table handle type mismatch");
+            t.insert(key.clone(), value)
+        };
+        inner.stats.rows_written += 1;
+        let state = inner.txns.get_mut(&txn).expect("checked above");
+        *state.writes_per_shard.entry(shard).or_default() += 1;
+        state.undo.push(Box::new(move |tables| {
+            let t = tables[table.id().raw() as usize]
+                .as_any_mut()
+                .downcast_mut::<TypedTable<K, V>>()
+                .expect("table handle type mismatch");
+            match old {
+                Some(old) => {
+                    t.insert(key, old);
+                }
+                None => {
+                    t.remove(&key);
+                }
+            }
+        }));
+        Ok(())
+    }
+
+    /// Deletes a row under `txn`'s exclusive lock.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::Db::remove`].
+    pub fn remove<K, V>(
+        &self,
+        txn: TxnId,
+        table: TableHandle<K, V>,
+        key: K,
+    ) -> StoreResult<Option<V>>
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let lk = self.lock_key(table, &key);
+        let mut inner = self.inner.borrow_mut();
+        if let TxnCheck::Fail(e) = Self::check_txn(&inner, txn) {
+            return Err(e);
+        }
+        if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
+            return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
+        }
+        let shard = Self::shard_of(inner.shards.len(), &lk.key) as u32;
+        let old = {
+            let t = inner.tables[table.id().raw() as usize]
+                .as_any_mut()
+                .downcast_mut::<TypedTable<K, V>>()
+                .expect("table handle type mismatch");
+            t.remove(&key)
+        };
+        inner.stats.rows_written += 1;
+        let state = inner.txns.get_mut(&txn).expect("checked above");
+        *state.writes_per_shard.entry(shard).or_default() += 1;
+        let undo_old = old.clone();
+        state.undo.push(Box::new(move |tables| {
+            if let Some(v) = undo_old {
+                let t = tables[table.id().raw() as usize]
+                    .as_any_mut()
+                    .downcast_mut::<TypedTable<K, V>>()
+                    .expect("table handle type mismatch");
+                t.insert(key, v);
+            }
+        }));
+        Ok(old)
+    }
+
+    /// Commits `txn`, charging write + commit service on written shards.
+    pub fn commit<F>(&self, sim: &mut Sim, txn: TxnId, cont: F)
+    where
+        F: FnOnce(&mut Sim, StoreResult<()>) + 'static,
+    {
+        let writes = {
+            let inner = self.inner.borrow();
+            match Self::check_txn(&inner, txn) {
+                TxnCheck::Fail(e) => Err(e),
+                TxnCheck::Ok => {
+                    Ok(inner.txns.get(&txn).expect("checked").writes_per_shard.clone())
+                }
+            }
+        };
+        let writes = match writes {
+            Err(e) => {
+                sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Err(e)));
+                return;
+            }
+            Ok(w) => w,
+        };
+        let db = self.clone();
+        let finish = move |sim: &mut Sim| {
+            let granted = {
+                let mut inner = db.inner.borrow_mut();
+                if inner.txns.remove(&txn).is_some() {
+                    inner.stats.commits += 1;
+                }
+                inner.locks.release_all(txn)
+            };
+            db.dispatch_grants(sim, granted);
+            cont(sim, Ok(()));
+        };
+        if writes.is_empty() {
+            finish(sim);
+            return;
+        }
+        let (stations, params) = {
+            let inner = self.inner.borrow();
+            (inner.shards.clone(), inner.params.clone())
+        };
+        let written: Vec<u32> = writes.keys().copied().collect();
+        let coordinator = written[(txn.raw() % written.len() as u64) as usize];
+        let jobs = writes
+            .iter()
+            .map(|(&shard, &rows)| {
+                let mut service = sim.rng().sample_duration(&params.row_write) * u64::from(rows);
+                if shard == coordinator {
+                    service += sim.rng().sample_duration(&params.commit);
+                }
+                (Rc::clone(&stations[shard as usize]), service)
+            })
+            .collect();
+        Self::join_jobs(sim, jobs, finish);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The baseline store must agree with the overhauled store on a simple
+    /// lock → write → commit → read script (same values, same stats).
+    #[test]
+    fn baseline_matches_current_store_on_a_txn_script() {
+        let params = StoreParams::default();
+        let timeout = SimDuration::from_secs(5);
+
+        // Baseline run.
+        let mut sim = Sim::new(11);
+        let db = Db::new(&params, timeout);
+        let t = db.create_table::<u64, String>("inodes");
+        let txn = db.begin();
+        let db2 = db.clone();
+        db.lock(&mut sim, txn, vec![db.lock_key(t, &7u64)], LockMode::Exclusive, move |sim, r| {
+            r.unwrap();
+            db2.upsert(txn, t, 7, "v".to_string()).unwrap();
+            let db3 = db2.clone();
+            db2.commit(sim, txn, move |_sim, r| {
+                r.unwrap();
+                assert_eq!(db3.peek(t, &7), Some("v".to_string()));
+            });
+        });
+        sim.run();
+        let base_elapsed = sim.now();
+        assert_eq!(db.stats().commits, 1);
+
+        // Current store, same seed and script.
+        let mut sim = Sim::new(11);
+        let cur = crate::Db::new(&params, timeout);
+        let ct = cur.create_table::<u64, String>("inodes");
+        let ctxn = cur.begin();
+        let cur2 = cur.clone();
+        cur.lock(
+            &mut sim,
+            ctxn,
+            vec![cur.lock_key(ct, &7u64)],
+            LockMode::Exclusive,
+            move |sim, r| {
+                r.unwrap();
+                cur2.upsert(ctxn, ct, 7, "v".to_string()).unwrap();
+                let cur3 = cur2.clone();
+                cur2.commit(sim, ctxn, move |_sim, r| {
+                    r.unwrap();
+                    assert_eq!(cur3.peek(ct, &7), Some("v".to_string()));
+                });
+            },
+        );
+        sim.run();
+        assert_eq!(sim.now(), base_elapsed, "same seed, same charge sequence");
+        assert_eq!(cur.stats(), db.stats());
+    }
+}

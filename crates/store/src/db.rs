@@ -22,9 +22,26 @@
 //!   because the writer still holds the exclusive lock. (Unlocked
 //!   [`Db::read_committed`]/[`Db::scan`] reads are dirty-read "monitoring"
 //!   reads used only for maintenance paths, as documented there.)
+//!
+//! ## Hot-path allocation discipline
+//!
+//! The lock/read/commit paths are the store's per-operation hot path and
+//! stay (almost) allocation-free in steady state:
+//!
+//! * Row keys are encoded once into a reusable scratch buffer and carried
+//!   as [`EncodedKey`]s (inline up to 23 bytes), so handing keys to the
+//!   lock manager and the shard router copies bytes, not heap blocks.
+//! * Pending lock sequences live in a slab (`Vec<Option<PendingSeq>>` plus
+//!   a free list) mirroring the station job slab in `lambda-sim`; slots are
+//!   generation-tagged so a stale timeout event for a recycled slot is
+//!   recognized and ignored. The `Vec<LockKey>` batches of finished
+//!   sequences are recycled through a pool.
+//! * Batched reads pre-compute a per-shard `(shard, rows)` charge plan in
+//!   a pooled buffer instead of cloning every encoded key into a
+//!   `Vec<Vec<u8>>` and re-hashing it at charge time.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::RangeBounds;
 use std::rc::Rc;
 
@@ -32,7 +49,7 @@ use lambda_sim::params::StoreParams;
 use lambda_sim::{Sim, SimDuration, Station, StationRef};
 
 use crate::error::{StoreError, StoreResult};
-use crate::key::KeyCodec;
+use crate::key::{EncodedKey, KeyCodec};
 use crate::lock::{Acquire, LockKey, LockManager, LockMode, WaiterToken};
 use crate::table::{AnyTable, TableHandle, TableId, TypedTable};
 use crate::txn::{TxnId, TxnPhase, TxnState};
@@ -59,14 +76,42 @@ pub struct DbStats {
 /// Continuation receiving the outcome of a lock acquisition.
 type LockCont = Box<dyn FnOnce(&mut Sim, StoreResult<()>)>;
 
+/// A per-shard batched-read charge plan: `(shard, rows)` pairs in ascending
+/// shard order. Buffers are recycled through `DbInner::plan_pool`.
+type ChargePlan = Vec<(u32, u32)>;
+
 struct PendingSeq {
     txn: TxnId,
     keys: Vec<LockKey>,
     next_idx: usize,
     mode: LockMode,
-    /// The (key, token) currently queued in the lock manager.
-    current: Option<(LockKey, WaiterToken)>,
+    /// The waiter token currently queued in the lock manager; the queued
+    /// key is `keys[next_idx]`.
+    current: Option<WaiterToken>,
     cont: LockCont,
+}
+
+/// One slab slot for a pending lock sequence. `gen` increments every time
+/// the slot is freed, so a handle embedding the generation can tell a live
+/// sequence from a recycled slot (a stale timeout becomes a no-op).
+struct SeqSlot {
+    gen: u32,
+    seq: Option<PendingSeq>,
+}
+
+/// Handle to a pending sequence: `(generation << 32) | slot`.
+type SeqHandle = u64;
+
+fn seq_handle(slot: u32, gen: u32) -> SeqHandle {
+    (u64::from(gen) << 32) | u64::from(slot)
+}
+
+fn handle_slot(handle: SeqHandle) -> usize {
+    (handle & 0xffff_ffff) as usize
+}
+
+fn handle_gen(handle: SeqHandle) -> u32 {
+    (handle >> 32) as u32
 }
 
 struct DbInner {
@@ -74,13 +119,100 @@ struct DbInner {
     locks: LockManager,
     txns: HashMap<TxnId, TxnState>,
     next_txn: u64,
-    shards: Vec<StationRef>,
-    params: StoreParams,
+    shards: Rc<[StationRef]>,
+    params: Rc<StoreParams>,
     lock_timeout: SimDuration,
-    pending: HashMap<u64, PendingSeq>,
-    token_to_seq: HashMap<WaiterToken, u64>,
-    next_seq: u64,
+    /// Pending lock-sequence slab; slots are recycled through `seq_free`.
+    pending: Vec<SeqSlot>,
+    seq_free: Vec<u32>,
+    token_to_seq: HashMap<WaiterToken, SeqHandle>,
+    /// Recycled (cleared) `Vec<LockKey>` batches.
+    key_pool: Vec<Vec<LockKey>>,
+    /// Recycled (cleared) charge-plan buffers.
+    plan_pool: Vec<ChargePlan>,
+    /// Per-shard row counters used while building a plan; all-zero between
+    /// operations.
+    shard_rows: Vec<u32>,
+    /// Reusable key-encoding staging buffer.
+    enc_scratch: Vec<u8>,
     stats: DbStats,
+}
+
+impl DbInner {
+    /// Parks `seq` in a slab slot and returns its handle.
+    fn park_seq(&mut self, seq: PendingSeq) -> SeqHandle {
+        match self.seq_free.pop() {
+            Some(slot) => {
+                let s = &mut self.pending[slot as usize];
+                debug_assert!(s.seq.is_none());
+                s.seq = Some(seq);
+                seq_handle(slot, s.gen)
+            }
+            None => {
+                let slot = u32::try_from(self.pending.len()).expect("pending slab overflow");
+                self.pending.push(SeqSlot { gen: 0, seq: Some(seq) });
+                seq_handle(slot, 0)
+            }
+        }
+    }
+
+    /// Takes the sequence out of `handle`'s slot if the handle is still
+    /// current (same generation, slot occupied).
+    fn take_seq(&mut self, handle: SeqHandle) -> Option<PendingSeq> {
+        let slot = self.pending.get_mut(handle_slot(handle))?;
+        if slot.gen != handle_gen(handle) {
+            return None;
+        }
+        slot.seq.take()
+    }
+
+    /// Returns a sequence to its (still-reserved) slot.
+    fn restore_seq(&mut self, handle: SeqHandle, seq: PendingSeq) {
+        let slot = &mut self.pending[handle_slot(handle)];
+        debug_assert_eq!(slot.gen, handle_gen(handle));
+        debug_assert!(slot.seq.is_none());
+        slot.seq = Some(seq);
+    }
+
+    /// Frees `handle`'s slot, invalidating outstanding handles to it.
+    fn free_seq_slot(&mut self, handle: SeqHandle) {
+        let idx = handle_slot(handle);
+        let slot = &mut self.pending[idx];
+        debug_assert!(slot.seq.is_none());
+        slot.gen = slot.gen.wrapping_add(1);
+        self.seq_free.push(idx as u32);
+    }
+
+    /// Whether `handle` still refers to a live (waiting) sequence.
+    fn seq_alive(&self, handle: SeqHandle) -> bool {
+        self.pending
+            .get(handle_slot(handle))
+            .is_some_and(|s| s.gen == handle_gen(handle) && s.seq.is_some())
+    }
+
+    /// Recycles a finished sequence's key batch.
+    fn recycle_keys(&mut self, mut keys: Vec<LockKey>) {
+        keys.clear();
+        self.key_pool.push(keys);
+    }
+}
+
+/// Records one encoded key in an under-construction charge plan.
+fn plan_note(shard_rows: &mut [u32], plan: &mut ChargePlan, shard: usize) {
+    if shard_rows[shard] == 0 {
+        plan.push((shard as u32, 0));
+    }
+    shard_rows[shard] += 1;
+}
+
+/// Finalizes a plan: fills in row counts, re-zeroes the counters, and sorts
+/// by shard so capacity charges sample shards in ascending order.
+fn plan_seal(shard_rows: &mut [u32], plan: &mut ChargePlan) {
+    for (shard, rows) in plan.iter_mut() {
+        *rows = shard_rows[*shard as usize];
+        shard_rows[*shard as usize] = 0;
+    }
+    plan.sort_unstable();
 }
 
 /// A shared handle to the store. Cloning is cheap and refers to the same
@@ -142,9 +274,10 @@ impl Db {
     /// longer than `lock_timeout` abort the waiting transaction.
     #[must_use]
     pub fn new(params: &StoreParams, lock_timeout: SimDuration) -> Self {
-        let shards = (0..params.shards.max(1))
+        let shards: Rc<[StationRef]> = (0..params.shards.max(1))
             .map(|i| Station::new(format!("ndb-shard-{i}"), params.workers_per_shard.max(1)))
             .collect();
+        let shard_count = shards.len();
         Db {
             inner: Rc::new(RefCell::new(DbInner {
                 tables: Vec::new(),
@@ -152,11 +285,15 @@ impl Db {
                 txns: HashMap::new(),
                 next_txn: 0,
                 shards,
-                params: params.clone(),
+                params: Rc::new(params.clone()),
                 lock_timeout,
-                pending: HashMap::new(),
+                pending: Vec::new(),
+                seq_free: Vec::new(),
                 token_to_seq: HashMap::new(),
-                next_seq: 0,
+                key_pool: Vec::new(),
+                plan_pool: Vec::new(),
+                shard_rows: vec![0; shard_count],
+                enc_scratch: Vec::new(),
                 stats: DbStats::default(),
             })),
         }
@@ -182,13 +319,14 @@ impl Db {
     /// The shard stations (for utilization reporting).
     #[must_use]
     pub fn shards(&self) -> Vec<StationRef> {
-        self.inner.borrow().shards.clone()
+        self.inner.borrow().shards.to_vec()
     }
 
-    /// The configured capacity parameters.
+    /// The configured capacity parameters, as a shared handle (the
+    /// parameter set itself is not copied per call).
     #[must_use]
-    pub fn params(&self) -> StoreParams {
-        self.inner.borrow().params.clone()
+    pub fn params(&self) -> Rc<StoreParams> {
+        Rc::clone(&self.inner.borrow().params)
     }
 
     /// Number of rows in `table` right now (no capacity charge; test and
@@ -198,14 +336,18 @@ impl Db {
         self.with_table(table, |t| t.rows.len())
     }
 
-    /// Names and row counts of all tables (reporting aid).
+    /// Names and row counts of all tables (reporting aid). The names are
+    /// shared handles, not per-call string copies.
     #[must_use]
-    pub fn table_inventory(&self) -> Vec<(String, usize)> {
+    pub fn table_inventory(&self) -> Vec<(Rc<str>, usize)> {
         let inner = self.inner.borrow();
-        inner.tables.iter().map(|t| (t.name().to_string(), t.len())).collect()
+        inner.tables.iter().map(|t| (t.name_shared(), t.len())).collect()
     }
 
     /// Rows written so far by an active transaction, if it exists.
+    ///
+    /// Reports 0 once [`Db::commit`] has claimed the write set (the commit
+    /// charge is then in flight).
     #[must_use]
     pub fn txn_write_count(&self, txn: TxnId) -> Option<u32> {
         self.inner.borrow().txns.get(&txn).map(|s| s.total_writes())
@@ -214,7 +356,9 @@ impl Db {
     /// Builds the canonical lock key for a row.
     #[must_use]
     pub fn lock_key<K: KeyCodec, V>(&self, table: TableHandle<K, V>, key: &K) -> LockKey {
-        LockKey { table: table.id(), key: key.encode() }
+        let mut inner = self.inner.borrow_mut();
+        let enc = EncodedKey::encode(key, &mut inner.enc_scratch);
+        LockKey { table: table.id(), key: enc }
     }
 
     /// Starts a transaction.
@@ -263,49 +407,48 @@ impl Db {
             sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Err(e)));
             return;
         }
-        let seq_id = {
-            let mut inner = self.inner.borrow_mut();
-            inner.next_seq += 1;
-            let seq_id = inner.next_seq;
-            inner.pending.insert(
-                seq_id,
-                PendingSeq { txn, keys, next_idx: 0, mode, current: None, cont: Box::new(cont) },
-            );
-            seq_id
-        };
-        self.drive_seq(sim, seq_id);
+        let handle = self.inner.borrow_mut().park_seq(PendingSeq {
+            txn,
+            keys,
+            next_idx: 0,
+            mode,
+            current: None,
+            cont: Box::new(cont),
+        });
+        self.drive_seq(sim, handle);
         // Arm the timeout for the whole sequence; it is a no-op if the
-        // sequence finished by then.
-        if self.inner.borrow().pending.contains_key(&seq_id) {
+        // sequence finished by then (the slot's generation has moved on).
+        if self.inner.borrow().seq_alive(handle) {
             let timeout = self.inner.borrow().lock_timeout;
             let db = self.clone();
-            sim.schedule(timeout, move |sim| db.timeout_seq(sim, seq_id));
+            sim.schedule(timeout, move |sim| db.timeout_seq(sim, handle));
         }
     }
 
     /// Advances a pending acquisition sequence as far as possible.
-    fn drive_seq(&self, sim: &mut Sim, seq_id: u64) {
+    fn drive_seq(&self, sim: &mut Sim, handle: SeqHandle) {
         let finished = {
             let mut inner = self.inner.borrow_mut();
-            let Some(mut seq) = inner.pending.remove(&seq_id) else { return };
+            let Some(mut seq) = inner.take_seq(handle) else { return };
             seq.current = None;
             let mut waiting = false;
             while seq.next_idx < seq.keys.len() {
-                let key = seq.keys[seq.next_idx].clone();
-                match inner.locks.acquire(seq.txn, &key, seq.mode) {
+                match inner.locks.acquire(seq.txn, &seq.keys[seq.next_idx], seq.mode) {
                     (Acquire::Granted, _) => seq.next_idx += 1,
                     (Acquire::Wait, token) => {
-                        seq.current = Some((key, token));
-                        inner.token_to_seq.insert(token, seq_id);
+                        seq.current = Some(token);
+                        inner.token_to_seq.insert(token, handle);
                         waiting = true;
                         break;
                     }
                 }
             }
             if waiting {
-                inner.pending.insert(seq_id, seq);
+                inner.restore_seq(handle, seq);
                 None
             } else {
+                inner.free_seq_slot(handle);
+                inner.recycle_keys(seq.keys);
                 Some(seq.cont)
             }
         };
@@ -316,35 +459,38 @@ impl Db {
 
     /// Called when a queued waiter token is granted.
     fn on_grant(&self, sim: &mut Sim, token: WaiterToken) {
-        let seq_id = self.inner.borrow_mut().token_to_seq.remove(&token);
-        let Some(seq_id) = seq_id else {
+        let handle = self.inner.borrow_mut().token_to_seq.remove(&token);
+        let Some(handle) = handle else {
             // The sequence was cancelled (timeout) after this grant was
             // decided; the abort path already released everything.
             return;
         };
         {
             let mut inner = self.inner.borrow_mut();
-            if let Some(seq) = inner.pending.get_mut(&seq_id) {
+            if let Some(mut seq) = inner.take_seq(handle) {
                 seq.next_idx += 1;
                 seq.current = None;
+                inner.restore_seq(handle, seq);
             }
         }
-        self.drive_seq(sim, seq_id);
+        self.drive_seq(sim, handle);
     }
 
     /// Fires when a lock sequence's timeout elapses.
-    fn timeout_seq(&self, sim: &mut Sim, seq_id: u64) {
+    fn timeout_seq(&self, sim: &mut Sim, handle: SeqHandle) {
         let victim = {
             let mut inner = self.inner.borrow_mut();
-            let Some(seq) = inner.pending.remove(&seq_id) else { return };
+            let Some(seq) = inner.take_seq(handle) else { return };
+            inner.free_seq_slot(handle);
             inner.stats.lock_timeouts += 1;
             let mut granted = Vec::new();
-            if let Some((key, token)) = &seq.current {
-                inner.token_to_seq.remove(token);
-                inner.locks.cancel_waiter(key, *token, &mut granted);
+            if let Some(token) = seq.current {
+                inner.token_to_seq.remove(&token);
+                inner.locks.cancel_waiter(&seq.keys[seq.next_idx], token, &mut granted);
             }
             // Abort the victim: undo its writes, release all its locks.
             Self::abort_in(&mut inner, seq.txn, &mut granted);
+            inner.recycle_keys(seq.keys);
             (seq.txn, seq.cont, granted)
         };
         let (txn, cont, granted) = victim;
@@ -461,58 +607,56 @@ impl Db {
         (h % shards as u64) as usize
     }
 
-    /// Submits per-shard jobs and calls `done` when the slowest finishes.
-    fn join_jobs<F>(sim: &mut Sim, jobs: Vec<(StationRef, SimDuration)>, done: F)
-    where
-        F: FnOnce(&mut Sim) + 'static,
-    {
-        if jobs.is_empty() {
-            sim.schedule(SimDuration::ZERO, done);
-            return;
-        }
-        let remaining = Rc::new(Cell::new(jobs.len()));
-        let done = Rc::new(RefCell::new(Some(done)));
-        for (station, service) in jobs {
-            let remaining = Rc::clone(&remaining);
-            let done = Rc::clone(&done);
-            Station::submit(&station, sim, service, move |sim| {
-                remaining.set(remaining.get() - 1);
-                if remaining.get() == 0 {
-                    if let Some(done) = done.borrow_mut().take() {
-                        done(sim);
-                    }
-                }
-            });
-        }
+    fn recycle_plan(&self, mut plan: ChargePlan) {
+        plan.clear();
+        self.inner.borrow_mut().plan_pool.push(plan);
     }
 
-    /// Charges one batched read across the shards owning `enc_keys`, then
-    /// calls `done`.
-    fn charge_batch_read<F>(&self, sim: &mut Sim, enc_keys: &[Vec<u8>], done: F)
+    /// Charges one batched read according to `plan` (ascending shard
+    /// order), then calls `done`. The plan buffer returns to the pool.
+    fn charge_batch_read<F>(&self, sim: &mut Sim, plan: ChargePlan, done: F)
     where
         F: FnOnce(&mut Sim) + 'static,
     {
-        let (stations, params) = {
+        let (shards, params) = {
             let inner = self.inner.borrow();
-            (inner.shards.clone(), inner.params.clone())
+            (Rc::clone(&inner.shards), Rc::clone(&inner.params))
         };
-        let mut per_shard: HashMap<usize, u32> = HashMap::new();
-        for enc in enc_keys {
-            *per_shard.entry(Self::shard_of(stations.len(), enc)).or_default() += 1;
-        }
-        let mut shard_ids: Vec<usize> = per_shard.keys().copied().collect();
-        shard_ids.sort_unstable();
-        let jobs = shard_ids
-            .into_iter()
-            .map(|s| {
-                let rows = per_shard[&s];
+        match plan.len() {
+            0 => {
+                self.recycle_plan(plan);
+                sim.schedule(SimDuration::ZERO, done);
+            }
+            1 => {
+                // Single-shard fast path: no join bookkeeping at all.
+                let (shard, rows) = plan[0];
+                self.recycle_plan(plan);
                 let service = sim.rng().sample_duration(&params.batch_read)
                     + sim.rng().sample_duration(&params.batch_row_extra)
                         * u64::from(rows.saturating_sub(1));
-                (Rc::clone(&stations[s]), service)
-            })
-            .collect();
-        Self::join_jobs(sim, jobs, done);
+                Station::submit(&shards[shard as usize], sim, service, done);
+            }
+            n => {
+                let remaining = Rc::new(Cell::new(n));
+                let done = Rc::new(RefCell::new(Some(done)));
+                for &(shard, rows) in &plan {
+                    let service = sim.rng().sample_duration(&params.batch_read)
+                        + sim.rng().sample_duration(&params.batch_row_extra)
+                            * u64::from(rows.saturating_sub(1));
+                    let remaining = Rc::clone(&remaining);
+                    let done = Rc::clone(&done);
+                    Station::submit(&shards[shard as usize], sim, service, move |sim| {
+                        remaining.set(remaining.get() - 1);
+                        if remaining.get() == 0 {
+                            if let Some(done) = done.borrow_mut().take() {
+                                done(sim);
+                            }
+                        }
+                    });
+                }
+                self.recycle_plan(plan);
+            }
+        }
     }
 
     /// Charges the *quiesce* cost of taking-and-releasing write locks on
@@ -526,23 +670,30 @@ impl Db {
     where
         F: FnOnce(&mut Sim) + 'static,
     {
-        let (stations, params) = {
+        let (shards, params) = {
             let inner = self.inner.borrow();
-            (inner.shards.clone(), inner.params.clone())
+            (Rc::clone(&inner.shards), Rc::clone(&inner.params))
         };
         if rows == 0 {
             sim.schedule(SimDuration::ZERO, done);
             return;
         }
-        let per_shard = rows.div_ceil(stations.len() as u64);
-        let jobs = stations
-            .iter()
-            .map(|station| {
-                let service = sim.rng().sample_duration(&params.lock_round) * per_shard;
-                (Rc::clone(station), service)
-            })
-            .collect();
-        Self::join_jobs(sim, jobs, done);
+        let per_shard = rows.div_ceil(shards.len() as u64);
+        let remaining = Rc::new(Cell::new(shards.len()));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for station in shards.iter() {
+            let service = sim.rng().sample_duration(&params.lock_round) * per_shard;
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            Station::submit(station, sim, service, move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(done) = done.borrow_mut().take() {
+                        done(sim);
+                    }
+                }
+            });
+        }
     }
 
     /// Acquires `mode` locks on `keys` (sorted and deduplicated
@@ -565,17 +716,34 @@ impl Db {
         V: Clone + 'static,
         F: FnOnce(&mut Sim, StoreResult<Vec<Option<V>>>) + 'static,
     {
-        self.inner.borrow_mut().stats.locked_reads += 1;
-        let mut lock_keys: Vec<LockKey> = keys.iter().map(|k| self.lock_key(table, k)).collect();
-        lock_keys.sort();
-        lock_keys.dedup();
-        let enc: Vec<Vec<u8>> = lock_keys.iter().map(|lk| lk.key.clone()).collect();
+        let (lock_keys, plan) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.locked_reads += 1;
+            let mut lock_keys = inner.key_pool.pop().unwrap_or_default();
+            for k in &keys {
+                let enc = EncodedKey::encode(k, &mut inner.enc_scratch);
+                lock_keys.push(LockKey { table: table.id(), key: enc });
+            }
+            lock_keys.sort_unstable();
+            lock_keys.dedup();
+            let mut plan = inner.plan_pool.pop().unwrap_or_default();
+            let shard_count = inner.shards.len();
+            for lk in &lock_keys {
+                let shard = Self::shard_of(shard_count, lk.key.as_slice());
+                plan_note(&mut inner.shard_rows, &mut plan, shard);
+            }
+            plan_seal(&mut inner.shard_rows, &mut plan);
+            (lock_keys, plan)
+        };
         let db = self.clone();
         self.lock(sim, txn, lock_keys, mode, move |sim, res| match res {
-            Err(e) => cont(sim, Err(e)),
+            Err(e) => {
+                db.recycle_plan(plan);
+                cont(sim, Err(e));
+            }
             Ok(()) => {
                 let db2 = db.clone();
-                db.charge_batch_read(sim, &enc, move |sim| {
+                db.charge_batch_read(sim, plan, move |sim| {
                     let values =
                         db2.with_table(table, |t| keys.iter().map(|k| t.get(k).cloned()).collect());
                     cont(sim, Ok(values));
@@ -599,10 +767,24 @@ impl Db {
         V: Clone + 'static,
         F: FnOnce(&mut Sim, Vec<Option<V>>) + 'static,
     {
-        self.inner.borrow_mut().stats.unlocked_reads += 1;
-        let enc: Vec<Vec<u8>> = keys.iter().map(|k| k.encode()).collect();
+        let plan = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.unlocked_reads += 1;
+            let mut plan = inner.plan_pool.pop().unwrap_or_default();
+            let shard_count = inner.shards.len();
+            // Duplicate keys each count one row: the batch fetches every
+            // requested position.
+            for k in &keys {
+                inner.enc_scratch.clear();
+                k.encode_into(&mut inner.enc_scratch);
+                let shard = Self::shard_of(shard_count, &inner.enc_scratch);
+                plan_note(&mut inner.shard_rows, &mut plan, shard);
+            }
+            plan_seal(&mut inner.shard_rows, &mut plan);
+            plan
+        };
         let db = self.clone();
-        self.charge_batch_read(sim, &enc, move |sim| {
+        self.charge_batch_read(sim, plan, move |sim| {
             let values = db.with_table(table, |t| keys.iter().map(|k| t.get(k).cloned()).collect());
             cont(sim, values);
         });
@@ -627,26 +809,34 @@ impl Db {
         let n = self.with_table(table, |t| {
             t.count_range((range.start_bound().cloned(), range.end_bound().cloned()))
         });
-        let (stations, params) = {
+        let (shards, params) = {
             let inner = self.inner.borrow();
-            (inner.shards.clone(), inner.params.clone())
+            (Rc::clone(&inner.shards), Rc::clone(&inner.params))
         };
-        let per_shard_rows = (n as u64).div_ceil(stations.len() as u64);
-        let jobs = stations
-            .iter()
-            .map(|station| {
-                let service = sim.rng().sample_duration(&params.batch_read)
-                    + sim.rng().sample_duration(&params.batch_row_extra) * per_shard_rows;
-                (Rc::clone(station), service)
-            })
-            .collect();
+        let per_shard_rows = (n as u64).div_ceil(shards.len() as u64);
         let db = self.clone();
-        Self::join_jobs(sim, jobs, move |sim| {
+        let finish = move |sim: &mut Sim| {
             let rows = db.with_table(table, |t| {
                 t.scan((range.start_bound().cloned(), range.end_bound().cloned()))
             });
             cont(sim, rows);
-        });
+        };
+        let remaining = Rc::new(Cell::new(shards.len()));
+        let finish = Rc::new(RefCell::new(Some(finish)));
+        for station in shards.iter() {
+            let service = sim.rng().sample_duration(&params.batch_read)
+                + sim.rng().sample_duration(&params.batch_row_extra) * per_shard_rows;
+            let remaining = Rc::clone(&remaining);
+            let finish = Rc::clone(&finish);
+            Station::submit(station, sim, service, move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(finish) = finish.borrow_mut().take() {
+                        finish(sim);
+                    }
+                }
+            });
+        }
     }
 
     /// Inserts or replaces a row. Requires `txn` to hold the row's
@@ -671,15 +861,17 @@ impl Db {
         K: KeyCodec,
         V: Clone + 'static,
     {
-        let lk = self.lock_key(table, &key);
         let mut inner = self.inner.borrow_mut();
-        if let TxnCheck::Fail(e) = Self::check_txn(&inner, txn) {
+        let inner = &mut *inner;
+        if let TxnCheck::Fail(e) = Self::check_txn(inner, txn) {
             return Err(e);
         }
+        let lk =
+            LockKey { table: table.id(), key: EncodedKey::encode(&key, &mut inner.enc_scratch) };
         if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
             return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
         }
-        let shard = Self::shard_of(inner.shards.len(), &lk.key) as u32;
+        let shard = Self::shard_of(inner.shards.len(), lk.key.as_slice()) as u32;
         let old = {
             let t = inner.tables[table.id().raw() as usize]
                 .as_any_mut()
@@ -723,15 +915,17 @@ impl Db {
         K: KeyCodec,
         V: Clone + 'static,
     {
-        let lk = self.lock_key(table, &key);
         let mut inner = self.inner.borrow_mut();
-        if let TxnCheck::Fail(e) = Self::check_txn(&inner, txn) {
+        let inner = &mut *inner;
+        if let TxnCheck::Fail(e) = Self::check_txn(inner, txn) {
             return Err(e);
         }
+        let lk =
+            LockKey { table: table.id(), key: EncodedKey::encode(&key, &mut inner.enc_scratch) };
         if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
             return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
         }
-        let shard = Self::shard_of(inner.shards.len(), &lk.key) as u32;
+        let shard = Self::shard_of(inner.shards.len(), lk.key.as_slice()) as u32;
         let old = {
             let t = inner.tables[table.id().raw() as usize]
                 .as_any_mut()
@@ -763,13 +957,15 @@ impl Db {
     where
         F: FnOnce(&mut Sim, StoreResult<()>) + 'static,
     {
-        let writes = {
-            let inner = self.inner.borrow();
+        // Claim the write set without cloning it; the undo log stays in
+        // place until `finish`, so a concurrent abort still rolls back.
+        let writes: Result<BTreeMap<u32, u32>, StoreError> = {
+            let mut inner = self.inner.borrow_mut();
             match Self::check_txn(&inner, txn) {
                 TxnCheck::Fail(e) => Err(e),
-                TxnCheck::Ok => {
-                    Ok(inner.txns.get(&txn).expect("checked").writes_per_shard.clone())
-                }
+                TxnCheck::Ok => Ok(std::mem::take(
+                    &mut inner.txns.get_mut(&txn).expect("checked").writes_per_shard,
+                )),
             }
         };
         let writes = match writes {
@@ -800,22 +996,31 @@ impl Db {
         // transaction-coordinator shard (chosen per transaction so the
         // coordination load spreads evenly across data nodes, as NDB's
         // round-robin transaction coordinators do).
-        let (stations, params) = {
+        let (shards, params) = {
             let inner = self.inner.borrow();
-            (inner.shards.clone(), inner.params.clone())
+            (Rc::clone(&inner.shards), Rc::clone(&inner.params))
         };
-        let written: Vec<u32> = writes.keys().copied().collect();
-        let coordinator = written[(txn.raw() % written.len() as u64) as usize];
-        let jobs = writes
-            .iter()
-            .map(|(&shard, &rows)| {
-                let mut service = sim.rng().sample_duration(&params.row_write) * u64::from(rows);
-                if shard == coordinator {
-                    service += sim.rng().sample_duration(&params.commit);
+        let coordinator = *writes
+            .keys()
+            .nth((txn.raw() % writes.len() as u64) as usize)
+            .expect("non-empty write set");
+        let remaining = Rc::new(Cell::new(writes.len()));
+        let finish = Rc::new(RefCell::new(Some(finish)));
+        for (&shard, &rows) in &writes {
+            let mut service = sim.rng().sample_duration(&params.row_write) * u64::from(rows);
+            if shard == coordinator {
+                service += sim.rng().sample_duration(&params.commit);
+            }
+            let remaining = Rc::clone(&remaining);
+            let finish = Rc::clone(&finish);
+            Station::submit(&shards[shard as usize], sim, service, move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(finish) = finish.borrow_mut().take() {
+                        finish(sim);
+                    }
                 }
-                (Rc::clone(&stations[shard as usize]), service)
-            })
-            .collect();
-        Self::join_jobs(sim, jobs, finish);
+            });
+        }
     }
 }

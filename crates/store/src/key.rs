@@ -2,8 +2,15 @@
 //!
 //! The lock manager and the shard router need a uniform, order-preserving
 //! byte representation of every table's primary key. [`KeyCodec`] provides
-//! it: `encode` must be injective per table, and the byte ordering must
-//! agree with the key's `Ord` (so range/ordering reasoning carries over).
+//! it: `encode_into` must be injective per table, and the byte ordering
+//! must agree with the key's `Ord` (so range/ordering reasoning carries
+//! over). [`EncodedKey`] is the owned form the lock manager works with:
+//! small keys (integers, id+short-name tuples) live inline with no heap
+//! allocation, so cloning one into a lock table is a memcpy.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A type usable as a table primary key.
 ///
@@ -11,45 +18,134 @@
 /// (lexicographic byte order), which the provided implementations do by
 /// using big-endian integers and length-prefix-free suffix strings.
 pub trait KeyCodec: Ord + Clone + 'static {
+    /// Appends the order-preserving, injective byte encoding of the key.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
     /// Order-preserving, injective byte encoding of the key.
-    fn encode(&self) -> Vec<u8>;
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
 }
 
 impl KeyCodec for u64 {
-    fn encode(&self) -> Vec<u8> {
-        self.to_be_bytes().to_vec()
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
     }
 }
 
 impl KeyCodec for u32 {
-    fn encode(&self) -> Vec<u8> {
-        self.to_be_bytes().to_vec()
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
     }
 }
 
 impl KeyCodec for String {
-    fn encode(&self) -> Vec<u8> {
-        self.as_bytes().to_vec()
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
     }
 }
 
 impl KeyCodec for (u64, String) {
     /// Big-endian id then the string; ordering matches the tuple `Ord`
     /// because the fixed-width prefix compares first.
-    fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.1.len());
+    fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.0.to_be_bytes());
         out.extend_from_slice(self.1.as_bytes());
-        out
     }
 }
 
 impl KeyCodec for (u64, u64) {
-    fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16);
+    fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.0.to_be_bytes());
         out.extend_from_slice(&self.1.to_be_bytes());
-        out
+    }
+}
+
+/// Bytes a key may occupy before spilling to the heap: covers `u64`,
+/// `(u64, u64)`, and `(u64, String)` with names up to 15 bytes — every
+/// key the metadata schema produces for typical component names.
+const INLINE_KEY: usize = 23;
+
+/// An owned, encoded row key with small-key optimization.
+///
+/// Equality, ordering, and hashing are all over the encoded bytes, so they
+/// agree with the source key's `Ord` per the [`KeyCodec`] contract
+/// regardless of representation.
+#[derive(Clone)]
+pub enum EncodedKey {
+    /// Key bytes stored inline (the common case).
+    Inline {
+        /// Number of meaningful bytes in `buf`.
+        len: u8,
+        /// Inline storage; only `buf[..len]` is the key.
+        buf: [u8; INLINE_KEY],
+    },
+    /// Key too large for the inline buffer.
+    Heap(Box<[u8]>),
+}
+
+impl EncodedKey {
+    /// Wraps already-encoded key bytes.
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> EncodedKey {
+        if bytes.len() <= INLINE_KEY {
+            let mut buf = [0u8; INLINE_KEY];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            EncodedKey::Inline { len: bytes.len() as u8, buf }
+        } else {
+            EncodedKey::Heap(bytes.into())
+        }
+    }
+
+    /// Encodes a key directly, reusing `scratch` as the staging buffer.
+    #[must_use]
+    pub fn encode<K: KeyCodec>(key: &K, scratch: &mut Vec<u8>) -> EncodedKey {
+        scratch.clear();
+        key.encode_into(scratch);
+        EncodedKey::from_slice(scratch)
+    }
+
+    /// The encoded key bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            EncodedKey::Inline { len, buf } => &buf[..usize::from(*len)],
+            EncodedKey::Heap(bytes) => bytes,
+        }
+    }
+}
+
+impl PartialEq for EncodedKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for EncodedKey {}
+
+impl Ord for EncodedKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialOrd for EncodedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for EncodedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for EncodedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x?}", self.as_slice())
     }
 }
 
@@ -86,5 +182,24 @@ mod tests {
         assert_ne!((1u64, "ab".to_string()).encode(), (1u64, "ac".to_string()).encode());
         assert_ne!(5u64.encode(), 6u64.encode());
         assert_ne!((1u64, 2u64).encode(), (2u64, 1u64).encode());
+    }
+
+    #[test]
+    fn encoded_key_agrees_with_raw_bytes_across_representations() {
+        let mut scratch = Vec::new();
+        let short = EncodedKey::encode(&7u64, &mut scratch);
+        assert!(matches!(short, EncodedKey::Inline { .. }));
+        assert_eq!(short.as_slice(), 7u64.encode().as_slice());
+
+        let long_name = "a-deliberately-long-component-name".to_string();
+        let long = EncodedKey::encode(&(9u64, long_name.clone()), &mut scratch);
+        assert!(matches!(long, EncodedKey::Heap(_)));
+        assert_eq!(long.as_slice(), (9u64, long_name).encode().as_slice());
+
+        // Ordering and equality are representation-independent.
+        let mut keys = vec![long.clone(), short.clone(), EncodedKey::from_slice(b"")];
+        keys.sort();
+        assert_eq!(keys[0].as_slice(), b"");
+        assert_eq!(short, EncodedKey::from_slice(&7u64.encode()));
     }
 }

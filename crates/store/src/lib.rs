@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 mod db;
 mod error;
 mod key;
@@ -31,7 +32,7 @@ mod txn;
 
 pub use db::{Db, DbStats};
 pub use error::{StoreError, StoreResult};
-pub use key::KeyCodec;
+pub use key::{EncodedKey, KeyCodec};
 pub use lock::{Acquire, LockKey, LockManager, LockMode, WaiterToken};
 pub use table::{TableHandle, TableId};
 pub use txn::TxnId;

@@ -16,6 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use crate::key::EncodedKey;
 use crate::table::TableId;
 use crate::txn::TxnId;
 
@@ -33,13 +34,14 @@ pub enum LockMode {
 pub struct LockKey {
     /// Owning table.
     pub table: TableId,
-    /// Order-preserving encoded primary key.
-    pub key: Vec<u8>,
+    /// Order-preserving encoded primary key (inline for small keys, so
+    /// cloning into the lock table is a memcpy, not a heap allocation).
+    pub key: EncodedKey,
 }
 
 impl fmt::Display for LockKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{:02x?}]", self.table, self.key)
+        write!(f, "{}[{:02x?}]", self.table, self.key.as_slice())
     }
 }
 
@@ -243,7 +245,7 @@ mod tests {
     use super::*;
 
     fn key(n: u8) -> LockKey {
-        LockKey { table: TableId::new(0), key: vec![n] }
+        LockKey { table: TableId::new(0), key: EncodedKey::from_slice(&[n]) }
     }
     fn txn(n: u64) -> TxnId {
         TxnId::new(n)

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::RangeBounds;
+use std::rc::Rc;
 
 use crate::key::KeyCodec;
 
@@ -73,20 +74,22 @@ impl<K, V> fmt::Debug for TableHandle<K, V> {
 pub(crate) trait AnyTable {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
-    fn name(&self) -> &str;
+    /// The name as a shared handle (inventory reporting without a deep
+    /// string copy per call).
+    fn name_shared(&self) -> Rc<str>;
     fn len(&self) -> usize;
 }
 
 /// A concrete table: an ordered map from `K` to `V`.
 #[derive(Debug)]
 pub(crate) struct TypedTable<K, V> {
-    name: String,
+    name: Rc<str>,
     pub(crate) rows: BTreeMap<K, V>,
 }
 
 impl<K: KeyCodec, V: Clone + 'static> TypedTable<K, V> {
     pub(crate) fn new(name: impl Into<String>) -> Self {
-        TypedTable { name: name.into(), rows: BTreeMap::new() }
+        TypedTable { name: name.into().into(), rows: BTreeMap::new() }
     }
 
     pub(crate) fn get(&self, key: &K) -> Option<&V> {
@@ -117,8 +120,8 @@ impl<K: KeyCodec, V: Clone + 'static> AnyTable for TypedTable<K, V> {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
-    fn name(&self) -> &str {
-        &self.name
+    fn name_shared(&self) -> Rc<str> {
+        Rc::clone(&self.name)
     }
     fn len(&self) -> usize {
         self.rows.len()
@@ -155,7 +158,7 @@ mod tests {
     #[test]
     fn any_table_round_trips_through_registry_types() {
         let t: Box<dyn AnyTable> = Box::new(TypedTable::<u64, u64>::new("x"));
-        assert_eq!(t.name(), "x");
+        assert_eq!(&*t.name_shared(), "x");
         assert!(t.as_any().downcast_ref::<TypedTable<u64, u64>>().is_some());
         assert!(t.as_any().downcast_ref::<TypedTable<u64, String>>().is_none());
     }

@@ -1,25 +1,36 @@
 #!/usr/bin/env bash
 # One entry point for correctness + perf verification of a PR:
 #   1. tier-1: release build + full test suite (quiet)
-#   2. kernel bench smoke: a fast liveness run of the DES-kernel
-#      throughput microbench (slab/wheel engine vs boxed baseline).
+#   2. lint: clippy across the workspace, warnings denied
+#   3. kernel bench smoke: a fast liveness run of the DES-kernel
+#      throughput microbench (slab/wheel engine vs boxed baseline)
+#   4. metadata bench smoke: same for the metadata-plane microbench
+#      (interned paths / arena cache / zero-clone store vs baselines).
 #
-# The smoke bench writes results/BENCH_kernel_smoke.json and is
+# The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
-# results/BENCH_kernel.json (regenerate with `bench_kernel --scale=25`).
+# results/BENCH_kernel.json and results/BENCH_metadata.json
+# (regenerate with `bench_kernel --scale=25` / `bench_metadata`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 # The workspace build does not cover the bench crate's binaries; the smoke
-# step below needs this one.
+# steps below need these two.
 cargo build --release --offline -p lambda-bench --bin bench_kernel
+cargo build --release --offline -p lambda-bench --bin bench_metadata
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
 
+echo "== lint: cargo clippy (deny warnings) =="
+cargo clippy --workspace --offline -- -D warnings
+
 echo "== kernel bench smoke =="
 ./target/release/bench_kernel --smoke
+
+echo "== metadata bench smoke =="
+./target/release/bench_metadata --smoke
 
 echo "verify.sh: all checks passed"
