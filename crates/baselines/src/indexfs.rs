@@ -298,7 +298,7 @@ impl Function for IndexFn {
                     // Cache hit: function CPU only, no LevelDB.
                     let service = SimDuration::from_micros(sim.rng().gen_range(60..140));
                     Station::submit(&ctx.cpu, sim, service, move |sim| {
-                        respond(sim, TreeResp { found, served_by: instance });
+                        respond.send(sim, TreeResp { found, served_by: instance });
                     });
                     return;
                 }
@@ -315,7 +315,7 @@ impl Function for IndexFn {
                         }
                         c.insert(key, found);
                         drop(c);
-                        respond(sim, TreeResp { found, served_by: instance });
+                        respond.send(sim, TreeResp { found, served_by: instance });
                     }),
                 );
             }
@@ -351,7 +351,7 @@ impl Function for IndexFn {
                     if remaining.get() == 0 {
                         own.borrow_mut().insert(key.clone(), true);
                         if let Some(r) = respond.borrow_mut().take() {
-                            r(sim, TreeResp { found: true, served_by: instance });
+                            r.send(sim, TreeResp { found: true, served_by: instance });
                         }
                     }
                 };
@@ -465,7 +465,7 @@ impl LambdaIndexFs {
                 );
                 let registry: CacheRegistry = Rc::new(RefCell::new(Vec::new()));
                 let capacity = config.cache_capacity;
-                let coord_rtt = config.net.coord_one_way.clone();
+                let coord_rtt = config.net.coord_one_way;
                 platform.register_deployment(
                     format!("lambda-indexfs-{d}"),
                     FunctionConfig {
@@ -480,7 +480,7 @@ impl LambdaIndexFs {
                         registry: Rc::clone(&registry),
                         cache: Rc::new(RefCell::new(HashMap::new())),
                         cache_capacity: capacity,
-                        coord_rtt: coord_rtt.clone(),
+                        coord_rtt,
                         instance: Cell::new(None),
                     }),
                 )
@@ -553,7 +553,7 @@ impl LambdaIndexFs {
         let respond: Responder<TreeResp> = {
             let done = Rc::clone(&done);
             let connections = Rc::clone(&self.connections);
-            Box::new(move |sim, resp| {
+            Responder::new(move |sim, resp: TreeResp| {
                 connections.borrow_mut()[client].insert(dep, resp.served_by);
                 if let Some(d) = done.borrow_mut().take() {
                     let latency = sim.now().saturating_since(started);

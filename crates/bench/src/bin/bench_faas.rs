@@ -1,0 +1,419 @@
+//! FaaS control-plane hot-path benchmark: the slab/ready-heap platform
+//! versus the preserved pre-overhaul implementation
+//! ([`lambda_faas::baseline`]).
+//!
+//! Three scenarios, one per overhauled mechanism:
+//!
+//! * `http_invoke` — gateway bursts against a large warm pool: per-request
+//!   routing through the lazy ready heap (O(log n) maintenance, O(1)
+//!   pick) versus the baseline's full scan of the deployment's instances
+//!   for the least-loaded one, plus slab slot lookups versus `BTreeMap`
+//!   on every dispatch and completion;
+//! * `tcp_dispatch` — direct warm deliveries: the pooled
+//!   invocation-record path (dispatch/completion without allocating)
+//!   versus the baseline's boxed wrapper closure per request;
+//! * `churn_billing` — scale-out bursts, idle-out reclamation cycles, and
+//!   per-second billing with maintenance running: intrusive idle lists
+//!   and `live_ids` walks versus whole-table scans each tick.
+//!
+//! Both sides run the same seeded schedule and must agree on the platform
+//! counters and completion totals before any rate is reported — the
+//! differential proptest's invariant, re-checked here at bench scale.
+//! The composite (geometric-mean) speedup is checked against the ≥1.5×
+//! target. Results go to `results/BENCH_faas.json`.
+//!
+//! Flags: `--smoke` (small op counts, for CI), `--seed=N`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use lambda_bench::{arg_f64, arg_flag, fmt_events_per_sec, print_table, write_json};
+use lambda_faas::{
+    Function, FunctionConfig, InstanceCtx, PlatformConfig, PlatformStats, Responder,
+};
+use lambda_sim::params::FaasParams;
+use lambda_sim::{Dist, Sim, SimDuration, Station};
+
+/// One side's measurement of one scenario.
+struct Measurement {
+    events: u64,
+    wall_s: f64,
+}
+
+impl Measurement {
+    fn rate(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Best-of-`reps` wall clock for `run`, which returns executed ops.
+fn measure(reps: u32, mut run: impl FnMut() -> u64) -> Measurement {
+    let mut best = Measurement { events: 0, wall_s: f64::INFINITY };
+    for _ in 0..reps {
+        let started = Instant::now();
+        let events = run();
+        let wall_s = started.elapsed().as_secs_f64();
+        if wall_s < best.wall_s {
+            best = Measurement { events, wall_s };
+        }
+    }
+    best
+}
+
+/// A minimal CPU-bound function: just enough station work to exercise the
+/// request lifecycle without letting kernel time (identical on both
+/// sides) swamp the platform overhead under measurement.
+struct Worker;
+
+impl Function for Worker {
+    type Req = u64;
+    type Resp = u64;
+
+    fn on_start(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx) {}
+
+    fn on_request(&mut self, sim: &mut Sim, ctx: &InstanceCtx, req: u64, respond: Responder<u64>) {
+        let work = SimDuration::from_micros(50);
+        Station::submit(&ctx.cpu, sim, work, move |sim| respond.send(sim, req));
+    }
+
+    fn on_terminate(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx, _graceful: bool) {}
+}
+
+/// Platform sized so `pool` single-vCPU instances fit with headroom.
+fn bench_config(pool: u32, idle_after: SimDuration) -> PlatformConfig {
+    PlatformConfig {
+        cluster_vcpus: pool * 2,
+        faas: FaasParams {
+            cold_start: Dist::uniform(0.05, 0.15),
+            idle_reclaim_after: idle_after,
+            reclaim_scan_every: SimDuration::from_millis(500),
+        },
+        ..PlatformConfig::default()
+    }
+}
+
+fn worker_config(concurrency: u32) -> FunctionConfig {
+    FunctionConfig {
+        vcpus: 1,
+        mem_gb: 1.0,
+        concurrency,
+        max_instances: u32::MAX,
+        min_instances: 0,
+    }
+}
+
+/// What a scenario run must agree on across implementations.
+#[derive(Debug, PartialEq)]
+struct Agreement {
+    completions: u64,
+    stats: PlatformStats,
+    instances: usize,
+}
+
+/// Warm a `pool`-instance deployment, then drive `rounds` gateway bursts
+/// of `burst` invocations each. Routing cost dominates: every invocation
+/// must pick the least-loaded warm instance out of `pool`.
+macro_rules! http_scenario {
+    ($platform_ty:ty, $seed:expr, $pool:expr, $conc:expr, $rounds:expr, $burst:expr) => {{
+        let mut sim = Sim::new($seed);
+        let platform = <$platform_ty>::new(&bench_config($pool, SimDuration::from_secs(600)));
+        let dep = platform.register_deployment(
+            "storm",
+            worker_config($conc),
+            Box::new(|_ctx| Worker),
+        );
+        // Saturating burst: all instances cold-start, then drain.
+        let done: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+        for req in 0..u64::from($pool) * u64::from($conc) {
+            let done = Rc::clone(&done);
+            platform.invoke_http(
+                &mut sim,
+                dep,
+                req,
+                Responder::new(move |_sim, _resp| done.set(done.get() + 1)),
+            );
+        }
+        sim.run();
+        let warmed = platform.warm_instances(dep).len();
+        // Measured phase: repeated bursts against the warm pool.
+        done.set(0);
+        let mut ops = 0u64;
+        for round in 0..$rounds {
+            for i in 0..$burst {
+                let done = Rc::clone(&done);
+                platform.invoke_http(
+                    &mut sim,
+                    dep,
+                    u64::from(round) * u64::from($burst) + u64::from(i),
+                    Responder::new(move |_sim, _resp| done.set(done.get() + 1)),
+                );
+                ops += 1;
+            }
+            sim.run();
+        }
+        assert_eq!(warmed as u32, $pool, "pool fully warmed");
+        let agreement = Agreement {
+            completions: done.get(),
+            stats: platform.stats(),
+            instances: platform.total_instances(),
+        };
+        (ops, agreement)
+    }};
+}
+
+/// Direct TCP deliveries round-robined over a warm pool: the pure
+/// dispatch/complete cycle, no gateway or routing.
+macro_rules! tcp_scenario {
+    ($platform_ty:ty, $seed:expr, $pool:expr, $rounds:expr) => {{
+        let mut sim = Sim::new($seed);
+        let platform = <$platform_ty>::new(&bench_config($pool, SimDuration::from_secs(600)));
+        let dep = platform.register_deployment(
+            "direct",
+            worker_config(4),
+            Box::new(|_ctx| Worker),
+        );
+        let done: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+        for req in 0..u64::from($pool) * 4 {
+            let done = Rc::clone(&done);
+            platform.invoke_http(
+                &mut sim,
+                dep,
+                req,
+                Responder::new(move |_sim, _resp| done.set(done.get() + 1)),
+            );
+        }
+        sim.run();
+        let pool = platform.warm_instances(dep);
+        assert_eq!(pool.len() as u32, $pool, "pool fully warmed");
+        done.set(0);
+        let mut ops = 0u64;
+        for round in 0..$rounds {
+            for (i, instance) in pool.iter().enumerate() {
+                let done = Rc::clone(&done);
+                let delivered = platform.deliver_tcp(
+                    &mut sim,
+                    *instance,
+                    u64::from(round) * pool.len() as u64 + i as u64,
+                    Responder::new(move |_sim, _resp| done.set(done.get() + 1)),
+                );
+                assert!(delivered, "warm instance accepts TCP");
+                ops += 1;
+            }
+            sim.run();
+        }
+        let agreement = Agreement {
+            completions: done.get(),
+            stats: platform.stats(),
+            instances: platform.total_instances(),
+        };
+        (ops, agreement)
+    }};
+}
+
+/// Scale-out / idle-out cycles with maintenance running: each cycle
+/// bursts the deployment up to `pool` instances, then sits idle long
+/// enough for the reclamation scans (every 500 ms, walking the idle
+/// structures) and billing ticks (every second, walking every live
+/// instance) to cull the pool back down.
+macro_rules! churn_scenario {
+    ($platform_ty:ty, $seed:expr, $pool:expr, $cycles:expr) => {{
+        let mut sim = Sim::new($seed);
+        let platform = <$platform_ty>::new(&bench_config($pool, SimDuration::from_secs(2)));
+        let dep = platform.register_deployment(
+            "churn",
+            worker_config(1),
+            Box::new(|_ctx| Worker),
+        );
+        platform.run_maintenance(&mut sim);
+        let done: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+        let mut ops = 0u64;
+        for cycle in 0..$cycles {
+            for i in 0..$pool {
+                let done = Rc::clone(&done);
+                platform.invoke_http(
+                    &mut sim,
+                    dep,
+                    u64::from(cycle) * u64::from($pool) + u64::from(i),
+                    Responder::new(move |_sim, _resp| done.set(done.get() + 1)),
+                );
+                ops += 1;
+            }
+            // Long enough for every instance to idle out and be reclaimed.
+            let deadline = sim.now() + SimDuration::from_secs(4);
+            sim.run_until(deadline);
+        }
+        platform.stop_maintenance();
+        let agreement = Agreement {
+            completions: done.get(),
+            stats: platform.stats(),
+            instances: platform.total_instances(),
+        };
+        (ops, agreement)
+    }};
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let reps = if smoke { 2 } else { 3 };
+    let seed = arg_f64("seed", 42.0) as u64;
+    // (pool, rounds, burst) per scenario; full sizes put hundreds of
+    // instances in the table so routing/scan costs are realistic for a
+    // fig10-scale steady state.
+    let (http_pool, http_rounds, http_burst): (u32, u32, u32) =
+        if smoke { (16, 4, 64) } else { (192, 40, 768) };
+    let (tcp_pool, tcp_rounds): (u32, u32) = if smoke { (16, 8) } else { (192, 60) };
+    let (churn_pool, churn_cycles): (u32, u32) = if smoke { (16, 3) } else { (96, 20) };
+
+    let mut agreement_lines: Vec<String> = Vec::new();
+    let mut check = |name: &str, new: &Agreement, base: &Agreement| {
+        agreement_lines.push(format!(
+            "{name}: platforms agree on {} completions / {:?}: {}",
+            new.completions,
+            new.stats,
+            new == base
+        ));
+        assert_eq!(new, base, "{name}: platform implementations diverged");
+    };
+
+    let scenarios: Vec<(&str, Measurement, Measurement)> = vec![
+        {
+            let mut new_agree = None;
+            let new = measure(reps, || {
+                let (ops, agree) = http_scenario!(
+                    lambda_faas::Platform<Worker>,
+                    seed,
+                    http_pool,
+                    4u32,
+                    http_rounds,
+                    http_burst
+                );
+                new_agree = Some(agree);
+                ops
+            });
+            let mut base_agree = None;
+            let base = measure(reps, || {
+                let (ops, agree) = http_scenario!(
+                    lambda_faas::baseline::Platform<Worker>,
+                    seed,
+                    http_pool,
+                    4u32,
+                    http_rounds,
+                    http_burst
+                );
+                base_agree = Some(agree);
+                ops
+            });
+            check("http_invoke", new_agree.as_ref().unwrap(), base_agree.as_ref().unwrap());
+            ("http_invoke", new, base)
+        },
+        {
+            let mut new_agree = None;
+            let new = measure(reps, || {
+                let (ops, agree) =
+                    tcp_scenario!(lambda_faas::Platform<Worker>, seed, tcp_pool, tcp_rounds);
+                new_agree = Some(agree);
+                ops
+            });
+            let mut base_agree = None;
+            let base = measure(reps, || {
+                let (ops, agree) = tcp_scenario!(
+                    lambda_faas::baseline::Platform<Worker>,
+                    seed,
+                    tcp_pool,
+                    tcp_rounds
+                );
+                base_agree = Some(agree);
+                ops
+            });
+            check("tcp_dispatch", new_agree.as_ref().unwrap(), base_agree.as_ref().unwrap());
+            ("tcp_dispatch", new, base)
+        },
+        {
+            let mut new_agree = None;
+            let new = measure(reps, || {
+                let (ops, agree) =
+                    churn_scenario!(lambda_faas::Platform<Worker>, seed, churn_pool, churn_cycles);
+                new_agree = Some(agree);
+                ops
+            });
+            let mut base_agree = None;
+            let base = measure(reps, || {
+                let (ops, agree) = churn_scenario!(
+                    lambda_faas::baseline::Platform<Worker>,
+                    seed,
+                    churn_pool,
+                    churn_cycles
+                );
+                base_agree = Some(agree);
+                ops
+            });
+            check("churn_billing", new_agree.as_ref().unwrap(), base_agree.as_ref().unwrap());
+            ("churn_billing", new, base)
+        },
+    ];
+
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|(name, new, base)| {
+            vec![
+                (*name).to_string(),
+                new.events.to_string(),
+                fmt_events_per_sec(new.events, new.wall_s),
+                fmt_events_per_sec(base.events, base.wall_s),
+                format!("{:.2}x", new.rate() / base.rate()),
+            ]
+        })
+        .collect();
+    print_table(
+        "FaaS control-plane hot path (overhauled vs baseline)",
+        &["scenario", "ops", "new", "baseline", "speedup"],
+        &rows,
+    );
+    for line in &agreement_lines {
+        println!("{line}");
+    }
+
+    // Composite: geometric mean, so no single scenario's op-count choice
+    // dominates the acceptance number.
+    let product: f64 = scenarios.iter().map(|(_, new, base)| new.rate() / base.rate()).product();
+    let composite = product.powf(1.0 / scenarios.len() as f64);
+    let meets = composite >= 1.5;
+    let status = if meets {
+        "ok"
+    } else if smoke {
+        "below target at smoke scale (expected; the full run is authoritative)"
+    } else {
+        "BELOW TARGET"
+    };
+    println!("composite speedup (geomean): {composite:.2}x (target 1.50x) -- {status}");
+
+    let scenario_json: Vec<String> = scenarios
+        .iter()
+        .map(|(name, new, base)| {
+            format!(
+                concat!(
+                    "    {{\"scenario\": \"{}\", \"events\": {}, ",
+                    "\"new_events_per_sec\": {:.0}, \"baseline_events_per_sec\": {:.0}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                name,
+                new.events,
+                new.rate(),
+                base.rate(),
+                new.rate() / base.rate(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"faas\",\n  \"mode\": \"{mode}\",\n  \"scenarios\": [\n{scenarios}\n  ],\n  \
+         \"composite_speedup\": {composite:.3},\n  \"target_speedup\": 1.5,\n  \
+         \"meets_target\": {meets}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        scenarios = scenario_json.join(",\n"),
+    );
+    // Smoke runs are a CI liveness check, not a measurement; keep them
+    // from clobbering the recorded full-size numbers.
+    let path = write_json(if smoke { "BENCH_faas_smoke" } else { "BENCH_faas" }, &json);
+    println!("wrote {}", path.display());
+}

@@ -135,7 +135,7 @@ impl<M: Clone + 'static> Coordinator<M> {
     #[must_use]
     pub fn new(net: &NetParams, session_timeout: SimDuration) -> Self {
         Self::with_transport(
-            Transport::InMemory { one_way: net.coord_one_way.clone() },
+            Transport::InMemory { one_way: net.coord_one_way },
             session_timeout,
         )
     }
@@ -158,8 +158,8 @@ impl<M: Clone + 'static> Coordinator<M> {
         Self::with_transport(
             Transport::Ndb {
                 shards,
-                row_write: store.row_write.clone(),
-                pk_read: store.pk_read.clone(),
+                row_write: store.row_write,
+                pk_read: store.pk_read,
                 epoch,
             },
             session_timeout,
@@ -268,7 +268,7 @@ impl<M: Clone + 'static> Coordinator<M> {
             s.expires_at = sim.now() + timeout;
             match &inner.transport {
                 Transport::InMemory { .. } => None,
-                Transport::Ndb { row_write, .. } => Some(row_write.clone()),
+                Transport::Ndb { row_write, .. } => Some(*row_write),
             }
         };
         if let Some(row_write) = charge {
@@ -392,7 +392,7 @@ impl<M: Clone + 'static> Coordinator<M> {
             Epoch(SimDuration),
         }
         let plan = match &self.inner.borrow().transport {
-            Transport::InMemory { one_way } => Plan::Direct(one_way.clone()),
+            Transport::InMemory { one_way } => Plan::Direct(*one_way),
             Transport::Ndb { epoch, .. } => Plan::Epoch(*epoch),
         };
         for watch in watches {
@@ -429,10 +429,10 @@ impl<M: Clone + 'static> Coordinator<M> {
                 return false;
             }
             match &inner.transport {
-                Transport::InMemory { one_way } => Plan::Direct(one_way.clone()),
+                Transport::InMemory { one_way } => Plan::Direct(*one_way),
                 Transport::Ndb { row_write, pk_read, epoch, .. } => Plan::Ndb {
-                    row_write: row_write.clone(),
-                    pk_read: pk_read.clone(),
+                    row_write: *row_write,
+                    pk_read: *pk_read,
                     epoch: *epoch,
                 },
             }
@@ -512,7 +512,7 @@ impl<M: Clone + 'static> Coordinator<M> {
             inner.kv.insert(key.to_string(), (value, ephemeral_owner));
             match &inner.transport {
                 Transport::InMemory { .. } => None,
-                Transport::Ndb { row_write, .. } => Some(row_write.clone()),
+                Transport::Ndb { row_write, .. } => Some(*row_write),
             }
         };
         if let Some(row_write) = charge {
@@ -534,7 +534,7 @@ impl<M: Clone + 'static> Coordinator<M> {
             let existed = inner.kv.remove(key).is_some();
             let charge = match &inner.transport {
                 Transport::InMemory { .. } => None,
-                Transport::Ndb { row_write, .. } if existed => Some(row_write.clone()),
+                Transport::Ndb { row_write, .. } if existed => Some(*row_write),
                 Transport::Ndb { .. } => None,
             };
             (existed, charge)

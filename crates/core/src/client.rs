@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use lambda_faas::{DeploymentId, InstanceId, Platform};
+use lambda_faas::{DeploymentId, InstanceId, Platform, Responder};
 use lambda_namespace::{FsError, FsOp, Partitioner};
 use lambda_sim::{Sim, SimDuration, SimTime};
 
@@ -353,22 +353,22 @@ impl ClientLib {
                 // One network hop to the NameNode, one back — charged
                 // around the delivery.
                 let hop = {
-                    let net = self.inner.borrow().config.net.clone();
-                    sim.rng().sample_duration(&net.tcp_one_way)
+                    let dist = self.inner.borrow().config.net.tcp_one_way;
+                    sim.rng().sample_duration(&dist)
                 };
                 let this2 = this.clone();
                 let attempt3 = Rc::clone(attempt);
                 sim.schedule(hop, move |sim| {
                     let back = {
-                        let net = this2.inner.borrow().config.net.clone();
-                        sim.rng().sample_duration(&net.tcp_one_way)
+                        let dist = this2.inner.borrow().config.net.tcp_one_way;
+                        sim.rng().sample_duration(&dist)
                     };
                     let this3 = this2.clone();
                     let ok = platform.deliver_tcp(
                         sim,
                         instance,
                         request,
-                        Box::new(move |sim, resp| {
+                        Responder::new(move |sim, resp| {
                             let this4 = this3.clone();
                             let attempt4 = Rc::clone(&attempt3);
                             sim.schedule(back, move |sim| {
@@ -396,7 +396,7 @@ impl ClientLib {
                     sim,
                     dep_id,
                     request,
-                    Box::new(move |sim, resp| this.on_response(sim, &attempt2, resp)),
+                    Responder::new(move |sim, resp| this.on_response(sim, &attempt2, resp)),
                 );
             }
         }

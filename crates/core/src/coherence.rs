@@ -118,7 +118,7 @@ impl CoordCoherence {
                         cache.invalidate_listing(dir);
                     }
                     for (dir, name, present) in listing_updates {
-                        cache.update_listing(dir, &name, present);
+                        cache.update_listing(dir, name, present);
                     }
                     if let Some(prefix) = prefix {
                         cache.invalidate_prefix(&prefix);

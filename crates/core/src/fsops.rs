@@ -51,8 +51,9 @@ pub struct InvalidationSet {
     pub listings: Vec<InodeId>,
     /// In-place listing deltas `(dir, child name, present-after-write)` —
     /// an INV that names the changed child lets caches patch their
-    /// listing instead of dropping it.
-    pub listing_updates: Vec<(InodeId, String, bool)>,
+    /// listing instead of dropping it. Names are interned `&'static str`
+    /// so fan-out clones never allocate.
+    pub listing_updates: Vec<(InodeId, &'static str, bool)>,
     /// Subtree prefix invalidation (Appendix D), if any.
     pub prefix: Option<DfsPath>,
     /// Paths whose owning deployments must receive the INV.
@@ -393,7 +394,7 @@ impl OpEngine {
         let Some(parent_path) = path.parent() else {
             return done(sim, Err(FsError::AlreadyExists("/".into())));
         };
-        let name = path.file_name().expect("non-root").to_string();
+        let name = path.file_name().expect("non-root");
         let this = self.clone();
         self.check_subtree_locks(sim, path.clone(), move |sim, blocked| {
             if let Some(p) = blocked {
@@ -414,7 +415,7 @@ impl OpEngine {
                 // children slot, and the new inode row. The children key
                 // tuple is built once and reused for the post-lock
                 // revalidation probe below.
-                let child_key = (parent.id, name.clone());
+                let child_key = (parent.id, name.to_string());
                 let mut keys = vec![
                     this2.db.lock_key(this2.schema.inodes, &parent.id),
                     this2.db.lock_key(this2.schema.inodes, &new_id),
@@ -464,18 +465,18 @@ impl OpEngine {
                     let inv = InvalidationSet {
                         inodes: Vec::new(),
                         listings: Vec::new(),
-                        listing_updates: vec![(parent.id, name.clone(), true)],
+                        listing_updates: vec![(parent.id, name, true)],
                         prefix: None,
                         paths: vec![path2.clone(), parent_path2.clone()],
                     };
                     let this4 = this3.clone();
-                    let name2 = name.clone();
+                    let name2 = name;
                     this3.with_coherence(sim, inv, move |sim| {
                         parent_now.mtime_nanos = sim.now().as_nanos();
                         let inode = if dir {
-                            Inode::directory(new_id, parent.id, name2.clone())
+                            Inode::directory(new_id, parent.id, name2)
                         } else {
-                            Inode::file(new_id, parent.id, name2.clone())
+                            Inode::file(new_id, parent.id, name2)
                         };
                         let writes = this4
                             .db
@@ -487,7 +488,7 @@ impl OpEngine {
                                 this4.db.upsert(
                                     txn,
                                     this4.schema.children,
-                                    (parent.id, name2),
+                                    (parent.id, name2.to_string()),
                                     new_id,
                                 )
                             });
@@ -563,11 +564,11 @@ impl OpEngine {
         done: OpDone,
     ) {
         let parent_path = path.parent().expect("non-root");
-        let name = target.name.clone();
+        let name = lambda_namespace::interned(&target.name);
         let mut keys = vec![
             self.db.lock_key(self.schema.inodes, &target.parent),
             self.db.lock_key(self.schema.inodes, &target.id),
-            self.db.lock_key(self.schema.children, &(target.parent, name.clone())),
+            self.db.lock_key(self.schema.children, &(target.parent, name.to_string())),
         ];
         keys.sort();
         let txn = self.db.begin();
@@ -594,7 +595,7 @@ impl OpEngine {
             let inv = InvalidationSet {
                 inodes: vec![target.id],
                 listings: Vec::new(),
-                listing_updates: vec![(target.parent, name.clone(), false)],
+                listing_updates: vec![(target.parent, name, false)],
                 prefix: None,
                 paths: vec![path.clone(), parent_path.clone()],
             };
@@ -604,7 +605,7 @@ impl OpEngine {
                 parent_now.mtime_nanos = sim.now().as_nanos();
                 let writes = this2
                     .db
-                    .remove(txn, this2.schema.children, (target.parent, name.clone()))
+                    .remove(txn, this2.schema.children, (target.parent, name.to_string()))
                     .map(|_| ())
                     .and_then(|()| this2.db.remove(txn, this2.schema.inodes, target.id).map(|_| ()))
                     .and_then(|()| {
@@ -673,7 +674,7 @@ impl OpEngine {
         let Some(dst_parent_path) = dst.parent() else {
             return done(sim, Err(FsError::AlreadyExists("/".into())));
         };
-        let dst_name = dst.file_name().expect("non-root").to_string();
+        let dst_name = dst.file_name().expect("non-root");
         let src_parent_path = src.parent().expect("non-root");
         let this = self.clone();
         self.resolve_chain(sim, dst_parent_path.clone(), allow_cache, move |sim, dchain| {
@@ -689,7 +690,7 @@ impl OpEngine {
                 this.db.lock_key(this.schema.inodes, &target.parent),
                 this.db.lock_key(this.schema.inodes, &target.id),
                 this.db.lock_key(this.schema.children, &(target.parent, target.name.clone())),
-                this.db.lock_key(this.schema.children, &(dst_parent.id, dst_name.clone())),
+                this.db.lock_key(this.schema.children, &(dst_parent.id, dst_name.to_string())),
             ];
             if dst_parent.id != target.parent {
                 keys.push(this.db.lock_key(this.schema.inodes, &dst_parent.id));
@@ -709,7 +710,7 @@ impl OpEngine {
                     .peek(this2.schema.children, &(target.parent, target.name.clone()))
                     == Some(target.id);
                 let dst_free =
-                    this2.db.peek(this2.schema.children, &(dst_parent.id, dst_name.clone())).is_none();
+                    this2.db.peek(this2.schema.children, &(dst_parent.id, dst_name.to_string())).is_none();
                 let dst_parent_now = this2.db.peek(this2.schema.inodes, &dst_parent.id);
                 if !still_there || dst_parent_now.as_ref().is_none_or(|p| !p.is_dir()) {
                     this2.db.abort(sim, txn);
@@ -723,8 +724,8 @@ impl OpEngine {
                     inodes: vec![target.id],
                     listings: Vec::new(),
                     listing_updates: vec![
-                        (target.parent, target.name.clone(), false),
-                        (dst_parent.id, dst_name.clone(), true),
+                        (target.parent, lambda_namespace::interned(&target.name), false),
+                        (dst_parent.id, dst_name, true),
                     ],
                     prefix: None,
                     paths: vec![
@@ -738,7 +739,7 @@ impl OpEngine {
                 this2.with_coherence(sim, inv, move |sim| {
                     let mut moved = target.clone();
                     moved.parent = dst_parent.id;
-                    moved.name = dst_name.clone();
+                    moved.name = dst_name.to_string();
                     moved.mtime_nanos = sim.now().as_nanos();
                     let writes = this3
                         .db
@@ -748,7 +749,7 @@ impl OpEngine {
                             this3.db.upsert(
                                 txn,
                                 this3.schema.children,
-                                (dst_parent.id, dst_name.clone()),
+                                (dst_parent.id, dst_name.to_string()),
                                 target.id,
                             )
                         })
@@ -769,7 +770,7 @@ impl OpEngine {
                                 let mut cache = cache.borrow_mut();
                                 cache.invalidate_inode(target.id);
                                 cache.update_listing(target.parent, &target.name, false);
-                                cache.update_listing(dst_parent.id, &dst_name, true);
+                                cache.update_listing(dst_parent.id, dst_name, true);
                             }
                         }
                         done(sim, Ok(OpOutcome::Moved(1)));

@@ -28,14 +28,17 @@ pub struct RequestId {
 }
 
 /// One item of subtree work: an inode plus its `children`-index key.
-#[derive(Debug, Clone, PartialEq)]
+/// `Copy`: the name is interned ([`lambda_namespace::interned`]), so batch
+/// cloning for offload fan-out is a memcpy instead of per-item `String`
+/// allocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubtreeItem {
     /// The inode id.
     pub id: InodeId,
     /// Its parent directory id.
     pub parent: InodeId,
-    /// Its name within the parent.
-    pub name: String,
+    /// Its name within the parent (interned).
+    pub name: &'static str,
 }
 
 /// The kind of work in an offloaded subtree batch (Appendix D).
@@ -123,8 +126,10 @@ pub enum CoherenceMsg {
         inodes: Vec<InodeId>,
         /// Directories whose cached listings must be dropped wholesale.
         listings: Vec<InodeId>,
-        /// In-place listing deltas `(dir, child, present-after-write)`.
-        listing_updates: Vec<(InodeId, String, bool)>,
+        /// In-place listing deltas `(dir, child, present-after-write)`;
+        /// child names are interned, so cloning an INV for each broadcast
+        /// recipient copies plain words.
+        listing_updates: Vec<(InodeId, &'static str, bool)>,
         /// Subtree prefix invalidation (Appendix D), if any.
         prefix: Option<DfsPath>,
     },

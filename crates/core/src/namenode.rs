@@ -134,7 +134,7 @@ impl NameNode {
         // Retry deduplication (§3.2): a resubmitted request is answered
         // from the result cache without re-executing.
         if let Some(cached) = self.state.borrow().results.get(&id).cloned() {
-            sim.schedule(SimDuration::ZERO, move |sim| respond(sim, cached));
+            sim.schedule(SimDuration::ZERO, move |sim| respond.send(sim, cached));
             return;
         }
         let engine = self.state.borrow().engine.clone();
@@ -153,7 +153,7 @@ impl NameNode {
             Box::new(move |sim, result| {
                 let resp = NnResponse::Op { id, result, served_by: instance, deployment };
                 Self::remember_result(&state, id, resp.clone());
-                respond(sim, resp);
+                respond.send(sim, resp);
             }),
         );
     }
@@ -171,7 +171,7 @@ impl NameNode {
         executor.run_batch_local(
             sim,
             batch,
-            Box::new(move |sim| respond(sim, NnResponse::OffloadDone { batch_id })),
+            Box::new(move |sim| respond.send(sim, NnResponse::OffloadDone { batch_id })),
         );
     }
 }
@@ -400,7 +400,7 @@ impl Offloader for NnOffloader {
         done: Box<dyn FnOnce(&mut Sim)>,
     ) -> bool {
         let Some(platform) = self.platform.borrow().clone() else { return false };
-        let deployments = self.deployments.borrow().clone();
+        let deployments = self.deployments.borrow();
         if deployments.len() < 2 {
             return false;
         }
@@ -411,7 +411,7 @@ impl Offloader for NnOffloader {
             if idx == self.own as usize {
                 continue;
             }
-            let Some(&instance) = platform.warm_instances(deployments[idx]).first() else {
+            let Some(instance) = platform.first_warm_instance(deployments[idx]) else {
                 continue;
             };
             self.next.set(idx + 1);
@@ -420,7 +420,7 @@ impl Offloader for NnOffloader {
                 sim,
                 instance,
                 NnRequest::Offload { batch_id: 0, batch: batch.clone() },
-                Box::new(move |sim, _resp| {
+                Responder::new(move |sim, _resp| {
                     if let Some(d) = done2.borrow_mut().take() {
                         d(sim);
                     }

@@ -327,7 +327,7 @@ impl SubtreeExecutor {
                     if is_dir {
                         queue.push_back(id);
                     }
-                    acc.push(SubtreeItem { id, parent, name });
+                    acc.push(SubtreeItem { id, parent, name: lambda_namespace::interned(&name) });
                 }
                 this.collect_step(sim, queue, acc, done);
             },
@@ -474,7 +474,7 @@ impl SubtreeExecutor {
                     keys.push(engine.db.lock_key(engine.schema.inodes, &item.id));
                     child_key.0 = item.parent;
                     child_key.1.clear();
-                    child_key.1.push_str(&item.name);
+                    child_key.1.push_str(item.name);
                     keys.push(engine.db.lock_key(engine.schema.children, &child_key));
                 }
                 keys.sort();
@@ -492,7 +492,7 @@ impl SubtreeExecutor {
                         let _ = engine2.db.remove(
                             txn,
                             engine2.schema.children,
-                            (item.parent, item.name.clone()),
+                            (item.parent, item.name.to_string()),
                         );
                     }
                     engine2.db.commit(sim, txn, move |sim, _r| done(sim));
@@ -511,7 +511,7 @@ impl OpEngine {
         let mut keys = vec![
             self.db.lock_key(self.schema.inodes, &root.parent),
             self.db.lock_key(self.schema.inodes, &root.id),
-            self.db.lock_key(self.schema.children, &(root.parent, root.name.clone())),
+            self.db.lock_key(self.schema.children, &(root.parent, root.name.to_string())),
         ];
         keys.sort();
         let txn = self.db.begin();
@@ -529,7 +529,7 @@ impl OpEngine {
             parent_now.mtime_nanos = sim.now().as_nanos();
             let writes = this
                 .db
-                .remove(txn, this.schema.children, (root.parent, root.name.clone()))
+                .remove(txn, this.schema.children, (root.parent, root.name.to_string()))
                 .map(|_| ())
                 .and_then(|()| this.db.remove(txn, this.schema.inodes, root.id).map(|_| ()))
                 .and_then(|()| this.db.upsert(txn, this.schema.inodes, root.parent, parent_now));
@@ -569,7 +569,7 @@ mod tests {
     #[test]
     fn batching_covers_all_items() {
         let items: Vec<SubtreeItem> = (0..1000)
-            .map(|i| SubtreeItem { id: i, parent: 0, name: format!("f{i}") })
+            .map(|i| SubtreeItem { id: i, parent: 0, name: lambda_namespace::interned(&format!("f{i}")) })
             .collect();
         let batches = make_batches(&items, 512, SubtreeBatchKind::Quiesce);
         assert_eq!(batches.len(), 2);

@@ -316,7 +316,7 @@ impl LambdaFs {
     /// the §5.6 fault-injection primitive. Returns the victim.
     pub fn kill_one_namenode(&self, sim: &mut Sim, deployment: u32) -> Option<InstanceId> {
         let dep = *self.deployments.get(deployment as usize)?;
-        let victim = *self.platform.warm_instances(dep).first()?;
+        let victim = self.platform.first_warm_instance(dep)?;
         self.platform.kill_instance(sim, victim);
         Some(victim)
     }

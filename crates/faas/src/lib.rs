@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 mod platform;
 
 pub use platform::{
@@ -57,7 +58,7 @@ mod tests {
             req: u64,
             respond: Responder<u64>,
         ) {
-            Station::submit(&ctx.cpu, sim, self.work, move |sim| respond(sim, req + 1));
+            Station::submit(&ctx.cpu, sim, self.work, move |sim| respond.send(sim, req + 1));
         }
 
         fn on_terminate(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx, graceful: bool) {
@@ -96,7 +97,7 @@ mod tests {
         let h = harness(64, 4, u32::MAX);
         let got = Rc::new(RefCell::new(None));
         let out = Rc::clone(&got);
-        h.platform.invoke_http(&mut sim, h.deployment, 41, Box::new(move |sim, resp| {
+        h.platform.invoke_http(&mut sim, h.deployment, 41, Responder::new(move |sim, resp| {
             *out.borrow_mut() = Some((sim.now(), resp));
         }));
         sim.run();
@@ -116,7 +117,7 @@ mod tests {
         let count = Rc::new(RefCell::new(0u32));
         for _ in 0..10 {
             let c = Rc::clone(&count);
-            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(move |_s, _r| {
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(move |_s, _r| {
                 *c.borrow_mut() += 1;
             }));
             sim.run();
@@ -135,7 +136,7 @@ mod tests {
         // capped by vCPUs: 64/4 = 16, so all 8 can start.
         for _ in 0..8 {
             let c = Rc::clone(&count);
-            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(move |_s, _r| {
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(move |_s, _r| {
                 *c.borrow_mut() += 1;
             }));
         }
@@ -153,7 +154,7 @@ mod tests {
         let count = Rc::new(RefCell::new(0u32));
         for _ in 0..6 {
             let c = Rc::clone(&count);
-            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(move |_s, _r| {
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(move |_s, _r| {
                 *c.borrow_mut() += 1;
             }));
         }
@@ -168,7 +169,7 @@ mod tests {
         let mut sim = Sim::new(5);
         let h = harness(64, 1, 1); // auto-scaling disabled: 1 instance
         for _ in 0..5 {
-            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
         }
         sim.run();
         assert_eq!(h.platform.stats().cold_starts, 1);
@@ -178,7 +179,7 @@ mod tests {
     fn idle_instances_are_reclaimed_gracefully() {
         let mut sim = Sim::new(6);
         let h = harness(64, 4, u32::MAX);
-        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
         sim.run();
         assert_eq!(h.platform.warm_instances(h.deployment).len(), 1);
         // Default idle reclaim is 30s; run well past it.
@@ -193,14 +194,14 @@ mod tests {
     fn tcp_delivery_bypasses_gateway_and_keeps_instances_warm() {
         let mut sim = Sim::new(7);
         let h = harness(64, 4, u32::MAX);
-        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
         sim.run();
         let instance = h.platform.warm_instances(h.deployment)[0];
         let http_invocations = h.platform.stats().http_invocations;
         let got = Rc::new(RefCell::new(None));
         let out = Rc::clone(&got);
         let t0 = sim.now();
-        assert!(h.platform.deliver_tcp(&mut sim, instance, 10, Box::new(move |sim, resp| {
+        assert!(h.platform.deliver_tcp(&mut sim, instance, 10, Responder::new(move |sim, resp| {
             *out.borrow_mut() = Some((sim.now(), resp));
         })));
         sim.run();
@@ -215,12 +216,12 @@ mod tests {
     fn killed_instances_drop_in_flight_responses() {
         let mut sim = Sim::new(8);
         let h = harness(64, 4, u32::MAX);
-        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
         sim.run();
         let instance = h.platform.warm_instances(h.deployment)[0];
         let responded = Rc::new(RefCell::new(false));
         let out = Rc::clone(&responded);
-        assert!(h.platform.deliver_tcp(&mut sim, instance, 5, Box::new(move |_s, _r| {
+        assert!(h.platform.deliver_tcp(&mut sim, instance, 5, Responder::new(move |_s, _r| {
             *out.borrow_mut() = true;
         })));
         // Kill before the 1ms of work completes.
@@ -231,7 +232,7 @@ mod tests {
         assert!(h.terminated.borrow().is_empty());
         assert_eq!(h.platform.stats().kills, 1);
         // Delivery to the dead instance is refused thereafter.
-        assert!(!h.platform.deliver_tcp(&mut sim, instance, 6, Box::new(|_s, _r| {})));
+        assert!(!h.platform.deliver_tcp(&mut sim, instance, 6, Responder::new(|_s, _r| {})));
     }
 
     #[test]
@@ -239,7 +240,7 @@ mod tests {
         let mut sim = Sim::new(9);
         let h = harness(64, 4, u32::MAX);
         h.platform.run_maintenance(&mut sim);
-        h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
         sim.run_until(SimTime::from_secs(20));
         let pay = h.platform.pay_per_use_cost();
         let prov = h.platform.provisioned_cost();
@@ -273,7 +274,7 @@ mod tests {
         platform.run_maintenance(&mut sim);
         // Scale out to 4 instances with a burst of concurrent requests.
         for _ in 0..4 {
-            platform.invoke_http(&mut sim, deployment, 1, Box::new(|_s, _r| {}));
+            platform.invoke_http(&mut sim, deployment, 1, Responder::new(|_s, _r| {}));
         }
         sim.run_until(SimTime::from_secs(5));
         assert!(platform.warm_instances(deployment).len() >= 3);
@@ -321,7 +322,7 @@ mod tests {
         let (platform, deps) = multi_harness(4, 2);
         let count = Rc::new(RefCell::new(0u32));
         let c = Rc::clone(&count);
-        platform.invoke_http(&mut sim, deps[0], 1, Box::new(move |_s, _r| {
+        platform.invoke_http(&mut sim, deps[0], 1, Responder::new(move |_s, _r| {
             *c.borrow_mut() += 1;
         }));
         sim.run();
@@ -332,7 +333,7 @@ mod tests {
         sim.run_until(sim.now() + SimDuration::from_secs(5));
         let c = Rc::clone(&count);
         let t0 = sim.now();
-        platform.invoke_http(&mut sim, deps[1], 2, Box::new(move |_s, _r| {
+        platform.invoke_http(&mut sim, deps[1], 2, Responder::new(move |_s, _r| {
             *c.borrow_mut() += 1;
         }));
         sim.run();
@@ -350,16 +351,16 @@ mod tests {
         let mut sim = Sim::new(13);
         let (platform, deps) = multi_harness(4, 2);
         // Warm deployment 0 and age it past the grace.
-        platform.invoke_http(&mut sim, deps[0], 1, Box::new(|_s, _r| {}));
+        platform.invoke_http(&mut sim, deps[0], 1, Responder::new(|_s, _r| {}));
         sim.run();
         sim.run_until(sim.now() + SimDuration::from_secs(5));
         // Deployment 1 takes the slot by eviction; deployment 0's
         // immediate retaliation finds only a too-young instance and must
         // wait instead of evicting right back.
-        platform.invoke_http(&mut sim, deps[1], 2, Box::new(|_s, _r| {}));
+        platform.invoke_http(&mut sim, deps[1], 2, Responder::new(|_s, _r| {}));
         sim.run();
         assert_eq!(platform.stats().evictions, 1);
-        platform.invoke_http(&mut sim, deps[0], 3, Box::new(|_s, _r| {}));
+        platform.invoke_http(&mut sim, deps[0], 3, Responder::new(|_s, _r| {}));
         let before = sim.now();
         sim.run_until(before + SimDuration::from_millis(500));
         assert_eq!(
@@ -375,14 +376,14 @@ mod tests {
         let (platform, deps) = multi_harness(8, 2);
         // Both deployments own one instance each: the cluster is full.
         for (i, &d) in deps.iter().enumerate() {
-            platform.invoke_http(&mut sim, d, i as u64, Box::new(|_s, _r| {}));
+            platform.invoke_http(&mut sim, d, i as u64, Responder::new(|_s, _r| {}));
             sim.run();
         }
         sim.run_until(sim.now() + SimDuration::from_secs(5));
         // Concurrent burst on deployment 0 wants a second instance, but a
         // deployment that already has one never evicts others.
         for _ in 0..6 {
-            platform.invoke_http(&mut sim, deps[0], 9, Box::new(|_s, _r| {}));
+            platform.invoke_http(&mut sim, deps[0], 9, Responder::new(|_s, _r| {}));
         }
         sim.run();
         assert_eq!(platform.stats().evictions, 0);
@@ -415,7 +416,7 @@ mod tests {
             let c = Rc::clone(&completed);
             let p2 = platform.clone();
             sim.schedule_at(at, move |sim| {
-                p2.invoke_http(sim, dep, 1, Box::new(move |_s, _r| {
+                p2.invoke_http(sim, dep, 1, Responder::new(move |_s, _r| {
                     *c.borrow_mut() += 1;
                 }));
             });
@@ -435,7 +436,7 @@ mod tests {
         let h = harness(64, 1, u32::MAX);
         h.platform.run_maintenance(&mut sim);
         for _ in 0..4 {
-            h.platform.invoke_http(&mut sim, h.deployment, 1, Box::new(|_s, _r| {}));
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
         }
         sim.run_until(SimTime::from_secs(120));
         let gauge = h.platform.instance_gauge();

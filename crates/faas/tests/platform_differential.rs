@@ -1,0 +1,293 @@
+//! Differential property test: the slab/ready-heap [`Platform`] against
+//! the retained pre-overhaul implementation ([`lambda_faas::baseline`]).
+//!
+//! Identical seeded schedules — HTTP invocations through the gateway,
+//! direct TCP deliveries, fault-injection kills, short advances, and
+//! idle gaps long enough for the reclamation scan to fire — must produce
+//! identical observables: completion timestamps and payloads, platform
+//! counters, warm-instance sets, per-instance slot occupancy, the
+//! instance-count gauge point-for-point, and both billing meters to the
+//! last bit (floating-point summation order is part of the contract).
+//! The overhaul changed the representation (slab slots, lazy ready
+//! heaps, intrusive idle lists, pooled invocation records); it must not
+//! have changed a single observable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambda_faas::{
+    DeploymentId, Function, FunctionConfig, InstanceCtx, InstanceId, PlatformConfig,
+    PlatformStats, Responder,
+};
+use lambda_sim::params::FaasParams;
+use lambda_sim::{Dist, Sim, SimDuration, SimTime, Station};
+use proptest::prelude::*;
+
+/// One platform operation. Deployment and instance picks are small
+/// indices resolved against each platform's *own* current state, so a
+/// divergence in earlier state surfaces as a divergence in observables.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Gateway invocation (the auto-scaling path).
+    InvokeHttp { dep: u8, req: u64 },
+    /// Direct delivery to the `pick`-th warm instance, if any.
+    DeliverTcp { dep: u8, pick: u8, req: u64 },
+    /// Fault injection: kill the `pick`-th warm instance, if any.
+    Kill { dep: u8, pick: u8 },
+    /// Let the simulation run a little.
+    Advance { millis: u16 },
+    /// Let the simulation run past the idle-reclamation horizon.
+    AdvanceIdle,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..2u8, any::<u64>()).prop_map(|(dep, req)| Op::InvokeHttp { dep, req }),
+        4 => (0..2u8, any::<u8>(), any::<u64>())
+            .prop_map(|(dep, pick, req)| Op::DeliverTcp { dep, pick, req }),
+        1 => (0..2u8, any::<u8>()).prop_map(|(dep, pick)| Op::Kill { dep, pick }),
+        4 => (1..400u16).prop_map(|millis| Op::Advance { millis }),
+        1 => Just(Op::AdvanceIdle),
+    ]
+}
+
+/// A small CPU-bound echo function, identical for both platforms.
+struct Worker;
+
+impl Function for Worker {
+    type Req = u64;
+    type Resp = u64;
+
+    fn on_start(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx) {}
+
+    fn on_request(&mut self, sim: &mut Sim, ctx: &InstanceCtx, req: u64, respond: Responder<u64>) {
+        let work = SimDuration::from_millis(2);
+        Station::submit(&ctx.cpu, sim, work, move |sim| respond.send(sim, req.wrapping_add(1)));
+    }
+
+    fn on_terminate(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx, _graceful: bool) {}
+}
+
+/// A tight cluster so schedules hit scale-out limits, queueing, TTL
+/// expiry, and capacity-pressure eviction, with reclamation reachable
+/// inside short advances.
+fn config() -> PlatformConfig {
+    PlatformConfig {
+        cluster_vcpus: 12,
+        faas: FaasParams {
+            cold_start: Dist::uniform(0.1, 0.3),
+            idle_reclaim_after: SimDuration::from_secs(2),
+            reclaim_scan_every: SimDuration::from_millis(500),
+        },
+        request_ttl: SimDuration::from_secs(3),
+        ..PlatformConfig::default()
+    }
+}
+
+fn function_config(min_instances: u32) -> FunctionConfig {
+    FunctionConfig { vcpus: 4, mem_gb: 6.0, concurrency: 2, max_instances: 8, min_instances }
+}
+
+/// Everything observable about one run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    completions: Vec<(SimTime, u64)>,
+    stats: PlatformStats,
+    warm: Vec<Vec<InstanceId>>,
+    slots: Vec<(InstanceId, DeploymentId, u32, u32, bool)>,
+    loads: Vec<usize>,
+    total_instances: usize,
+    vcpus_used: u32,
+    peak_vcpus: u32,
+    pay_total: f64,
+    prov_total: f64,
+    gauge: Vec<(SimTime, f64)>,
+    names: Vec<String>,
+}
+
+/// Drives one platform implementation through `ops`. A macro rather than
+/// a generic: the two `Platform` types share an API by construction, not
+/// by trait.
+macro_rules! drive {
+    ($platform_ty:ty, $ops:expr, $seed:expr) => {{
+        let mut sim = Sim::new($seed);
+        let platform = <$platform_ty>::new(&config());
+        let deps: Vec<DeploymentId> = (0..2u32)
+            .map(|d| {
+                platform.register_deployment(
+                    if d == 0 { "alpha" } else { "beta" },
+                    function_config(d), // dep 0: no floor; dep 1: floor 1
+                    Box::new(|_ctx| Worker),
+                )
+            })
+            .collect();
+        platform.run_maintenance(&mut sim);
+        let completions: Rc<RefCell<Vec<(SimTime, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for op in $ops {
+            match *op {
+                Op::InvokeHttp { dep, req } => {
+                    let sink = Rc::clone(&completions);
+                    platform.invoke_http(
+                        &mut sim,
+                        deps[dep as usize],
+                        req,
+                        Responder::new(move |sim, resp| {
+                            sink.borrow_mut().push((sim.now(), resp));
+                        }),
+                    );
+                }
+                Op::DeliverTcp { dep, pick, req } => {
+                    let warm = platform.warm_instances(deps[dep as usize]);
+                    if let Some(&instance) = warm.get(pick as usize % warm.len().max(1)) {
+                        let sink = Rc::clone(&completions);
+                        platform.deliver_tcp(
+                            &mut sim,
+                            instance,
+                            req,
+                            Responder::new(move |sim, resp| {
+                                sink.borrow_mut().push((sim.now(), resp));
+                            }),
+                        );
+                    }
+                }
+                Op::Kill { dep, pick } => {
+                    let warm = platform.warm_instances(deps[dep as usize]);
+                    if let Some(&instance) = warm.get(pick as usize % warm.len().max(1)) {
+                        platform.kill_instance(&mut sim, instance);
+                    }
+                }
+                Op::Advance { millis } => {
+                    let deadline = sim.now() + SimDuration::from_millis(u64::from(millis));
+                    sim.run_until(deadline);
+                }
+                Op::AdvanceIdle => {
+                    let deadline = sim.now() + SimDuration::from_secs(3);
+                    sim.run_until(deadline);
+                }
+            }
+        }
+        // Drain in-flight work, then freeze.
+        let deadline = sim.now() + SimDuration::from_secs(5);
+        sim.run_until(deadline);
+        platform.stop_maintenance();
+        let observed = Observed {
+            completions: completions.borrow().clone(),
+            stats: platform.stats(),
+            warm: deps.iter().map(|d| platform.warm_instances(*d)).collect(),
+            slots: platform.instance_slots(),
+            loads: deps.iter().map(|d| platform.deployment_load(*d)).collect(),
+            total_instances: platform.total_instances(),
+            vcpus_used: platform.vcpus_used(),
+            peak_vcpus: platform.peak_vcpus_used(),
+            pay_total: platform.pay_per_use_cost(),
+            prov_total: platform.provisioned_cost(),
+            gauge: platform.instance_gauge().points().to_vec(),
+            names: deps.iter().map(|d| platform.deployment_name(*d).to_string()).collect(),
+        };
+        observed
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same schedule ⇒ bit-identical observables.
+    #[test]
+    fn platform_matches_baseline(
+        seed in 0u64..1024,
+        ops in prop::collection::vec(op(), 1..32),
+    ) {
+        let new = drive!(lambda_faas::Platform<Worker>, ops.iter(), seed);
+        let old = drive!(lambda_faas::baseline::Platform<Worker>, ops.iter(), seed);
+        prop_assert_eq!(&new.completions, &old.completions);
+        prop_assert_eq!(new.stats, old.stats);
+        prop_assert_eq!(&new.warm, &old.warm);
+        prop_assert_eq!(&new.slots, &old.slots);
+        prop_assert_eq!(&new.loads, &old.loads);
+        prop_assert_eq!(new.total_instances, old.total_instances);
+        prop_assert_eq!(new.vcpus_used, old.vcpus_used);
+        prop_assert_eq!(new.peak_vcpus, old.peak_vcpus);
+        // Billing is compared for exact equality: the slab keeps the old
+        // BTreeMap's ascending-id summation order precisely so that
+        // floating-point results stay bit-identical.
+        prop_assert_eq!(new.pay_total.to_bits(), old.pay_total.to_bits());
+        prop_assert_eq!(new.prov_total.to_bits(), old.prov_total.to_bits());
+        prop_assert_eq!(&new.gauge, &old.gauge);
+        prop_assert_eq!(&new.names, &old.names);
+    }
+}
+
+/// Pins reclamation victim selection:
+///
+/// 1. only instances idle past the threshold are reclaimed — a recently
+///    touched (MRU) instance survives a scan that takes the LRU ones;
+/// 2. when a `min_instances` floor limits the cull, the budget is spent
+///    in ascending instance-id order, so the oldest idle instances go
+///    first and the newest survives.
+mod reclamation_order {
+    use super::*;
+
+    fn idle_platform(
+        min_instances: u32,
+    ) -> (Sim, lambda_faas::Platform<Worker>, DeploymentId, Vec<InstanceId>) {
+        let mut sim = Sim::new(11);
+        let platform: lambda_faas::Platform<Worker> = lambda_faas::Platform::new(&config());
+        let dep = platform.register_deployment(
+            "pool",
+            FunctionConfig {
+                vcpus: 2,
+                mem_gb: 2.0,
+                concurrency: 1,
+                max_instances: 8,
+                min_instances,
+            },
+            Box::new(|_ctx| Worker),
+        );
+        // Three concurrent invocations at concurrency 1 cold-start three
+        // instances; run until all are warm and idle.
+        for req in 0..3 {
+            platform.invoke_http(&mut sim, dep, req, Responder::new(|_, _| {}));
+        }
+        sim.run();
+        let warm = platform.warm_instances(dep);
+        assert_eq!(warm.len(), 3, "three instances warmed");
+        (sim, platform, dep, warm)
+    }
+
+    #[test]
+    fn lru_idle_reclaimed_first_mru_survives() {
+        let (mut sim, platform, dep, warm) = idle_platform(0);
+        platform.run_maintenance(&mut sim);
+        // Keep the *last* instance busy-ish: touch it right before the
+        // others cross the idle threshold.
+        let touch_at = sim.now() + SimDuration::from_millis(1900);
+        sim.run_until(touch_at);
+        assert!(platform.deliver_tcp(&mut sim, warm[2], 9, Responder::new(|_, _| {})));
+        // Next scans: instances 0 and 1 are idle ≥ 2 s and go; the
+        // touched one is fresh and stays.
+        let check_at = sim.now() + SimDuration::from_millis(700);
+        sim.run_until(check_at);
+        assert_eq!(platform.stats().reclaims, 2, "the two LRU-idle instances are gone");
+        assert_eq!(platform.warm_instances(dep), vec![warm[2]], "the MRU instance survives");
+        // Eventually the survivor idles out too.
+        let done_at = sim.now() + SimDuration::from_secs(4);
+        sim.run_until(done_at);
+        platform.stop_maintenance();
+        assert_eq!(platform.stats().reclaims, 3);
+        assert!(platform.warm_instances(dep).is_empty());
+    }
+
+    #[test]
+    fn floor_budget_is_spent_in_ascending_id_order() {
+        let (mut sim, platform, dep, warm) = idle_platform(1);
+        platform.run_maintenance(&mut sim);
+        // All three idle out together; the floor of one keeps a single
+        // instance, and the cull consumes ids in ascending order — the
+        // newest (highest-id) instance is the survivor.
+        let deadline = sim.now() + SimDuration::from_secs(4);
+        sim.run_until(deadline);
+        platform.stop_maintenance();
+        assert_eq!(platform.stats().reclaims, 2);
+        assert_eq!(platform.warm_instances(dep), vec![warm[2]]);
+    }
+}

@@ -35,7 +35,7 @@ pub use inode::{
 };
 pub use ops::{FsError, FsOp, OpClass, OpOutcome, OpResult};
 pub use partition::Partitioner;
-pub use path::{Ancestors, DfsPath, ParsePathError};
+pub use path::{interned, Ancestors, DfsPath, ParsePathError};
 pub use schema::{MetadataSchema, SubtreeLockRow};
 
 #[cfg(test)]

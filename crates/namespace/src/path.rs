@@ -68,6 +68,16 @@ fn resolve(sym: Sym) -> &'static str {
     })
 }
 
+/// Interns `name` as a path component and returns the arena-backed string.
+/// For a name that is already in the arena (every path component that ever
+/// appeared in a parsed or joined [`DfsPath`] is), this is a hash probe —
+/// no allocation — so message types can replace owned `String` fields with
+/// `&'static str` copies.
+#[must_use]
+pub fn interned(name: &str) -> &'static str {
+    resolve(intern(name))
+}
+
 /// Interner for *rendered* full-path strings (backing [`DfsPath::as_str`]):
 /// one allocation per distinct rendered path, shared by every `DfsPath`
 /// that renders it.
@@ -227,9 +237,11 @@ impl DfsPath {
         self.comps.as_slice().len()
     }
 
-    /// The final component, or `None` for the root.
+    /// The final component, or `None` for the root. The returned string
+    /// borrows the component interner's arena, so it outlives the path —
+    /// wire types can carry it without cloning.
     #[must_use]
-    pub fn file_name(&self) -> Option<&str> {
+    pub fn file_name(&self) -> Option<&'static str> {
         self.comps.as_slice().last().map(|&s| resolve(s))
     }
 

@@ -102,7 +102,7 @@ impl SimRng {
 /// Values are in the caller's unit of choice (the performance models use
 /// seconds). Sampling uses inverse-transform methods on a uniform draw, so
 /// no external distribution crate is needed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Dist {
     /// Always the same value.
     Constant(f64),

@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use lambda_fs::DfsService;
-use lambda_namespace::{DfsPath, FsOp, OpClass};
+use lambda_namespace::{interned, DfsPath, FsOp, OpClass};
 use lambda_sim::{Sim, SimDuration, SimRng, SimTime};
 
 /// Configuration for one micro-benchmark run.
@@ -76,10 +76,26 @@ struct MicroDriver<S: DfsService + 'static> {
     succeeded: RefCell<u64>,
     last_completion: RefCell<SimTime>,
     next_name: RefCell<u64>,
+    /// Reused name-rendering buffer (see the same field on the Spotify
+    /// driver): fresh names are handed out interned, no `format!` per op.
+    name_scratch: RefCell<String>,
     rng: RefCell<SimRng>,
 }
 
 impl<S: DfsService + 'static> MicroDriver<S> {
+    fn fresh_name(&self, kind: char, client: usize) -> &'static str {
+        use std::fmt::Write as _;
+        let n = {
+            let mut n = self.next_name.borrow_mut();
+            *n += 1;
+            *n
+        };
+        let mut buf = self.name_scratch.borrow_mut();
+        buf.clear();
+        write!(buf, "{kind}{client}_{n:08}").expect("write to String");
+        interned(&buf)
+    }
+
     fn next_op(self: &Rc<Self>, _sim: &mut Sim, client: usize) -> FsOp {
         let mut rng = self.rng.borrow_mut();
         match self.cfg.op {
@@ -90,15 +106,11 @@ impl<S: DfsService + 'static> MicroDriver<S> {
             OpClass::Ls => FsOp::Ls(self.dirs[rng.pick_index(self.dirs.len())].clone()),
             OpClass::Create => {
                 let dir = self.dirs[rng.pick_index(self.dirs.len())].clone();
-                let mut n = self.next_name.borrow_mut();
-                *n += 1;
-                FsOp::CreateFile(dir.join(&format!("c{client}_{n:08}")).expect("valid"))
+                FsOp::CreateFile(dir.join(self.fresh_name('c', client)).expect("valid"))
             }
             OpClass::Mkdir => {
                 let dir = self.dirs[rng.pick_index(self.dirs.len())].clone();
-                let mut n = self.next_name.borrow_mut();
-                *n += 1;
-                FsOp::Mkdir(dir.join(&format!("d{client}_{n:08}")).expect("valid"))
+                FsOp::Mkdir(dir.join(self.fresh_name('d', client)).expect("valid"))
             }
             // Micro-benchmarks cover the five §5.3 operations; mv/delete
             // fall back to stat to keep the driver total-op invariant.
@@ -148,11 +160,12 @@ pub fn run_micro<S: DfsService + 'static>(sim: &mut Sim, svc: Rc<S>, cfg: MicroC
         let share = cfg.dirs / roots + usize::from(r < cfg.dirs % roots);
         dirs.extend(svc.bootstrap_tree(&root, share, cfg.files_per_dir));
     }
+    // One rendering per distinct file name (see `run_spotify`).
+    let file_names: Vec<&'static str> =
+        (0..cfg.files_per_dir).map(|f| interned(&format!("file{f:05}"))).collect();
     let files: Vec<DfsPath> = dirs
         .iter()
-        .flat_map(|d| {
-            (0..cfg.files_per_dir).map(move |f| d.join(&format!("file{f:05}")).expect("valid"))
-        })
+        .flat_map(|d| file_names.iter().map(move |name| d.join(name).expect("valid")))
         .collect();
     let clients = svc.client_count().max(1);
     let warmup = cfg.warmup_ops_per_client;
@@ -165,6 +178,7 @@ pub fn run_micro<S: DfsService + 'static>(sim: &mut Sim, svc: Rc<S>, cfg: MicroC
         succeeded: RefCell::new(0),
         last_completion: RefCell::new(sim.now()),
         next_name: RefCell::new(0),
+        name_scratch: RefCell::new(String::new()),
         rng: RefCell::new(SimRng::new(cfg.gen_seed)),
         cfg,
     });

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use lambda_fs::DfsService;
-use lambda_namespace::{DfsPath, FsOp, OpClass};
+use lambda_namespace::{interned, DfsPath, FsOp, OpClass};
 use lambda_sim::{every, Dist, Sim, SimDuration, SimRng, SimTime, Timeline};
 
 /// The Table 2 operation mix as cumulative thresholds over a unit draw.
@@ -124,6 +124,10 @@ struct Driver<S: DfsService + 'static> {
     /// Bootstrap files for read/stat targets.
     files: Vec<DfsPath>,
     next_name: RefCell<u64>,
+    /// Reused buffer for rendering fresh file/dir names; the rendered name
+    /// is handed out interned, so the hot generation loop allocates only
+    /// the one unavoidable interner copy per *distinct* name.
+    name_scratch: RefCell<String>,
     rate_per_client: RefCell<f64>,
     offered: RefCell<Timeline>,
     generated: RefCell<u64>,
@@ -167,10 +171,17 @@ impl<S: DfsService + 'static> Driver<S> {
         self.files[dir * self.cfg.files_per_dir + within].clone()
     }
 
-    fn fresh_name(&self, prefix: &str) -> String {
-        let mut n = self.next_name.borrow_mut();
-        *n += 1;
-        format!("{prefix}{n:08}")
+    fn fresh_name(&self, prefix: &str) -> &'static str {
+        use std::fmt::Write as _;
+        let n = {
+            let mut n = self.next_name.borrow_mut();
+            *n += 1;
+            *n
+        };
+        let mut buf = self.name_scratch.borrow_mut();
+        buf.clear();
+        write!(buf, "{prefix}{n:08}").expect("write to String");
+        interned(&buf)
     }
 
     fn generate_op(self: &Rc<Self>, sim: &mut Sim) -> FsOp {
@@ -195,12 +206,12 @@ impl<S: DfsService + 'static> Driver<S> {
             OpClass::Create => {
                 let dir = self.pick_dir(sim);
                 let name = self.fresh_name("w");
-                FsOp::CreateFile(dir.join(&name).expect("valid name"))
+                FsOp::CreateFile(dir.join(name).expect("valid name"))
             }
             OpClass::Mkdir => {
                 let dir = self.pick_dir(sim);
                 let name = self.fresh_name("d");
-                FsOp::Mkdir(dir.join(&name).expect("valid name"))
+                FsOp::Mkdir(dir.join(name).expect("valid name"))
             }
             OpClass::Mv => {
                 // Prefer files this run created (keeps the bootstrap
@@ -210,7 +221,7 @@ impl<S: DfsService + 'static> Driver<S> {
                     Some(src) => {
                         let dst_dir = self.pick_dir(sim);
                         let name = self.fresh_name("m");
-                        FsOp::Mv(src, dst_dir.join(&name).expect("valid name"))
+                        FsOp::Mv(src, dst_dir.join(name).expect("valid name"))
                     }
                     None => FsOp::Stat(self.pick_file(sim)), // degenerate: nothing to move
                 }
@@ -274,11 +285,14 @@ pub fn run_spotify<S: DfsService + 'static>(
     cfg: SpotifyConfig,
 ) -> SpotifyRun {
     let dirs = svc.bootstrap_tree(&DfsPath::root(), cfg.dirs, cfg.files_per_dir);
+    // Render each per-directory file name once, not once per directory:
+    // joining an already-interned name is a symbol-table hit, so building
+    // the `dirs × files_per_dir` target list does no string formatting.
+    let file_names: Vec<&'static str> =
+        (0..cfg.files_per_dir).map(|f| interned(&format!("file{f:05}"))).collect();
     let files: Vec<DfsPath> = dirs
         .iter()
-        .flat_map(|d| {
-            (0..cfg.files_per_dir).map(move |f| d.join(&format!("file{f:05}")).expect("valid"))
-        })
+        .flat_map(|d| file_names.iter().map(move |name| d.join(name).expect("valid")))
         .collect();
     let n_clients = svc.client_count().max(1);
     let driver = Rc::new(Driver {
@@ -292,6 +306,7 @@ pub fn run_spotify<S: DfsService + 'static>(
         ),
         created_pool: RefCell::new(Vec::new()),
         next_name: RefCell::new(0),
+        name_scratch: RefCell::new(String::new()),
         rate_per_client: RefCell::new(cfg.base_throughput / n_clients as f64),
         offered: RefCell::new(Timeline::new(SimDuration::from_secs(1))),
         generated: RefCell::new(0),
@@ -310,7 +325,6 @@ pub fn run_spotify<S: DfsService + 'static>(
     };
     {
         let driver = Rc::clone(&driver);
-        let pareto = pareto.clone();
         every(sim, sim.now(), driver.cfg.resample_every, move |sim| {
             if sim.now() >= driver.stop_generation_at {
                 return false;

@@ -5,21 +5,31 @@
 #   3. kernel bench smoke: a fast liveness run of the DES-kernel
 #      throughput microbench (slab/wheel engine vs boxed baseline)
 #   4. metadata bench smoke: same for the metadata-plane microbench
-#      (interned paths / arena cache / zero-clone store vs baselines).
+#      (interned paths / arena cache / zero-clone store vs baselines)
+#   5. faas bench smoke: same for the FaaS control-plane microbench
+#      (slab instance table / ready heaps / pooled invocations vs the
+#      retained faas::baseline)
+#   6. fig10 golden check: the seeded latency-CDF figure must be
+#      byte-identical to results/golden/fig10_latency_cdfs.txt (modulo
+#      the wall-clock line) — the end-to-end determinism contract the
+#      hot-path overhauls must not break.
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
-# results/BENCH_kernel.json and results/BENCH_metadata.json
-# (regenerate with `bench_kernel --scale=25` / `bench_metadata`).
+# results/BENCH_kernel.json, results/BENCH_metadata.json, and
+# results/BENCH_faas.json (regenerate with `bench_kernel --scale=25` /
+# `bench_metadata` / `bench_faas`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 # The workspace build does not cover the bench crate's binaries; the smoke
-# steps below need these two.
+# steps below need these.
 cargo build --release --offline -p lambda-bench --bin bench_kernel
 cargo build --release --offline -p lambda-bench --bin bench_metadata
+cargo build --release --offline -p lambda-bench --bin bench_faas
+cargo build --release --offline -p lambda-bench --bin fig10_latency_cdfs
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
@@ -32,5 +42,14 @@ echo "== kernel bench smoke =="
 
 echo "== metadata bench smoke =="
 ./target/release/bench_metadata --smoke
+
+echo "== faas bench smoke =="
+./target/release/bench_faas --smoke
+
+echo "== fig10 golden check (byte-identical modulo wall-clock) =="
+./target/release/fig10_latency_cdfs > results/fig10_latency_cdfs.txt
+diff <(grep -v wall-clock results/golden/fig10_latency_cdfs.txt) \
+     <(grep -v wall-clock results/fig10_latency_cdfs.txt)
+echo "fig10 output matches the golden capture"
 
 echo "verify.sh: all checks passed"
