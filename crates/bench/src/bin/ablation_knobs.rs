@@ -63,7 +63,7 @@ fn run_one(label: &str, scale: f64, seed: u64, mutate: impl Fn(&mut LambdaFsConf
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 54.0) as u64;
+    let seed = arg_u64("seed", 54);
     let jobs: Vec<Box<dyn FnOnce() -> Ablation + Send>> = vec![
         Box::new(move || run_one("baseline (p=1%, CL=4, coherence on)", scale, seed, |_| {})),
         Box::new(move || run_one("replacement p=0 (no autoscale signal)", scale, seed, |c| c.http_replace_prob = 0.0)),

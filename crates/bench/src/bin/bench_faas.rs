@@ -28,7 +28,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 use std::time::Instant;
 
-use lambda_bench::{arg_f64, arg_flag, fmt_events_per_sec, print_table, write_json};
+use lambda_bench::{arg_flag, arg_u64, fmt_events_per_sec, print_table, write_json};
 use lambda_faas::{
     Function, FunctionConfig, InstanceCtx, PlatformConfig, PlatformStats, Responder,
 };
@@ -256,7 +256,7 @@ macro_rules! churn_scenario {
 fn main() {
     let smoke = arg_flag("smoke");
     let reps = if smoke { 2 } else { 3 };
-    let seed = arg_f64("seed", 42.0) as u64;
+    let seed = arg_u64("seed", 42);
     // (pool, rounds, burst) per scenario; full sizes put hundreds of
     // instances in the table so routing/scan costs are realistic for a
     // fig10-scale steady state.

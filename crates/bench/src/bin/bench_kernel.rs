@@ -21,7 +21,7 @@
 //! Flags: `--smoke` (small event counts, for CI), `--scale=N` (industrial
 //! run scale), `--seed=N`.
 
-use lambda_bench::{arg_f64, arg_flag, fmt_events_per_sec, print_table, write_json};
+use lambda_bench::{arg_f64, arg_flag, arg_u64, fmt_events_per_sec, print_table, write_json};
 use lambda_sim::baseline::{boxed_every, BoxedSim, BoxedStation};
 use lambda_sim::{every, Sim, SimDuration, SimTime, Station};
 use std::cell::Cell;
@@ -160,7 +160,7 @@ fn main() {
     let (timers, stations, chains): (u64, u64, u64) =
         if smoke { (512, 64, 128) } else { (4096, 256, 1024) };
     let events_total: u64 = if smoke { 131_072 } else { 2_097_152 };
-    let seed = arg_f64("seed", 42.0) as u64;
+    let seed = arg_u64("seed", 42);
 
     let scenarios: Vec<(&str, Measurement, Measurement)> = vec![
         (

@@ -22,7 +22,7 @@
 //!
 //! Flags: `--smoke` (small op counts, for CI), `--seed=N`.
 
-use lambda_bench::{arg_f64, arg_flag, fmt_events_per_sec, print_table, write_json};
+use lambda_bench::{arg_flag, arg_u64, fmt_events_per_sec, print_table, write_json};
 use lambda_namespace::{DfsPath, Inode, MetadataCache, ROOT_INODE_ID};
 use lambda_sim::params::StoreParams;
 use lambda_sim::{Sim, SimDuration};
@@ -313,7 +313,7 @@ macro_rules! store_scenario {
 fn main() {
     let smoke = arg_flag("smoke");
     let reps = if smoke { 2 } else { 3 };
-    let seed = arg_f64("seed", 42.0) as u64;
+    let seed = arg_u64("seed", 42);
     // Op counts per scenario; the full run sizes match a fig10-scale
     // steady state (hundreds of directories, tens of thousands of ops).
     let (n_paths, cache_dirs, cache_files, cache_lookups, store_rows, store_txns): (

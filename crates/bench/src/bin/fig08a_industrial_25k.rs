@@ -7,7 +7,7 @@ use lambda_bench::*;
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 42.0) as u64;
+    let seed = arg_u64("seed", 42);
     print_table(
         "Table 2: operation mix (relative frequency)",
         &["operation", "share"],

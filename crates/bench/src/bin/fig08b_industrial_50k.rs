@@ -4,7 +4,7 @@ use lambda_bench::*;
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 43.0) as u64;
+    let seed = arg_u64("seed", 43);
     let kinds = vec![
         (SystemKind::Lambda, None),
         (SystemKind::Hops, None),

@@ -5,7 +5,7 @@ use lambda_bench::*;
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 44.0) as u64;
+    let seed = arg_u64("seed", 44);
     let jobs: Vec<Box<dyn FnOnce() -> (String, IndustrialReport) + Send>> = vec![
         Box::new(move || {
             ("lambda-fs 25k".to_string(),

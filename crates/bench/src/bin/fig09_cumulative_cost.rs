@@ -6,7 +6,7 @@ use lambda_bench::*;
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 45.0) as u64;
+    let seed = arg_u64("seed", 45);
     let jobs: Vec<Box<dyn FnOnce() -> IndustrialReport + Send>> = vec![
         Box::new(move || run_industrial(SystemKind::Lambda, &IndustrialParams::spotify(25_000.0, scale, seed))),
         Box::new(move || run_industrial(SystemKind::Hops, &IndustrialParams::spotify(25_000.0, scale, seed))),

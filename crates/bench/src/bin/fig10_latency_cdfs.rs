@@ -5,7 +5,7 @@ use lambda_bench::*;
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 46.0) as u64;
+    let seed = arg_u64("seed", 46);
     for base in [25_000.0, 50_000.0] {
         let jobs: Vec<Box<dyn FnOnce() -> IndustrialReport + Send>> = vec![
             Box::new(move || run_industrial(SystemKind::Lambda, &IndustrialParams::spotify(base, scale, seed))),

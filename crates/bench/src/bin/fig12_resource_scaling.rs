@@ -6,7 +6,7 @@ use lambda_bench::*;
 fn main() {
     let scale = scale_from_args();
     let full = arg_flag("full");
-    let seed = arg_f64("seed", 48.0) as u64;
+    let seed = arg_u64("seed", 48);
     let vcpus_sweep: Vec<u32> = if full {
         vec![16, 32, 64, 128, 256, 512]
     } else {

@@ -7,7 +7,7 @@ use lambda_namespace::OpClass;
 fn main() {
     let scale = scale_from_args();
     let full = arg_flag("full");
-    let seed = arg_f64("seed", 49.0) as u64;
+    let seed = arg_u64("seed", 49);
     let vcpus = ((512.0 / scale) as u32).max(64);
     let clients: Vec<u32> =
         if full { vec![8, 16, 32, 64, 128, 256, 512, 1024] } else { vec![8, 32, 128, 256] };

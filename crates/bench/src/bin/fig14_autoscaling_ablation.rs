@@ -12,7 +12,7 @@ use lambda_bench::*;
 fn main() {
     let scale = scale_from_args();
     let full = arg_flag("full");
-    let seed = arg_f64("seed", 50.0) as u64;
+    let seed = arg_u64("seed", 50);
     let vcpus = ((512.0 / scale) as u32).max(64);
     let clients =
         if full { 1024 } else { ((1024.0 / scale * 2.5) as u32).max(64) };

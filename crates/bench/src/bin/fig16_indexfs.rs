@@ -7,7 +7,7 @@ use lambda_bench::*;
 fn main() {
     let full = arg_flag("full");
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 53.0) as u64;
+    let seed = arg_u64("seed", 53);
     let clients: Vec<u32> =
         if full { vec![2, 4, 8, 16, 32, 64, 128, 256] } else { vec![2, 8, 32, 64] };
     let per_client = if full { 10_000 } else { (10_000.0 / scale) as usize };

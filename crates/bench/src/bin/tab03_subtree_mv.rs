@@ -8,7 +8,7 @@ use lambda_bench::*;
 
 fn main() {
     let scale = scale_from_args();
-    let seed = arg_f64("seed", 51.0) as u64;
+    let seed = arg_u64("seed", 51);
     let sizes: Vec<usize> = [1usize << 18, 1 << 19, 1 << 20]
         .iter()
         .map(|s| ((*s as f64 / scale) as usize).max(1 << 12))

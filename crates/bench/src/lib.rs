@@ -24,6 +24,7 @@
 //! | `fig14_autoscaling_ablation` | Fig. 14 |
 //! | `tab03_subtree_mv` | Table 3 |
 //! | `fig15_fault_tolerance` | Fig. 15 |
+//! | `fig15b_chaos` | beyond-paper: deterministic chaos + invariant audit |
 //! | `fig16_indexfs` | Fig. 16 |
 //! | `ablation_knobs` | beyond-paper design-choice ablations |
 
@@ -42,7 +43,7 @@ pub use industrial::{
 };
 pub use micro_exp::{run_micro_point, MicroParams, MicroPoint, MICRO_OPS};
 pub use report::{
-    arg_f64, arg_flag, fmt_events_per_sec, fmt_ms, fmt_ops, print_series, print_table,
+    arg_f64, arg_flag, arg_u64, fmt_events_per_sec, fmt_ms, fmt_ops, print_series, print_table,
     run_parallel, scale_from_args, write_json,
 };
 pub use subtree_exp::{run_subtree_mv, SubtreeMvResult};

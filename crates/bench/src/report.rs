@@ -84,6 +84,18 @@ pub fn arg_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Reads an integer `--name=value` (e.g. a seed) from the process
+/// arguments, with a default. Unlike going through [`arg_f64`] and
+/// casting, large seeds survive without losing low bits to the `f64`
+/// mantissa.
+#[must_use]
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
 /// Reads a `--flag` boolean from the process arguments.
 #[must_use]
 pub fn arg_flag(name: &str) -> bool {

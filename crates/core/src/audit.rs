@@ -1,0 +1,75 @@
+//! Post-run invariant auditing — the fault plane's ground truth.
+//!
+//! Fault injection is only trustworthy if every run, however chaotic, can
+//! be *proven* to have left the system in a coherent state. After a run
+//! quiesces, [`crate::LambdaFs::audit`] checks:
+//!
+//! * **namespace ↔ store consistency** — the persisted trie is
+//!   well-formed (no orphan rows, parents exist, counts agree);
+//! * **no leaked transactions** — every store transaction committed or
+//!   aborted, no row lock is still held, no lock-wait sequence is parked;
+//! * **no orphaned invocations** — the FaaS control plane holds no live
+//!   invocation records or queued requests once clients are done;
+//! * **op-count conservation** — every operation a client issued reached
+//!   exactly one terminal state (completed, failed, timed out, or
+//!   retries-exhausted), the billing analogue of "no request is lost or
+//!   double-charged".
+
+use std::fmt;
+
+/// Outcome of one post-run invariant audit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Human-readable descriptions of violated invariants; empty means
+    /// the run was coherent.
+    pub violations: Vec<String>,
+    /// Number of invariant checks performed (violated or not).
+    pub checks: u32,
+}
+
+impl AuditReport {
+    /// `true` when every invariant held.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records one check; `violation` is materialized only on failure.
+    pub(crate) fn check(&mut self, ok: bool, violation: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(violation());
+        }
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "audit clean ({} checks)", self.checks)
+        } else {
+            writeln!(f, "audit FAILED ({}/{} checks):", self.violations.len(), self.checks)?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_until_a_check_fails() {
+        let mut r = AuditReport::default();
+        r.check(true, || unreachable!("passing checks never format"));
+        assert!(r.is_clean());
+        assert_eq!(r.checks, 1);
+        r.check(false, || "leaked lock".to_string());
+        assert!(!r.is_clean());
+        assert_eq!(r.checks, 2);
+        assert!(r.to_string().contains("leaked lock"));
+    }
+}

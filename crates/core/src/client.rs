@@ -31,6 +31,7 @@ use std::rc::Rc;
 
 use lambda_faas::{DeploymentId, InstanceId, Platform, Responder};
 use lambda_namespace::{FsError, FsOp, Partitioner};
+use lambda_sim::fault::{FaultInjector, NetDecision};
 use lambda_sim::{Sim, SimDuration, SimTime};
 
 use crate::config::LambdaFsConfig;
@@ -47,6 +48,16 @@ const STRAGGLER_FLOOR: SimDuration = SimDuration::from_millis(50);
 const ANTI_THRASH_FLOOR_SECS: f64 = 0.025;
 /// Base delay for exponential backoff after a timeout.
 const BACKOFF_BASE: SimDuration = SimDuration::from_millis(20);
+/// Fault-plane network addressing: client VMs use their VM index as the
+/// endpoint id; NameNode deployment `d` is endpoint `NN_ENDPOINT_BASE + d`.
+const NN_ENDPOINT_BASE: u32 = 1000;
+/// Retry-budget circuit breaker (token bucket, one token per retry). The
+/// capacity is deliberately generous: a healthy client retries a handful
+/// of times per run and never notices the breaker; only a client cut off
+/// by a network partition burns through it and starts shedding.
+const RETRY_BUDGET_CAPACITY: f64 = 50.0;
+/// Tokens regained per simulated second of calm.
+const RETRY_BUDGET_REFILL_PER_SEC: f64 = 10.0;
 
 #[derive(Debug, Default)]
 struct TcpServer {
@@ -104,6 +115,10 @@ struct ClientState {
     /// Moving window of recent end-to-end latencies (seconds).
     window: VecDeque<f64>,
     anti_thrash: bool,
+    /// Remaining retry-budget tokens (circuit breaker).
+    retry_tokens: f64,
+    /// When the token bucket was last refilled.
+    last_refill: SimTime,
 }
 
 impl ClientState {
@@ -112,6 +127,22 @@ impl ClientState {
             None
         } else {
             Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+        }
+    }
+
+    /// Refills the retry budget for the calm since the last refill, then
+    /// tries to spend one token. `false` means the budget is gone and the
+    /// retry must be shed instead of sent.
+    fn take_retry_token(&mut self, now: SimTime) -> bool {
+        let calm = now.saturating_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.retry_tokens =
+            (self.retry_tokens + calm * RETRY_BUDGET_REFILL_PER_SEC).min(RETRY_BUDGET_CAPACITY);
+        if self.retry_tokens >= 1.0 {
+            self.retry_tokens -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
@@ -124,6 +155,10 @@ struct LibInner {
     vms: Vec<Vm>,
     clients: Vec<ClientState>,
     metrics: Rc<RefCell<RunMetrics>>,
+    /// Network fault injector, when a fault plan is installed. `None`
+    /// keeps every hop on the exact pre-fault-plane code path (and RNG
+    /// stream), so fault-free runs replay bit-identically.
+    injector: Option<FaultInjector>,
 }
 
 /// The client library handle; one instance serves all simulated clients.
@@ -176,6 +211,8 @@ impl ClientLib {
                     next_seq: 0,
                     window: VecDeque::new(),
                     anti_thrash: false,
+                    retry_tokens: RETRY_BUDGET_CAPACITY,
+                    last_refill: SimTime::ZERO,
                 }
             })
             .collect();
@@ -194,6 +231,7 @@ impl ClientLib {
                 vms,
                 clients,
             metrics,
+                injector: None,
             })),
         }
     }
@@ -202,6 +240,35 @@ impl ClientLib {
     #[must_use]
     pub fn client_count(&self) -> usize {
         self.inner.borrow().clients.len()
+    }
+
+    /// Installs a network fault injector; every client↔NameNode hop
+    /// consults it from now on. Without one (the default) the transport
+    /// draws exactly the RNG stream it drew before the fault plane
+    /// existed, so fault-free goldens stay byte-identical.
+    pub fn install_fault_injector(&self, injector: FaultInjector) {
+        self.inner.borrow_mut().injector = Some(injector);
+    }
+
+    /// Network-fault counters `(dropped, duplicated, delayed)` from the
+    /// installed injector; zeros when none is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.borrow();
+        inner
+            .injector
+            .as_ref()
+            .map_or((0, 0, 0), |i| (i.dropped(), i.duplicated(), i.delayed()))
+    }
+
+    /// One fault-plane routing decision; `Deliver` (with zero RNG drawn)
+    /// when no injector is installed.
+    fn net_decide(&self, now: SimTime, src: u32, dst: u32) -> NetDecision {
+        let mut inner = self.inner.borrow_mut();
+        match inner.injector.as_mut() {
+            Some(inj) => inj.decide(now, src, dst),
+            None => NetDecision::Deliver,
+        }
     }
 
     /// Submits `op` on behalf of client `client`, calling `done` with the
@@ -240,7 +307,7 @@ impl ClientLib {
             Http { deployment: u32 },
         }
         let sim_now = sim.now();
-        let (route, request, timeout) = {
+        let (route, request, timeout, src) = {
             let target = {
                 let inner = self.inner.borrow();
                 let a = attempt.borrow();
@@ -333,7 +400,7 @@ impl ClientLib {
             };
             let full = inner.config.client_timeout;
             let timeout = straggler.map_or(full, |s| s.min(full));
-            (route, request, timeout)
+            (route, request, timeout, state.vm as u32)
         };
         // Dispatch.
         let tries_at_send = attempt.borrow().tries;
@@ -347,57 +414,45 @@ impl ClientLib {
                         m.connection_shares += 1;
                     }
                 }
-                let this = self.clone();
-                let attempt2 = Rc::clone(attempt);
-                let platform = self.inner.borrow().platform.clone();
                 // One network hop to the NameNode, one back — charged
-                // around the delivery.
+                // around the delivery. The hop is sampled *before* the
+                // fault-plane decision so fault-free runs draw exactly the
+                // pre-fault-plane RNG stream.
                 let hop = {
                     let dist = self.inner.borrow().config.net.tcp_one_way;
                     sim.rng().sample_duration(&dist)
                 };
-                let this2 = this.clone();
-                let attempt3 = Rc::clone(attempt);
-                sim.schedule(hop, move |sim| {
-                    let back = {
-                        let dist = this2.inner.borrow().config.net.tcp_one_way;
-                        sim.rng().sample_duration(&dist)
-                    };
-                    let this3 = this2.clone();
-                    let ok = platform.deliver_tcp(
-                        sim,
-                        instance,
-                        request,
-                        Responder::new(move |sim, resp| {
-                            let this4 = this3.clone();
-                            let attempt4 = Rc::clone(&attempt3);
-                            sim.schedule(back, move |sim| {
-                                this4.on_response(sim, &attempt4, resp);
-                            });
-                        }),
-                    );
-                    if !ok {
-                        // Dead connection: forget it and reroute now
-                        // (§3.2's transparent TCP-failure handling).
-                        this2.remove_connection(deployment, instance);
-                        this2.try_send(sim, &attempt2);
+                match self.net_decide(sim_now, src, NN_ENDPOINT_BASE + deployment) {
+                    NetDecision::Drop => {} // lost; the retry timer recovers
+                    NetDecision::Duplicate => {
+                        self.send_tcp(sim, hop, deployment, instance, request.clone(), attempt, src);
+                        self.send_tcp(sim, hop, deployment, instance, request, attempt, src);
                     }
-                });
+                    NetDecision::Delay(extra) => {
+                        self.send_tcp(sim, hop + extra, deployment, instance, request, attempt, src);
+                    }
+                    NetDecision::Deliver => {
+                        self.send_tcp(sim, hop, deployment, instance, request, attempt, src);
+                    }
+                }
             }
             Route::Http { deployment } => {
                 self.inner.borrow().metrics.borrow_mut().http_rpcs += 1;
-                let (platform, dep_id) = {
-                    let inner = self.inner.borrow();
-                    (inner.platform.clone(), inner.deployments[deployment as usize])
-                };
-                let this = self.clone();
-                let attempt2 = Rc::clone(attempt);
-                platform.invoke_http(
-                    sim,
-                    dep_id,
-                    request,
-                    Responder::new(move |sim, resp| this.on_response(sim, &attempt2, resp)),
-                );
+                match self.net_decide(sim_now, src, NN_ENDPOINT_BASE + deployment) {
+                    NetDecision::Drop => {} // the gateway never sees it
+                    NetDecision::Duplicate => {
+                        self.send_http(sim, deployment, request.clone(), attempt, src);
+                        self.send_http(sim, deployment, request, attempt, src);
+                    }
+                    NetDecision::Delay(extra) => {
+                        let this = self.clone();
+                        let attempt2 = Rc::clone(attempt);
+                        sim.schedule(extra, move |sim| {
+                            this.send_http(sim, deployment, request, &attempt2, src);
+                        });
+                    }
+                    NetDecision::Deliver => self.send_http(sim, deployment, request, attempt, src),
+                }
             }
         }
         // Arm the (re)submission timer.
@@ -412,7 +467,7 @@ impl ClientLib {
             if !should_retry {
                 return;
             }
-            let (max_retries, exhausted) = {
+            let exhausted = {
                 let inner = this.inner.borrow();
                 let mut a = attempt2.borrow_mut();
                 a.tries += 1;
@@ -421,12 +476,15 @@ impl ClientLib {
                 if is_straggler_deadline {
                     m.straggler_resubmits += 1;
                 }
-                (inner.config.max_retries, a.tries > inner.config.max_retries)
+                a.tries > inner.config.max_retries
             };
-            let _ = max_retries;
             if exhausted {
+                // Every attempt died on the wire: a true timeout.
                 this.complete(sim, &attempt2, Err(FsError::Timeout));
                 return;
+            }
+            if !this.spend_retry_token(sim, &attempt2) {
+                return; // breaker open: shed instead of storming
             }
             // Exponential backoff with jitter (anti-request-storm, §3.2).
             let tries = attempt2.borrow().tries;
@@ -436,6 +494,104 @@ impl ClientLib {
             let attempt3 = Rc::clone(&attempt2);
             sim.schedule(delay, move |sim| this2.try_send(sim, &attempt3));
         });
+    }
+
+    /// Ships one TCP copy of `request`: request hop, delivery, and (fault
+    /// plane permitting) the response hop back to `on_response`.
+    #[allow(clippy::too_many_arguments)]
+    fn send_tcp(
+        &self,
+        sim: &mut Sim,
+        hop: SimDuration,
+        deployment: u32,
+        instance: InstanceId,
+        request: NnRequest,
+        attempt: &Rc<RefCell<Attempt>>,
+        src: u32,
+    ) {
+        let this2 = self.clone();
+        let attempt2 = Rc::clone(attempt);
+        let attempt3 = Rc::clone(attempt);
+        let platform = self.inner.borrow().platform.clone();
+        sim.schedule(hop, move |sim| {
+            let back = {
+                let dist = this2.inner.borrow().config.net.tcp_one_way;
+                sim.rng().sample_duration(&dist)
+            };
+            let this3 = this2.clone();
+            let ok = platform.deliver_tcp(
+                sim,
+                instance,
+                request,
+                Responder::new(move |sim, resp: NnResponse| {
+                    let decision =
+                        this3.net_decide(sim.now(), NN_ENDPOINT_BASE + deployment, src);
+                    if matches!(decision, NetDecision::Drop) {
+                        return; // response lost; the retry timer recovers
+                    }
+                    let back = match decision {
+                        NetDecision::Delay(extra) => back + extra,
+                        _ => back,
+                    };
+                    if matches!(decision, NetDecision::Duplicate) {
+                        let this4 = this3.clone();
+                        let attempt4 = Rc::clone(&attempt3);
+                        let resp2 = resp.clone();
+                        sim.schedule(back, move |sim| {
+                            this4.on_response(sim, &attempt4, resp2);
+                        });
+                    }
+                    let this4 = this3.clone();
+                    let attempt4 = Rc::clone(&attempt3);
+                    sim.schedule(back, move |sim| {
+                        this4.on_response(sim, &attempt4, resp);
+                    });
+                }),
+            );
+            if !ok {
+                // Dead connection: forget it and reroute now
+                // (§3.2's transparent TCP-failure handling).
+                this2.remove_connection(deployment, instance);
+                this2.try_send(sim, &attempt2);
+            }
+        });
+    }
+
+    /// Ships one HTTP copy of `request` through the FaaS gateway.
+    fn send_http(
+        &self,
+        sim: &mut Sim,
+        deployment: u32,
+        request: NnRequest,
+        attempt: &Rc<RefCell<Attempt>>,
+        src: u32,
+    ) {
+        let (platform, dep_id) = {
+            let inner = self.inner.borrow();
+            (inner.platform.clone(), inner.deployments[deployment as usize])
+        };
+        let this = self.clone();
+        let attempt2 = Rc::clone(attempt);
+        platform.invoke_http(
+            sim,
+            dep_id,
+            request,
+            Responder::new(move |sim, resp| {
+                match this.net_decide(sim.now(), NN_ENDPOINT_BASE + deployment, src) {
+                    NetDecision::Drop => {} // response lost; the timer recovers
+                    NetDecision::Delay(extra) => {
+                        let this2 = this.clone();
+                        let attempt3 = Rc::clone(&attempt2);
+                        sim.schedule(extra, move |sim| this2.on_response(sim, &attempt3, resp));
+                    }
+                    NetDecision::Duplicate => {
+                        this.on_response(sim, &attempt2, resp.clone());
+                        this.on_response(sim, &attempt2, resp);
+                    }
+                    NetDecision::Deliver => this.on_response(sim, &attempt2, resp),
+                }
+            }),
+        );
     }
 
     fn on_response(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>, resp: NnResponse) {
@@ -466,7 +622,11 @@ impl ClientLib {
                     a.tries > inner.config.max_retries
                 };
                 if exhausted {
-                    self.complete(sim, attempt, Err(FsError::Timeout));
+                    // The service answered every time, just never with a
+                    // final result — not a timeout.
+                    self.complete(sim, attempt, Err(FsError::RetriesExhausted));
+                } else if !self.spend_retry_token(sim, attempt) {
+                    // breaker open: shed instead of storming
                 } else {
                     let tries = attempt.borrow().tries;
                     let factor = (1u64 << tries.min(6)) as f64 * sim.rng().gen_range(0.5..1.5);
@@ -478,6 +638,27 @@ impl ClientLib {
             }
             other => self.complete(sim, attempt, other),
         }
+    }
+
+    /// Charges the client's retry-budget circuit breaker for one retry.
+    /// On an empty budget the attempt is completed with
+    /// [`FsError::RetriesExhausted`] (and a load-shed is recorded) and
+    /// `false` comes back — the caller must not resend.
+    fn spend_retry_token(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>) -> bool {
+        let ok = {
+            let mut inner = self.inner.borrow_mut();
+            let client = attempt.borrow().client;
+            let now = sim.now();
+            let ok = inner.clients[client].take_retry_token(now);
+            if !ok {
+                inner.metrics.borrow_mut().load_sheds += 1;
+            }
+            ok
+        };
+        if !ok {
+            self.complete(sim, attempt, Err(FsError::RetriesExhausted));
+        }
+        ok
     }
 
     fn complete(
@@ -500,7 +681,7 @@ impl ClientLib {
                     metrics.borrow_mut().record_success(sim.now(), a.op.class(), latency);
                 }
                 Err(e) => {
-                    metrics.borrow_mut().record_failure(matches!(e, FsError::Timeout));
+                    metrics.borrow_mut().record_error(e);
                 }
             }
             // Moving-average window + anti-thrashing transitions

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 pub mod autoscale;
 mod client;
 mod coherence;
@@ -62,6 +63,7 @@ mod service;
 mod subtree;
 mod system;
 
+pub use audit::AuditReport;
 pub use client::ClientLib;
 pub use coherence::{deployment_group, CoordCoherence};
 pub use config::LambdaFsConfig;

@@ -19,10 +19,16 @@ pub struct RunMetrics {
     pub completed: u64,
     /// Operations that failed with a non-retryable error.
     pub failed: u64,
-    /// Operations abandoned after exhausting retries.
+    /// Operations whose every attempt timed out on the wire.
     pub timeouts: u64,
+    /// Operations the service kept answering with transient errors until
+    /// the retry budget ran out ([`lambda_namespace::FsError::RetriesExhausted`]).
+    pub retries_exhausted: u64,
     /// Retry attempts (timeouts + transient failures).
     pub retries: u64,
+    /// Retries refused by the client's retry-budget circuit breaker (a
+    /// partitioned client sheds load instead of storming the service).
+    pub load_sheds: u64,
     /// Requests issued over HTTP (the FaaS-visible, auto-scaling path).
     pub http_rpcs: u64,
     /// Requests issued over TCP (the fast path).
@@ -59,7 +65,9 @@ impl RunMetrics {
             completed: 0,
             failed: 0,
             timeouts: 0,
+            retries_exhausted: 0,
             retries: 0,
+            load_sheds: 0,
             http_rpcs: 0,
             tcp_rpcs: 0,
             straggler_resubmits: 0,
@@ -85,6 +93,25 @@ impl RunMetrics {
         } else {
             self.failed += 1;
         }
+    }
+
+    /// Records a terminal failure classified by error kind: timeouts,
+    /// retry-budget exhaustion, and genuine errors are tallied apart.
+    pub fn record_error(&mut self, error: &lambda_namespace::FsError) {
+        use lambda_namespace::FsError;
+        match error {
+            FsError::Timeout => self.timeouts += 1,
+            FsError::RetriesExhausted => self.retries_exhausted += 1,
+            _ => self.failed += 1,
+        }
+    }
+
+    /// Every operation that reached a terminal state. Conservation — the
+    /// auditor's billing check — demands this equals [`RunMetrics::issued`]
+    /// once the run has drained.
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.failed + self.timeouts + self.retries_exhausted
     }
 
     /// Mean latency across all classes, or zero when empty.

@@ -8,9 +8,11 @@ use std::rc::Rc;
 use lambda_coord::Coordinator;
 use lambda_faas::{DeploymentId, FunctionConfig, InstanceId, Platform, PlatformConfig};
 use lambda_namespace::{DataNodeFleet, DfsPath, FsOp, MetadataSchema, Partitioner};
+use lambda_sim::fault::{FaultInjector, FaultPlan};
 use lambda_sim::{CostMeter, GaugeSeries, Sim};
 use lambda_store::Db;
 
+use crate::audit::AuditReport;
 use crate::client::ClientLib;
 use crate::config::LambdaFsConfig;
 use crate::fsops::OpDone;
@@ -325,6 +327,76 @@ impl LambdaFs {
     #[must_use]
     pub fn check_consistency(&self) -> Vec<String> {
         self.schema.check_consistency(&self.db)
+    }
+
+    /// Installs a deterministic fault plan: shard outages on the store,
+    /// NameNode kill bursts and cold-start storms on the platform, and
+    /// message-level network faults on every client↔NameNode hop.
+    ///
+    /// An empty plan is a strict no-op — no RNG is drawn, no event is
+    /// scheduled — so a plan-free run replays bit-identically to builds
+    /// without a fault plane. The same `(sim seed, plan)` pair always
+    /// replays the same trace.
+    pub fn install_fault_plan(&self, sim: &mut Sim, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.db.schedule_outages(sim, &plan.shards);
+        for burst in plan.kills.iter().copied() {
+            let platform = self.platform.clone();
+            let deployments = self.deployments.clone();
+            sim.schedule_at(burst.at, move |sim| {
+                let dep = burst.deployment.and_then(|d| deployments.get(d as usize).copied());
+                if burst.deployment.is_some() && dep.is_none() {
+                    return; // burst aimed at a deployment that doesn't exist
+                }
+                platform.kill_warm_burst(sim, dep, burst.count);
+            });
+        }
+        for storm in &plan.storms {
+            self.platform.cold_start_storm(sim, storm.window.from, storm.window.until, storm.factor);
+        }
+        if !plan.net.is_empty() || !plan.partitions.is_empty() {
+            // The injector gets a forked seed so its draws never perturb
+            // the main event stream mid-run.
+            let seed: u64 = sim.rng().gen_range(0..u64::MAX);
+            self.clients.install_fault_injector(FaultInjector::new(plan, seed));
+        }
+    }
+
+    /// Audits the quiesced system: namespace↔store consistency, no leaked
+    /// locks or transactions, no orphaned invocations, and op-count
+    /// conservation (issued = completed + failed + timeouts +
+    /// retries-exhausted). Run it after the event queue has drained; a
+    /// mid-flight audit will report in-progress work as violations.
+    #[must_use]
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        report.checks += 1;
+        report.violations.extend(
+            self.schema.check_consistency(&self.db).into_iter().map(|v| format!("namespace: {v}")),
+        );
+        let txns = self.db.active_txn_count();
+        report.check(txns == 0, || format!("store: {txns} transactions never terminated"));
+        let locked = self.db.locked_rows();
+        report.check(locked == 0, || format!("store: {locked} row locks leaked"));
+        let seqs = self.db.pending_seq_count();
+        report.check(seqs == 0, || format!("store: {seqs} lock-wait sequences still parked"));
+        let invocations = self.platform.pending_invocations();
+        report
+            .check(invocations == 0, || format!("faas: {invocations} invocation records leaked"));
+        let queued = self.platform.queued_requests();
+        report.check(queued == 0, || format!("faas: {queued} requests still queued"));
+        let m = self.metrics.borrow();
+        let (issued, accounted) = (m.issued, m.accounted());
+        report.check(accounted == issued, || {
+            format!(
+                "conservation: issued {issued} != accounted {accounted} \
+                 (completed {} + failed {} + timeouts {} + retries-exhausted {})",
+                m.completed, m.failed, m.timeouts, m.retries_exhausted
+            )
+        });
+        report
     }
 }
 

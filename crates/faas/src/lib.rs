@@ -236,6 +236,199 @@ mod tests {
     }
 
     #[test]
+    fn kill_during_cold_start_discards_the_starting_instance() {
+        let mut sim = Sim::new(16);
+        let h = harness(64, 4, u32::MAX);
+        let responded = Rc::new(RefCell::new(false));
+        let out = Rc::clone(&responded);
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(move |_s, _r| {
+            *out.borrow_mut() = true;
+        }));
+        // Past the gateway overhead (the cold start has begun) but well
+        // before the ~600ms cold start completes.
+        sim.run_until(SimTime::from_nanos(100_000_000));
+        let starting: Vec<_> =
+            h.platform.instance_slots().into_iter().filter(|(_, _, _, _, warm)| !warm).collect();
+        assert_eq!(starting.len(), 1, "one instance should be mid-cold-start");
+        h.platform.kill_instance(&mut sim, starting[0].0);
+        sim.run();
+        // `finish_cold_start` found the slot gone: the factory never ran,
+        // `on_start` never fired, and the request is still queued.
+        assert_eq!(*h.started.borrow(), 0);
+        assert_eq!(h.platform.stats().kills, 1);
+        assert!(h.platform.warm_instances(h.deployment).is_empty());
+        assert_eq!(h.platform.queued_requests(), 1);
+        assert_eq!(h.platform.instance_slab(), (1, 1), "slot must return to the freelist");
+        assert!(!*responded.borrow());
+        // The maintenance rescue pass restarts capacity and drains the
+        // queued request — the platform-side half of timeout recovery.
+        h.platform.run_maintenance(&mut sim);
+        sim.run_until(SimTime::from_secs(10));
+        h.platform.stop_maintenance();
+        assert!(*responded.borrow(), "queued request never completed after the kill");
+        assert_eq!(*h.started.borrow(), 1);
+        assert_eq!(h.platform.queued_requests(), 0);
+        assert_eq!(h.platform.instance_slab(), (1, 0), "replacement must reuse the freed slot");
+    }
+
+    /// A function that kills its own instance from `on_start` — the
+    /// narrowest window in the cold-start path.
+    struct KillSelf {
+        platform: Rc<RefCell<Option<Platform<KillSelf>>>>,
+        started: Rc<RefCell<u32>>,
+    }
+
+    impl Function for KillSelf {
+        type Req = u64;
+        type Resp = u64;
+
+        fn on_start(&mut self, sim: &mut Sim, ctx: &InstanceCtx) {
+            *self.started.borrow_mut() += 1;
+            let p = self.platform.borrow().clone().expect("platform installed");
+            p.kill_instance(sim, ctx.instance);
+        }
+
+        fn on_request(
+            &mut self,
+            sim: &mut Sim,
+            _ctx: &InstanceCtx,
+            req: u64,
+            respond: Responder<u64>,
+        ) {
+            respond.send(sim, req);
+        }
+
+        fn on_terminate(&mut self, _sim: &mut Sim, _ctx: &InstanceCtx, _graceful: bool) {
+            unreachable!("killed instances never terminate gracefully");
+        }
+    }
+
+    #[test]
+    fn kill_during_on_start_drops_the_leftover_function() {
+        let mut sim = Sim::new(17);
+        let cfg = PlatformConfig { cluster_vcpus: 64, ..PlatformConfig::default() };
+        let platform = Platform::new(&cfg);
+        let handle: Rc<RefCell<Option<Platform<KillSelf>>>> = Rc::new(RefCell::new(None));
+        let started = Rc::new(RefCell::new(0));
+        let (h2, s2) = (Rc::clone(&handle), Rc::clone(&started));
+        let deployment = platform.register_deployment(
+            "suicidal",
+            FunctionConfig { vcpus: 4, mem_gb: 6.0, concurrency: 4, max_instances: 1, min_instances: 0 },
+            Box::new(move |_ctx| KillSelf { platform: Rc::clone(&h2), started: Rc::clone(&s2) }),
+        );
+        *handle.borrow_mut() = Some(platform.clone());
+        let responded = Rc::new(RefCell::new(false));
+        let out = Rc::clone(&responded);
+        platform.invoke_http(&mut sim, deployment, 1, Responder::new(move |_s, _r| {
+            *out.borrow_mut() = true;
+        }));
+        sim.run();
+        // `on_start` ran, the kill landed inside it, and `finish_cold_start`
+        // dropped the leftover function without installing it.
+        assert_eq!(*started.borrow(), 1);
+        assert_eq!(platform.stats().kills, 1);
+        assert!(platform.warm_instances(deployment).is_empty());
+        assert_eq!(platform.instance_slab(), (1, 1));
+        assert!(!*responded.borrow(), "request to a never-warm instance cannot complete");
+        *handle.borrow_mut() = None; // break the Rc cycle
+    }
+
+    #[test]
+    fn kill_mid_call_frees_parked_responders_and_recovers() {
+        let mut sim = Sim::new(18);
+        let h = harness(64, 4, u32::MAX);
+        h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(|_s, _r| {}));
+        sim.run();
+        let instance = h.platform.warm_instances(h.deployment)[0];
+        // Three in-flight TCP calls park three pooled responders.
+        let responded = Rc::new(RefCell::new(0u32));
+        for i in 0..3 {
+            let out = Rc::clone(&responded);
+            assert!(h.platform.deliver_tcp(&mut sim, instance, i, Responder::new(move |_s, _r| {
+                *out.borrow_mut() += 1;
+            })));
+        }
+        assert_eq!(h.platform.pending_invocations(), 3);
+        h.platform.kill_instance(&mut sim, instance);
+        assert_eq!(h.platform.instance_slab(), (1, 1));
+        sim.run();
+        assert_eq!(*responded.borrow(), 0, "dead instance must not respond");
+        // Each in-flight responder hit the dead instance and abandoned its
+        // invocation record — none may leak.
+        assert_eq!(h.platform.pending_invocations(), 0);
+        assert_eq!(h.platform.stats().kills, 1);
+        // The caller's timeout path retries over HTTP: the platform cold
+        // starts a replacement in the freed slot and serves it.
+        let recovered = Rc::new(RefCell::new(false));
+        let out = Rc::clone(&recovered);
+        h.platform.invoke_http(&mut sim, h.deployment, 9, Responder::new(move |_s, _r| {
+            *out.borrow_mut() = true;
+        }));
+        sim.run();
+        assert!(*recovered.borrow());
+        assert_eq!(h.platform.instance_slab(), (1, 0), "replacement reused the freed slot");
+        assert_eq!(*h.started.borrow(), 2);
+    }
+
+    #[test]
+    fn kill_warm_burst_respects_deployment_filter_and_count() {
+        let mut sim = Sim::new(19);
+        let (platform, deps) = multi_harness(64, 2);
+        // Warm 3 instances on deployment 0 and 1 on deployment 1.
+        for _ in 0..3 {
+            platform.invoke_http(&mut sim, deps[0], 1, Responder::new(|_s, _r| {}));
+        }
+        platform.invoke_http(&mut sim, deps[1], 1, Responder::new(|_s, _r| {}));
+        sim.run();
+        assert_eq!(platform.warm_instances(deps[0]).len(), 3);
+        assert_eq!(platform.warm_instances(deps[1]).len(), 1);
+        // Burst of 2 pinned to deployment 0.
+        assert_eq!(platform.kill_warm_burst(&mut sim, Some(deps[0]), 2), 2);
+        assert_eq!(platform.warm_instances(deps[0]).len(), 1);
+        assert_eq!(platform.warm_instances(deps[1]).len(), 1);
+        // Unpinned burst larger than the fleet kills what's there.
+        assert_eq!(platform.kill_warm_burst(&mut sim, None, 10), 2);
+        assert_eq!(platform.warm_instances(deps[0]).len(), 0);
+        assert_eq!(platform.warm_instances(deps[1]).len(), 0);
+        assert_eq!(platform.stats().kills, 4);
+    }
+
+    #[test]
+    fn cold_start_storm_stretches_cold_starts_inside_the_window() {
+        // Same seed, same schedule; the storm run must cold-start strictly
+        // later, and a run whose storm window never overlaps must be
+        // identical to a storm-free run (the sample is drawn either way).
+        let warm_at = |storm: Option<(u64, u64, f64)>| -> SimTime {
+            let mut sim = Sim::new(33);
+            let h = harness(64, 4, u32::MAX);
+            if let Some((from, until, factor)) = storm {
+                h.platform.cold_start_storm(
+                    &mut sim,
+                    SimTime::from_secs(from),
+                    SimTime::from_secs(until),
+                    factor,
+                );
+            }
+            let done = Rc::new(RefCell::new(None));
+            let out = Rc::clone(&done);
+            h.platform.invoke_http(&mut sim, h.deployment, 1, Responder::new(move |sim, _r| {
+                *out.borrow_mut() = Some(sim.now());
+            }));
+            sim.run();
+            let at = done.borrow().expect("request completed");
+            at
+        };
+        let baseline = warm_at(None);
+        let stormed = warm_at(Some((0, 30, 5.0)));
+        let missed = warm_at(Some((100, 130, 5.0)));
+        assert_eq!(missed, baseline, "a non-overlapping storm must not perturb the run");
+        assert!(
+            stormed > baseline,
+            "storm did not stretch the cold start: {stormed} vs {baseline}"
+        );
+    }
+
+    #[test]
     fn billing_pay_per_use_is_cheaper_than_provisioned() {
         let mut sim = Sim::new(9);
         let h = harness(64, 4, u32::MAX);

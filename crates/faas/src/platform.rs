@@ -406,6 +406,10 @@ struct Inner<F: Function> {
     maintenance_stopped: bool,
     victims_scratch: Vec<InstanceId>,
     remaining_scratch: Vec<usize>,
+    /// Cold-start latency multiplier (fault injection). Exactly `1.0`
+    /// outside storm windows, in which case the sampled delay is used
+    /// untouched — so an idle injector cannot perturb the event trace.
+    cold_start_factor: f64,
 }
 
 impl<F: Function> Inner<F> {
@@ -632,6 +636,7 @@ impl<F: Function> Platform<F> {
                 maintenance_stopped: false,
                 victims_scratch: Vec::new(),
                 remaining_scratch: Vec::new(),
+                cold_start_factor: 1.0,
             }),
         });
         Platform { core }
@@ -1050,7 +1055,7 @@ impl<F: Function> Platform<F> {
     }
 
     fn begin_cold_start(&self, sim: &mut Sim, deployment: DeploymentId) {
-        let (instance, cold_start) = {
+        let (instance, cold_start, factor) = {
             let mut guard = self.core.inner.borrow_mut();
             let inner = &mut *guard;
             inner.next_instance += 1;
@@ -1093,9 +1098,15 @@ impl<F: Function> Platform<F> {
             let count = inner.live_ids.len() as f64;
             let now = sim.now();
             inner.gauge.observe(now, count);
-            (id, inner.snap.cold_start)
+            (id, inner.snap.cold_start, inner.cold_start_factor)
         };
-        let delay = sim.rng().sample_duration(&cold_start);
+        let mut delay = sim.rng().sample_duration(&cold_start);
+        if factor != 1.0 {
+            // Cold-start storm: stretch the sampled delay. The sample above
+            // is drawn unconditionally so a storm never shifts the RNG
+            // stream relative to a storm-free run.
+            delay = delay.mul_f64(factor);
+        }
         let this = self.clone();
         sim.schedule(delay, move |sim| this.finish_cold_start(sim, deployment, instance));
     }
@@ -1349,6 +1360,80 @@ impl<F: Function> Platform<F> {
         // The killed function may hold pooled responders whose Drop
         // re-enters the platform: drop it outside the borrow.
         drop(removed);
+    }
+
+    /// Kills up to `count` warm instances at once (correlated failure /
+    /// fault injection), in ascending instance-id order. `deployment`
+    /// restricts the burst to one deployment; `None` strikes across all of
+    /// them. Returns how many instances were actually killed.
+    pub fn kill_warm_burst(
+        &self,
+        sim: &mut Sim,
+        deployment: Option<DeploymentId>,
+        count: u32,
+    ) -> u32 {
+        let victims: Vec<InstanceId> = {
+            let inner = self.core.inner.borrow();
+            inner
+                .live_ids
+                .iter()
+                .filter(|id| {
+                    let slot = inner.slot_of(**id).expect("live id has a slot");
+                    let st = inner.state(slot);
+                    st.warm && deployment.is_none_or(|d| st.ctx.deployment == d)
+                })
+                .take(count as usize)
+                .copied()
+                .collect()
+        };
+        for &id in &victims {
+            self.kill_instance(sim, id);
+        }
+        victims.len() as u32
+    }
+
+    /// Sets the cold-start latency multiplier (fault injection). `1.0`
+    /// restores normal behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn set_cold_start_factor(&self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "cold-start factor must be positive");
+        self.core.inner.borrow_mut().cold_start_factor = factor;
+    }
+
+    /// Schedules a cold-start storm: from `from` to `until` every cold
+    /// start takes `factor`× its sampled latency.
+    pub fn cold_start_storm(&self, sim: &mut Sim, from: SimTime, until: SimTime, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "cold-start factor must be positive");
+        let this = self.clone();
+        sim.schedule_at(from, move |_sim| this.set_cold_start_factor(factor));
+        let this = self.clone();
+        sim.schedule_at(until, move |_sim| this.set_cold_start_factor(1.0));
+    }
+
+    /// Number of dispatched-but-uncompleted invocations parked in the
+    /// platform (auditor aid: must be zero after a run drains).
+    #[must_use]
+    pub fn pending_invocations(&self) -> usize {
+        self.core.inner.borrow().invocations.iter().filter(|i| i.is_some()).count()
+    }
+
+    /// Number of HTTP requests still queued at deployment gateways
+    /// (auditor aid: must be zero after a run drains).
+    #[must_use]
+    pub fn queued_requests(&self) -> usize {
+        self.core.inner.borrow().deployments.iter().map(|d| d.queue.len()).sum()
+    }
+
+    /// Instance-slab occupancy as `(total slots, free slots)` — a killed
+    /// instance's slot must return to the freelist and be reused by the
+    /// next cold start.
+    #[must_use]
+    pub fn instance_slab(&self) -> (usize, usize) {
+        let inner = self.core.inner.borrow();
+        (inner.slots.len(), inner.free_slots.len())
     }
 
     /// Scale-in: terminate warm instances idle past the threshold, never

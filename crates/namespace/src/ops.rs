@@ -153,6 +153,10 @@ pub enum FsError {
     Retryable(String),
     /// The request timed out at the client and exhausted its retries.
     Timeout,
+    /// The service kept answering with transient errors until the client
+    /// ran out of retry budget. Distinct from [`FsError::Timeout`]: the
+    /// service was reachable, it just never produced a final answer.
+    RetriesExhausted,
     /// A concurrent subtree operation owns this part of the namespace.
     SubtreeLocked(String),
 }
@@ -165,6 +169,7 @@ impl fmt::Display for FsError {
             FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
             FsError::Retryable(why) => write!(f, "transient failure: {why}"),
             FsError::Timeout => write!(f, "request timed out"),
+            FsError::RetriesExhausted => write!(f, "retry budget exhausted"),
             FsError::SubtreeLocked(p) => write!(f, "subtree operation in progress on {p}"),
         }
     }

@@ -51,6 +51,7 @@
 pub mod baseline;
 mod cost;
 mod engine;
+pub mod fault;
 mod metrics;
 pub mod params;
 mod rng;
@@ -60,6 +61,10 @@ mod wheel;
 
 pub use cost::{CostMeter, LambdaPricing, VmPricing};
 pub use engine::{every, Event, Sim};
+pub use fault::{
+    ColdStartStorm, FaultInjector, FaultPlan, FaultWindow, KillBurst, NetDecision, NetFault,
+    NetFaultKind, Partition, ShardOutage,
+};
 pub use metrics::{GaugeSeries, LatencyRecorder, Timeline};
 pub use rng::{Dist, SimRng};
 pub use station::{Station, StationRef, StationStats};

@@ -45,8 +45,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::RangeBounds;
 use std::rc::Rc;
 
+use lambda_sim::fault::ShardOutage;
 use lambda_sim::params::StoreParams;
-use lambda_sim::{Sim, SimDuration, Station, StationRef};
+use lambda_sim::{Sim, SimDuration, SimTime, Station, StationRef};
 
 use crate::error::{StoreError, StoreResult};
 use crate::key::{EncodedKey, KeyCodec};
@@ -71,6 +72,12 @@ pub struct DbStats {
     pub aborts: u64,
     /// Lock acquisitions that timed out.
     pub lock_timeouts: u64,
+    /// Injected shard crashes ([`Db::crash_shard`]).
+    pub shard_crashes: u64,
+    /// Transactions aborted because a shard they wrote crashed under them.
+    pub failover_aborts: u64,
+    /// Operations rejected with [`StoreError::ShardUnavailable`].
+    pub unavailable_errors: u64,
 }
 
 /// Continuation receiving the outcome of a lock acquisition.
@@ -135,6 +142,10 @@ struct DbInner {
     shard_rows: Vec<u32>,
     /// Reusable key-encoding staging buffer.
     enc_scratch: Vec<u8>,
+    /// Per-shard failover deadline: `Some(t)` means the shard is down until
+    /// its node-group replica finishes taking over at `t` (fault
+    /// injection). All-`None` in a healthy run.
+    down_until: Vec<Option<SimTime>>,
     stats: DbStats,
 }
 
@@ -294,6 +305,7 @@ impl Db {
                 plan_pool: Vec::new(),
                 shard_rows: vec![0; shard_count],
                 enc_scratch: Vec::new(),
+                down_until: vec![None; shard_count],
                 stats: DbStats::default(),
             })),
         }
@@ -532,6 +544,114 @@ impl Db {
         self.dispatch_grants(sim, granted);
     }
 
+    /// Whether `shard` is currently down (failover still in progress).
+    fn shard_is_down(inner: &DbInner, now: SimTime, shard: usize) -> bool {
+        matches!(inner.down_until.get(shard), Some(Some(t)) if now < *t)
+    }
+
+    /// Cancels every pending lock sequence owned by `txn`, collecting the
+    /// continuations to fail and any newly grantable waiters.
+    fn cancel_seqs_of(
+        inner: &mut DbInner,
+        txn: TxnId,
+        granted: &mut Vec<WaiterToken>,
+        conts: &mut Vec<LockCont>,
+    ) {
+        for slot in 0..inner.pending.len() {
+            let owns = inner.pending[slot].seq.as_ref().is_some_and(|s| s.txn == txn);
+            if !owns {
+                continue;
+            }
+            let gen = inner.pending[slot].gen;
+            let Some(seq) = inner.take_seq(seq_handle(slot as u32, gen)) else { continue };
+            inner.free_seq_slot(seq_handle(slot as u32, gen));
+            if let Some(token) = seq.current {
+                inner.token_to_seq.remove(&token);
+                inner.locks.cancel_waiter(&seq.keys[seq.next_idx], token, granted);
+            }
+            inner.recycle_keys(seq.keys);
+            conts.push(seq.cont);
+        }
+    }
+
+    /// Crashes `shard` (fault injection): the shard is unavailable until
+    /// its node-group replica finishes taking over, `takeover` from now.
+    ///
+    /// Every in-flight transaction that has written the shard is aborted
+    /// through its undo log (it would lose those writes with the node), and
+    /// its pending lock sequences are cancelled; their continuations
+    /// observe [`StoreError::ShardUnavailable`]. Unlocked reads and scans
+    /// keep being served (read replicas survive the node failure); locked
+    /// reads and commits touching the shard fail until takeover completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn crash_shard(&self, sim: &mut Sim, shard: u32, takeover: SimDuration) {
+        let (granted, conts) = {
+            let mut inner = self.inner.borrow_mut();
+            assert!((shard as usize) < inner.down_until.len(), "shard {shard} out of range");
+            inner.down_until[shard as usize] = Some(sim.now() + takeover);
+            inner.stats.shard_crashes += 1;
+            // Victims in TxnId order: HashMap iteration order must not leak
+            // into the (deterministic) event schedule.
+            let mut victims: Vec<TxnId> = inner
+                .txns
+                .iter()
+                .filter(|(_, s)| s.writes_per_shard.contains_key(&shard))
+                .map(|(id, _)| *id)
+                .collect();
+            victims.sort_unstable();
+            let mut granted = Vec::new();
+            let mut conts = Vec::new();
+            for txn in victims {
+                inner.stats.failover_aborts += 1;
+                Self::abort_in(&mut inner, txn, &mut granted);
+                Self::cancel_seqs_of(&mut inner, txn, &mut granted, &mut conts);
+            }
+            (granted, conts)
+        };
+        self.dispatch_grants(sim, granted);
+        for cont in conts {
+            sim.schedule(SimDuration::ZERO, move |sim| {
+                cont(sim, Err(StoreError::ShardUnavailable { shard }));
+            });
+        }
+    }
+
+    /// Schedules every [`ShardOutage`] in `outages` against this store.
+    pub fn schedule_outages(&self, sim: &mut Sim, outages: &[ShardOutage]) {
+        for o in outages {
+            let db = self.clone();
+            let (shard, takeover) = (o.shard, o.takeover);
+            sim.schedule_at(o.at, move |sim| db.crash_shard(sim, shard, takeover));
+        }
+    }
+
+    /// Number of transactions currently alive (auditor aid).
+    #[must_use]
+    pub fn active_txn_count(&self) -> usize {
+        self.inner.borrow().txns.len()
+    }
+
+    /// Number of rows with at least one holder or waiter (auditor aid).
+    #[must_use]
+    pub fn locked_rows(&self) -> usize {
+        self.inner.borrow().locks.active_rows()
+    }
+
+    /// Number of parked lock-acquisition sequences (auditor aid).
+    #[must_use]
+    pub fn pending_seq_count(&self) -> usize {
+        self.inner.borrow().pending.iter().filter(|s| s.seq.is_some()).count()
+    }
+
+    /// Number of shards in the store.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.borrow().shards.len()
+    }
+
     fn with_table<K: KeyCodec, V: Clone + 'static, R>(
         &self,
         table: TableHandle<K, V>,
@@ -733,6 +853,27 @@ impl Db {
                 plan_note(&mut inner.shard_rows, &mut plan, shard);
             }
             plan_seal(&mut inner.shard_rows, &mut plan);
+            let now = sim.now();
+            let down = plan
+                .iter()
+                .map(|&(s, _)| s)
+                .find(|&s| Self::shard_is_down(&inner, now, s as usize));
+            if let Some(shard) = down {
+                // A primary we need is mid-failover: fail fast and abort the
+                // transaction, as an NDB client does after a data-node loss.
+                inner.stats.unavailable_errors += 1;
+                inner.recycle_keys(lock_keys);
+                plan.clear();
+                inner.plan_pool.push(plan);
+                let mut granted = Vec::new();
+                Self::abort_in(&mut inner, txn, &mut granted);
+                drop(inner);
+                self.dispatch_grants(sim, granted);
+                sim.schedule(SimDuration::ZERO, move |sim| {
+                    cont(sim, Err(StoreError::ShardUnavailable { shard }));
+                });
+                return;
+            }
             (lock_keys, plan)
         };
         let db = self.clone();
@@ -959,15 +1100,37 @@ impl Db {
     {
         // Claim the write set without cloning it; the undo log stays in
         // place until `finish`, so a concurrent abort still rolls back.
-        let writes: Result<BTreeMap<u32, u32>, StoreError> = {
+        let (writes, granted) = {
             let mut inner = self.inner.borrow_mut();
-            match Self::check_txn(&inner, txn) {
-                TxnCheck::Fail(e) => Err(e),
-                TxnCheck::Ok => Ok(std::mem::take(
-                    &mut inner.txns.get_mut(&txn).expect("checked").writes_per_shard,
-                )),
-            }
+            let now = sim.now();
+            let mut granted = Vec::new();
+            let writes: Result<BTreeMap<u32, u32>, StoreError> =
+                match Self::check_txn(&inner, txn) {
+                    TxnCheck::Fail(e) => Err(e),
+                    TxnCheck::Ok => {
+                        let writes = std::mem::take(
+                            &mut inner.txns.get_mut(&txn).expect("checked").writes_per_shard,
+                        );
+                        match writes
+                            .keys()
+                            .copied()
+                            .find(|&s| Self::shard_is_down(&inner, now, s as usize))
+                        {
+                            Some(shard) => {
+                                // The coordinator cannot reach a written
+                                // shard: the commit fails and the undo log
+                                // rolls the transaction back.
+                                inner.stats.unavailable_errors += 1;
+                                Self::abort_in(&mut inner, txn, &mut granted);
+                                Err(StoreError::ShardUnavailable { shard })
+                            }
+                            None => Ok(writes),
+                        }
+                    }
+                };
+            (writes, granted)
         };
+        self.dispatch_grants(sim, granted);
         let writes = match writes {
             Err(e) => {
                 sim.schedule(SimDuration::ZERO, move |sim| cont(sim, Err(e)));

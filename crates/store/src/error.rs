@@ -37,6 +37,15 @@ pub enum StoreError {
         /// The aborted transaction.
         txn: TxnId,
     },
+    /// The operation touched a shard that is down and waiting for its
+    /// node-group replica to finish taking over (fault injection).
+    ///
+    /// The transaction involved (if any) has been aborted; callers retry
+    /// the whole operation, as NDB clients do after a data-node failure.
+    ShardUnavailable {
+        /// The crashed shard.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -50,6 +59,9 @@ impl fmt::Display for StoreError {
                 write!(f, "transaction {txn} wrote row {row} without an exclusive lock")
             }
             StoreError::Aborted { txn } => write!(f, "transaction {txn} was aborted"),
+            StoreError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable (failover in progress)")
+            }
         }
     }
 }

@@ -13,6 +13,13 @@
 #      byte-identical to results/golden/fig10_latency_cdfs.txt (modulo
 #      the wall-clock line) — the end-to-end determinism contract the
 #      hot-path overhauls must not break.
+#   7. fig15 golden check: same contract for the fault-tolerance figure —
+#      with no fault plan installed, the fault plane must not perturb a
+#      single event (results/golden/fig15_fault_tolerance.txt).
+#   8. chaos smoke: fig15b_chaos --smoke runs every fault class against a
+#      small system and exits nonzero if any post-run invariant audit
+#      (leaked locks/txns/invocations, namespace↔store divergence,
+#      op-count conservation) fails.
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
@@ -30,6 +37,8 @@ cargo build --release --offline -p lambda-bench --bin bench_kernel
 cargo build --release --offline -p lambda-bench --bin bench_metadata
 cargo build --release --offline -p lambda-bench --bin bench_faas
 cargo build --release --offline -p lambda-bench --bin fig10_latency_cdfs
+cargo build --release --offline -p lambda-bench --bin fig15_fault_tolerance
+cargo build --release --offline -p lambda-bench --bin fig15b_chaos
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
@@ -51,5 +60,14 @@ echo "== fig10 golden check (byte-identical modulo wall-clock) =="
 diff <(grep -v wall-clock results/golden/fig10_latency_cdfs.txt) \
      <(grep -v wall-clock results/fig10_latency_cdfs.txt)
 echo "fig10 output matches the golden capture"
+
+echo "== fig15 golden check (fault plane off => byte-identical) =="
+./target/release/fig15_fault_tolerance > results/fig15_fault_tolerance.txt
+diff <(grep -v wall-clock results/golden/fig15_fault_tolerance.txt) \
+     <(grep -v wall-clock results/fig15_fault_tolerance.txt)
+echo "fig15 output matches the golden capture"
+
+echo "== chaos smoke (fault classes + invariant audits) =="
+./target/release/fig15b_chaos --smoke
 
 echo "verify.sh: all checks passed"
