@@ -1,0 +1,138 @@
+//! Parallel-DES benchmark: runs the same sharded λFS cluster experiment
+//! at N ∈ {1, 2, 4, 8} worker threads, asserts that every thread count
+//! produces a bit-identical [`ClusterReport`] fingerprint, and records
+//! wall-clock time and speedup vs N=1 in `results/BENCH_parallel.json`.
+//!
+//! The determinism check is the point: conservative-sync sharding is only
+//! usable if `(seed, plan, N)` fully pins the result, so this binary
+//! doubles as a CI gate (`--smoke`) and as the honest speedup record for
+//! the host it ran on (`host_cores` is written alongside the numbers —
+//! on a single-core host the speedup is expected to be ≈1× or below).
+//!
+//! `--smoke` shrinks the workload; `--seed=N` reseeds; `--domains=N`
+//! changes the shard count (default 8).
+
+use std::time::Instant;
+
+use lambda_bench::*;
+use lambda_fs::{run_sharded_cluster, ShardedClusterConfig};
+use lambda_sim::SimDuration;
+
+struct SweepPoint {
+    threads: usize,
+    wall_secs: f64,
+    fingerprint: u64,
+    completed: u64,
+    issued: u64,
+    remote: u64,
+}
+
+fn config(domains: usize, threads: usize, smoke: bool) -> ShardedClusterConfig {
+    ShardedClusterConfig {
+        domains,
+        threads,
+        dirs: if smoke { 12 } else { 24 },
+        files_per_dir: 4,
+        ops_per_domain: if smoke { 160 } else { 1600 },
+        rate: 160.0,
+        remote_fraction: 0.2,
+        drain: SimDuration::from_secs(2),
+        ..ShardedClusterConfig::default()
+    }
+}
+
+fn main() {
+    let seed = arg_u64("seed", 11);
+    let smoke = arg_flag("smoke");
+    let domains = arg_usize("domains", 8);
+    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = config(domains, threads, smoke);
+        let started = Instant::now();
+        let report = run_sharded_cluster(&cfg, seed);
+        let wall_secs = started.elapsed().as_secs_f64();
+        assert!(report.is_clean(), "N={threads}: audit violations");
+        assert_eq!(
+            report.remote_answered(),
+            report.remote_issued(),
+            "N={threads}: remote requests leaked"
+        );
+        points.push(SweepPoint {
+            threads,
+            wall_secs,
+            fingerprint: report.fingerprint(),
+            completed: report.merged.completed,
+            issued: report.merged.issued,
+            remote: report.remote_issued(),
+        });
+    }
+
+    let baseline = &points[0];
+    for p in &points[1..] {
+        assert_eq!(
+            p.fingerprint, baseline.fingerprint,
+            "N={} produced a different trace than N=1 — determinism broken",
+            p.threads
+        );
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let speedup = baseline.wall_secs / p.wall_secs.max(1e-9);
+            vec![
+                p.threads.to_string(),
+                format!("{:.3}s", p.wall_secs),
+                format!("{speedup:.2}x"),
+                format!("{:016x}", p.fingerprint),
+                format!("{}/{}", p.completed, p.issued),
+                p.remote.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Parallel DES sweep: {domains} domains, seed {seed}, host_cores={host_cores}{}",
+            if smoke { ", smoke" } else { "" }
+        ),
+        &["threads", "wall", "speedup", "fingerprint", "done/gen", "remote"],
+        &rows,
+    );
+    println!(
+        "\nall {} thread counts produced the identical fingerprint {:016x}",
+        points.len(),
+        baseline.fingerprint
+    );
+    if host_cores == 1 {
+        println!("(single-core host: speedup ≈1x is expected; the sweep checks determinism)");
+    }
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"wall_secs\": {:.4}, \"speedup_vs_1\": {:.3}, \
+                 \"fingerprint\": \"{:016x}\", \"completed\": {}, \"issued\": {}, \
+                 \"remote_requests\": {}}}",
+                p.threads,
+                p.wall_secs,
+                baseline.wall_secs / p.wall_secs.max(1e-9),
+                p.fingerprint,
+                p.completed,
+                p.issued,
+                p.remote,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_sharded_des\",\n  \"seed\": {seed},\n  \
+         \"domains\": {domains},\n  \"smoke\": {smoke},\n  \"host_cores\": {host_cores},\n  \
+         \"deterministic_across_threads\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let name = if smoke { "BENCH_parallel_smoke" } else { "BENCH_parallel" };
+    let path = write_json(name, &json);
+    println!("wrote {}", path.display());
+}

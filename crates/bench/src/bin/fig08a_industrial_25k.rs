@@ -38,7 +38,7 @@ fn main() {
             }
         })
         .collect();
-    let reports = run_parallel(jobs);
+    let reports = run_parallel_ops(jobs, |r| r.completed);
 
     let rows: Vec<Vec<String>> = reports
         .iter()

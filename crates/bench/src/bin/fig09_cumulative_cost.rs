@@ -12,7 +12,7 @@ fn main() {
         Box::new(move || run_industrial(SystemKind::Hops, &IndustrialParams::spotify(25_000.0, scale, seed))),
         Box::new(move || run_industrial(SystemKind::HopsCache, &IndustrialParams::spotify(25_000.0, scale, seed))),
     ];
-    let reports = run_parallel(jobs);
+    let reports = run_parallel_ops(jobs, |r| r.completed);
     let lambda = &reports[0];
     let rows = vec![
         vec!["lambda-fs (pay-per-use)".to_string(), format!("${:.4}", lambda.cost_total)],

@@ -12,7 +12,7 @@ fn main() {
             Box::new(move || run_industrial(SystemKind::Hops, &IndustrialParams::spotify(base, scale, seed))),
             Box::new(move || run_industrial(SystemKind::HopsCache, &IndustrialParams::spotify(base, scale, seed))),
         ];
-        let reports = run_parallel(jobs);
+        let reports = run_parallel_ops(jobs, |r| r.completed);
         for r in &reports {
             let rows: Vec<Vec<String>> = r
                 .latency_by_class

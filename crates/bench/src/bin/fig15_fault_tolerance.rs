@@ -17,7 +17,7 @@ fn main() {
             run_industrial(SystemKind::Lambda, &p)
         }),
     ];
-    let reports = run_parallel(jobs);
+    let reports = run_parallel_ops(jobs, |r| r.completed);
     let rows: Vec<Vec<String>> = reports
         .iter()
         .zip(["lambda-fs", "lambda-fs + failures"])

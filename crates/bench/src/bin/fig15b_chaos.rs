@@ -169,7 +169,7 @@ fn main() {
                 as Box<dyn FnOnce() -> ChaosReport + Send>
         })
         .collect();
-    let reports = run_parallel(jobs);
+    let reports = run_parallel_ops(jobs, |r| r.completed);
 
     let rows: Vec<Vec<String>> = reports
         .iter()

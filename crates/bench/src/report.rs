@@ -103,6 +103,36 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Reads a `usize` `--name=value` (a count: threads, domains, clients)
+/// from the process arguments, with a default.
+#[must_use]
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// The sweep/shard thread width every benchmark binary uses, resolved in
+/// priority order: the `LAMBDA_BENCH_THREADS` environment variable, then
+/// a `--threads=N` argument, then the machine's available parallelism.
+///
+/// Thread width never changes any simulated result — figure sweeps
+/// preserve job order and the sharded engine is thread-count-invariant by
+/// construction — so this knob only trades wall-clock time for cores.
+#[must_use]
+pub fn bench_threads() -> usize {
+    if let Some(n) = std::env::var("LAMBDA_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    let fallback = thread::available_parallelism().map(usize::from).unwrap_or(4);
+    arg_usize("threads", fallback).max(1)
+}
+
 /// The experiment scale factor: 1.0 = the paper's full scale. Defaults to
 /// a 5× reduction (load, resources, and store capacity shrink together, so
 /// the figures' shapes are preserved); `--full` forces 1.0.
@@ -115,8 +145,8 @@ pub fn scale_from_args() -> f64 {
     }
 }
 
-/// Runs jobs on up to `available_parallelism` threads, preserving order,
-/// and prints a wall-clock summary of the sweep when it finishes.
+/// Runs jobs on up to [`bench_threads`] threads, preserving order, and
+/// prints a wall-clock summary of the sweep when it finishes.
 ///
 /// Each job builds its own simulation, so jobs are fully independent.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
@@ -124,7 +154,7 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let width = thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let width = bench_threads();
     let n_jobs = jobs.len();
     let started = Instant::now();
     let mut results: Vec<Option<T>> = Vec::new();
@@ -157,6 +187,44 @@ where
         if width == 1 { "" } else { "s" },
     );
     results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+/// Like [`run_parallel`], plus a per-job wall-clock productivity line:
+/// each job's simulated-operation count (extracted by `ops` from its
+/// result) divided by the wall time that job took on its worker thread.
+///
+/// Every line is prefixed `[wall-clock]` so golden-output diffs can
+/// filter the runtime-dependent part, exactly like [`run_parallel`]'s
+/// sweep summary.
+pub fn run_parallel_ops<T, F>(jobs: Vec<F>, ops: impl Fn(&T) -> u64) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let timed: Vec<_> = jobs
+        .into_iter()
+        .map(|job| {
+            move || {
+                let started = Instant::now();
+                let out = job();
+                (out, started.elapsed().as_secs_f64())
+            }
+        })
+        .collect();
+    let results = run_parallel(timed);
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, (out, wall))| {
+            let n = ops(&out);
+            let rate = if wall > 0.0 { n as f64 / wall } else { 0.0 };
+            println!(
+                "[wall-clock] job {i}: {n} sim-ops in {wall:.2}s ({} sim-ops/wall-sec)",
+                fmt_ops(rate),
+            );
+            out
+        })
+        .collect()
 }
 
 /// Formats an events-per-second wall-clock rate for run summaries.
@@ -203,5 +271,25 @@ mod tests {
             (0..32usize).map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>).collect();
         let out = run_parallel(jobs);
         assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_ops_runner_preserves_order_and_results() {
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> =
+            (0..8u64).map(|i| Box::new(move || i + 100) as Box<dyn FnOnce() -> u64 + Send>).collect();
+        let out = run_parallel_ops(jobs, |r| *r);
+        assert_eq!(out, (0..8).map(|i| i + 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_width_env_override_wins() {
+        // Not a great fit for parallel test execution, but the variable is
+        // namespaced to this one test's scope and restored immediately.
+        std::env::set_var("LAMBDA_BENCH_THREADS", "3");
+        assert_eq!(bench_threads(), 3);
+        std::env::set_var("LAMBDA_BENCH_THREADS", "0");
+        assert!(bench_threads() >= 1, "zero falls through to the default");
+        std::env::remove_var("LAMBDA_BENCH_THREADS");
+        assert!(bench_threads() >= 1);
     }
 }

@@ -1,0 +1,445 @@
+//! Sharded multi-cell λFS runs on the parallel DES.
+//!
+//! A *sharded cluster* partitions a λFS experiment into `D` independent
+//! cells — each cell a complete [`LambdaFs`] system (clients, NameNode
+//! deployments, store, coordinator) inside its own simulation domain — and
+//! advances all cells concurrently with
+//! [`run_sharded`](lambda_sim::shard::run_sharded)'s conservative
+//! synchronization. Cells interact the only way federated metadata
+//! services do in practice: over the network, here as timestamped
+//! [`ClusterMsg`] request/reply traffic riding the cross-shard links with
+//! at least one network-latency floor of delay
+//! ([`NetParams::conservative_lookahead`](lambda_sim::params::NetParams::conservative_lookahead)).
+//!
+//! The headline property is inherited from the sharded engine: the report
+//! of [`run_sharded_cluster`] — every per-domain trace, merged metric, and
+//! audit — is bit-identical for every thread count at a fixed
+//! `(seed, config)`, which `tests/shard_differential.rs` pins, chaos plans
+//! included.
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use lambda_namespace::{interned, DfsPath, FsOp};
+use lambda_sim::shard::{run_sharded, ShardConfig, ShardWorld};
+use lambda_sim::{
+    FaultPlan, LatencyRecorder, ShardLink, Sim, SimDuration, SimTime,
+};
+
+use crate::config::LambdaFsConfig;
+use crate::metrics::RunMetrics;
+use crate::service::DfsService;
+use crate::system::LambdaFs;
+
+/// Cross-cell traffic: a read-class operation forwarded to another cell,
+/// and its answer.
+#[derive(Debug, Clone)]
+pub enum ClusterMsg {
+    /// Execute `op` in the receiving cell on behalf of `origin`.
+    Request {
+        /// Origin-local request id, echoed in the reply.
+        req: u64,
+        /// Domain index of the requesting cell.
+        origin: u32,
+        /// The forwarded operation (read-class: targets bootstrap files,
+        /// which every cell's namespace contains).
+        op: FsOp,
+    },
+    /// The outcome of a forwarded operation.
+    Reply {
+        /// The id from the matching [`ClusterMsg::Request`].
+        req: u64,
+        /// Whether the serving cell completed the operation successfully.
+        ok: bool,
+    },
+}
+
+/// Configuration for one sharded-cluster run.
+#[derive(Debug, Clone)]
+pub struct ShardedClusterConfig {
+    /// Number of cells (simulation domains). Fixed by the model: changing
+    /// it changes the experiment, unlike `threads`.
+    pub domains: usize,
+    /// Worker threads; any value produces the same report.
+    pub threads: usize,
+    /// Per-cell λFS system configuration.
+    pub fs: LambdaFsConfig,
+    /// Pre-created directories per cell.
+    pub dirs: usize,
+    /// Pre-created files per directory.
+    pub files_per_dir: usize,
+    /// Operations each cell generates.
+    pub ops_per_domain: u64,
+    /// Per-cell offered load in ops/sec.
+    pub rate: f64,
+    /// Fraction of read-class operations forwarded to a random other cell
+    /// as [`ClusterMsg::Request`] traffic.
+    pub remote_fraction: f64,
+    /// Grace period after generation stops, for backlog and replies to
+    /// drain.
+    pub drain: SimDuration,
+    /// Deterministic fault plan installed identically in every cell
+    /// (windows are in absolute virtual time, so they fire at the same
+    /// instants regardless of thread count).
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for ShardedClusterConfig {
+    fn default() -> Self {
+        ShardedClusterConfig {
+            domains: 4,
+            threads: 1,
+            fs: LambdaFsConfig {
+                deployments: 2,
+                clients: 8,
+                client_vms: 2,
+                cluster_vcpus: 64,
+                datanodes: 2,
+                ..LambdaFsConfig::default()
+            },
+            dirs: 16,
+            files_per_dir: 4,
+            ops_per_domain: 240,
+            rate: 120.0,
+            remote_fraction: 0.15,
+            drain: SimDuration::from_secs(3),
+            fault_plan: FaultPlan::default(),
+        }
+    }
+}
+
+impl ShardedClusterConfig {
+    /// The run's virtual-time horizon: generation time plus drain grace.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        let generating = SimDuration::from_secs_f64(self.ops_per_domain as f64 / self.rate);
+        SimTime::ZERO + generating + self.drain
+    }
+}
+
+/// One cell's observable outcome.
+#[derive(Debug, Clone)]
+pub struct DomainReport {
+    /// The cell's domain index.
+    pub domain: usize,
+    /// The cell's client-observed metrics.
+    pub metrics: RunMetrics,
+    /// Requests this cell forwarded to other cells.
+    pub remote_issued: u64,
+    /// Forwarded requests answered successfully.
+    pub remote_completed: u64,
+    /// Forwarded requests answered with an error.
+    pub remote_failed: u64,
+    /// Requests this cell served on behalf of other cells.
+    pub remote_served: u64,
+    /// End-to-end latency of forwarded requests (two link crossings plus
+    /// the serving cell's processing).
+    pub remote_latency: LatencyRecorder,
+    /// Invariant violations from the cell's post-run audit (empty = clean).
+    pub audit_violations: Vec<String>,
+    /// Invariant checks the audit performed.
+    pub audit_checks: u32,
+    /// The cell clock at the end of the run.
+    pub final_now: SimTime,
+}
+
+/// The whole cluster's outcome: per-cell reports plus the merged view.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-cell reports, in domain order.
+    pub domains: Vec<DomainReport>,
+    /// Run-wide metrics, reduced with [`RunMetrics::merge`].
+    pub merged: RunMetrics,
+}
+
+impl ClusterReport {
+    /// `true` when every cell's audit passed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.domains.iter().all(|d| d.audit_violations.is_empty())
+    }
+
+    /// Total cross-cell requests issued across the cluster.
+    #[must_use]
+    pub fn remote_issued(&self) -> u64 {
+        self.domains.iter().map(|d| d.remote_issued).sum()
+    }
+
+    /// Total cross-cell requests that received a reply (ok or failed).
+    #[must_use]
+    pub fn remote_answered(&self) -> u64 {
+        self.domains.iter().map(|d| d.remote_completed + d.remote_failed).sum()
+    }
+
+    /// A stable digest of everything observable in the report. Two runs
+    /// with equal fingerprints saw identical per-cell metrics, remote
+    /// traffic, and audits — the equality the differential tests assert
+    /// across thread counts.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for d in &self.domains {
+            d.domain.hash(&mut h);
+            hash_metrics(&mut h, &d.metrics);
+            (d.remote_issued, d.remote_completed, d.remote_failed, d.remote_served).hash(&mut h);
+            hash_latency(&mut h, &d.remote_latency);
+            d.audit_violations.hash(&mut h);
+            d.audit_checks.hash(&mut h);
+            d.final_now.as_nanos().hash(&mut h);
+        }
+        hash_metrics(&mut h, &self.merged);
+        h.finish()
+    }
+}
+
+fn hash_latency(h: &mut DefaultHasher, rec: &LatencyRecorder) {
+    rec.count().hash(h);
+    rec.mean().as_nanos().hash(h);
+    rec.percentile(0.5).as_nanos().hash(h);
+    rec.percentile(0.99).as_nanos().hash(h);
+    rec.max().as_nanos().hash(h);
+}
+
+fn hash_metrics(h: &mut DefaultHasher, m: &RunMetrics) {
+    for (class, rec) in &m.latency {
+        format!("{class:?}").hash(h);
+        hash_latency(h, rec);
+    }
+    for bucket in m.throughput.buckets() {
+        bucket.to_bits().hash(h);
+    }
+    (m.issued, m.completed, m.failed, m.timeouts, m.retries_exhausted).hash(h);
+    (m.retries, m.load_sheds, m.http_rpcs, m.tcp_rpcs).hash(h);
+    (m.straggler_resubmits, m.anti_thrash_entries, m.connection_shares).hash(h);
+    (m.http_replaced, m.http_no_connection).hash(h);
+}
+
+/// Cross-cell bookkeeping on the origin side.
+struct RemoteState {
+    pending: BTreeMap<u64, SimTime>,
+    next_req: u64,
+    issued: u64,
+    completed: u64,
+    failed: u64,
+    served: u64,
+    latency: LatencyRecorder,
+    next_name: u64,
+}
+
+/// Everything a cell's scheduled closures share.
+struct CellShared {
+    fs: LambdaFs,
+    link: ShardLink<ClusterMsg>,
+    remote_fraction: f64,
+    /// Read/stat/ls targets (bootstrap tree, identical in every cell).
+    dirs: Vec<DfsPath>,
+    files: Vec<DfsPath>,
+    state: RefCell<RemoteState>,
+}
+
+impl CellShared {
+    /// Draws the next operation from the cell engine's RNG. Read-class
+    /// draws may additionally be flagged for forwarding.
+    fn draw_op(self: &Rc<Self>, sim: &mut Sim) -> (FsOp, bool) {
+        let class = sim.rng().gen_unit();
+        if class < 0.70 {
+            let file = self.pick_file(sim);
+            (FsOp::ReadFile(file), self.draw_remote(sim))
+        } else if class < 0.85 {
+            let file = self.pick_file(sim);
+            (FsOp::Stat(file), self.draw_remote(sim))
+        } else if class < 0.95 {
+            let idx = sim.rng().pick_index(self.dirs.len());
+            (FsOp::Ls(self.dirs[idx].clone()), self.draw_remote(sim))
+        } else {
+            let idx = sim.rng().pick_index(self.dirs.len());
+            let n = {
+                let mut state = self.state.borrow_mut();
+                state.next_name += 1;
+                state.next_name
+            };
+            let name = interned(&format!("s{}w{n:06}", self.link.domain()));
+            (FsOp::CreateFile(self.dirs[idx].join(name).expect("valid name")), false)
+        }
+    }
+
+    fn pick_file(&self, sim: &mut Sim) -> DfsPath {
+        let idx = sim.rng().pick_index(self.files.len());
+        self.files[idx].clone()
+    }
+
+    fn draw_remote(&self, sim: &mut Sim) -> bool {
+        self.link.domains() > 1 && sim.rng().gen_bool(self.remote_fraction)
+    }
+
+    /// Issues generated operation `idx`: either into the local cell, or
+    /// forwarded to a random other cell over the shard link.
+    fn issue(self: &Rc<Self>, sim: &mut Sim, idx: u64) {
+        let (op, remote) = self.draw_op(sim);
+        if remote {
+            let others = self.link.domains() - 1;
+            let pick = sim.rng().pick_index(others);
+            let dest = (self.link.domain() + 1 + pick) % self.link.domains();
+            let req = {
+                let mut state = self.state.borrow_mut();
+                let req = state.next_req;
+                state.next_req += 1;
+                state.issued += 1;
+                state.pending.insert(req, sim.now());
+                req
+            };
+            let origin = u32::try_from(self.link.domain()).expect("domain fits u32");
+            self.link.send(
+                sim,
+                dest,
+                self.link.lookahead(),
+                ClusterMsg::Request { req, origin, op },
+            );
+        } else {
+            let client = usize::try_from(idx).unwrap_or(0) % self.fs.client_count();
+            self.fs.submit(sim, client, op, Box::new(|_sim, _result| {}));
+        }
+    }
+}
+
+/// One cell as a shard-world.
+struct CellWorld {
+    shared: Rc<CellShared>,
+}
+
+impl ShardWorld for CellWorld {
+    type Msg = ClusterMsg;
+    type Out = DomainReport;
+
+    fn deliver(&mut self, sim: &mut Sim, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::Request { req, origin, op } => {
+                self.shared.state.borrow_mut().served += 1;
+                // Serve on a client rotated by request id; answer over the
+                // link once the local system completes the op.
+                let client =
+                    usize::try_from(req).unwrap_or(0) % self.shared.fs.client_count();
+                let link = self.shared.link.clone();
+                self.shared.fs.submit(
+                    sim,
+                    client,
+                    op,
+                    Box::new(move |sim, result| {
+                        let reply = ClusterMsg::Reply { req, ok: result.is_ok() };
+                        link.send(sim, origin as usize, link.lookahead(), reply);
+                    }),
+                );
+            }
+            ClusterMsg::Reply { req, ok } => {
+                let mut state = self.shared.state.borrow_mut();
+                let Some(sent_at) = state.pending.remove(&req) else {
+                    return;
+                };
+                if ok {
+                    state.completed += 1;
+                } else {
+                    state.failed += 1;
+                }
+                let rtt = sim.now().saturating_since(sent_at);
+                state.latency.record(rtt);
+            }
+        }
+    }
+
+    fn finish(&mut self, sim: &mut Sim) -> DomainReport {
+        self.shared.fs.stop(sim);
+        let audit = self.shared.fs.audit();
+        let metrics = self.shared.fs.metrics().borrow().clone();
+        let state = self.shared.state.borrow();
+        DomainReport {
+            domain: self.shared.link.domain(),
+            metrics,
+            remote_issued: state.issued,
+            remote_completed: state.completed,
+            remote_failed: state.failed,
+            remote_served: state.served,
+            remote_latency: state.latency.clone(),
+            audit_violations: audit.violations,
+            audit_checks: audit.checks,
+            final_now: sim.now(),
+        }
+    }
+}
+
+/// Builds one cell inside its domain engine and schedules its offered
+/// load.
+fn build_cell(sim: &mut Sim, link: ShardLink<ClusterMsg>, cfg: &ShardedClusterConfig) -> CellWorld {
+    let fs = LambdaFs::build(sim, cfg.fs.clone());
+    let dirs = fs.bootstrap_tree(&DfsPath::root(), cfg.dirs, cfg.files_per_dir);
+    let file_names: Vec<&'static str> =
+        (0..cfg.files_per_dir).map(|f| interned(&format!("file{f:05}"))).collect();
+    let files: Vec<DfsPath> = dirs
+        .iter()
+        .flat_map(|d| file_names.iter().map(move |name| d.join(name).expect("valid")))
+        .collect();
+    fs.start(sim);
+    fs.prewarm(sim);
+    fs.install_fault_plan(sim, &cfg.fault_plan);
+
+    let shared = Rc::new(CellShared {
+        fs,
+        link,
+        remote_fraction: cfg.remote_fraction,
+        dirs,
+        files,
+        state: RefCell::new(RemoteState {
+            pending: BTreeMap::new(),
+            next_req: 0,
+            issued: 0,
+            completed: 0,
+            failed: 0,
+            served: 0,
+            latency: LatencyRecorder::new(),
+            next_name: 0,
+        }),
+    });
+
+    // Open-loop offered load: one op every 1/rate seconds, the op itself
+    // drawn from the cell's RNG at issue time.
+    let gap = SimDuration::from_secs_f64(1.0 / cfg.rate);
+    for i in 0..cfg.ops_per_domain {
+        let shared = Rc::clone(&shared);
+        sim.schedule_at(SimTime::ZERO + gap * i, move |sim| {
+            shared.issue(sim, i);
+        });
+    }
+    CellWorld { shared }
+}
+
+/// Runs a sharded cluster to its horizon and reduces the per-cell reports.
+///
+/// # Panics
+///
+/// Panics if the configuration has zero domains/threads, or if the
+/// per-cell network model has no positive latency floor (no conservative
+/// lookahead can be derived).
+#[must_use]
+pub fn run_sharded_cluster(cfg: &ShardedClusterConfig, seed: u64) -> ClusterReport {
+    let lookahead = cfg.fs.net.conservative_lookahead();
+    assert!(
+        !lookahead.is_zero(),
+        "network model has no latency floor: cannot derive a conservative lookahead"
+    );
+    let shard_cfg = ShardConfig {
+        threads: cfg.threads,
+        lookahead,
+        until: Some(cfg.horizon()),
+    };
+    let builders: Vec<_> = (0..cfg.domains)
+        .map(|_| move |sim: &mut Sim, link: ShardLink<ClusterMsg>| build_cell(sim, link, cfg))
+        .collect();
+    let domains = run_sharded::<CellWorld, _>(&shard_cfg, seed, builders);
+    let mut merged = RunMetrics::new();
+    for d in &domains {
+        merged.merge(&d.metrics);
+    }
+    ClusterReport { domains, merged }
+}

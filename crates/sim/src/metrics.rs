@@ -310,6 +310,27 @@ impl Timeline {
         }
     }
 
+    /// Merges another timeline's buckets into this one (element-wise sum;
+    /// identical to having accumulated both series here). Per-shard
+    /// timelines merge through this after a sharded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ — summing misaligned buckets
+    /// would silently smear time.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.bucket, other.bucket,
+            "cannot merge timelines with different bucket widths"
+        );
+        if other.values.len() > self.values.len() {
+            self.values.resize(other.values.len(), 0.0);
+        }
+        for (mine, theirs) in self.values.iter_mut().zip(&other.values) {
+            *mine += theirs;
+        }
+    }
+
     /// Peak value of the moving sum over `window` consecutive buckets
     /// (peak *sustained* rate; zero when fewer than `window` buckets exist).
     #[must_use]
@@ -552,6 +573,32 @@ mod tests {
         for p in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(merged.percentile(p), separate.percentile(p));
         }
+    }
+
+    #[test]
+    fn timeline_merge_equals_accumulating_both_series() {
+        let mut merged = Timeline::new(SimDuration::from_secs(1));
+        let mut other = Timeline::new(SimDuration::from_secs(1));
+        let mut reference = Timeline::new(SimDuration::from_secs(1));
+        for (sec, v) in [(0u64, 1.0), (1, 2.0), (4, 3.0), (2, 0.5)] {
+            if sec % 2 == 0 {
+                other.add(SimTime::from_secs(sec), v);
+            } else {
+                merged.add(SimTime::from_secs(sec), v);
+            }
+            reference.add(SimTime::from_secs(sec), v);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.buckets(), reference.buckets());
+        assert_eq!(merged.total(), reference.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn timeline_merge_rejects_mismatched_widths() {
+        let mut a = Timeline::new(SimDuration::from_secs(1));
+        let b = Timeline::new(SimDuration::from_secs(10));
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Parallel sharded simulation with conservative synchronization.
+//!
+//! [`run_sharded`] partitions a simulation into `D` *domains* — independent
+//! [`Sim`] engines, each with its own clock, event queue, and RNG stream —
+//! and advances them on up to `N` worker threads under a classic
+//! conservative time-window protocol (Chandy–Misra–Bryant with a barrier
+//! window instead of per-link null messages):
+//!
+//! 1. every domain publishes the instant of its earliest pending event;
+//! 2. the global minimum `gmin` plus the run's *lookahead* bounds a safe
+//!    window `[gmin, gmin + lookahead)` — no cross-domain message sent at or
+//!    after `gmin` can be delivered inside it, because every send must ride
+//!    at least `lookahead` of virtual latency ([`ShardLink::send`]);
+//! 3. all domains execute their events strictly before the window end in
+//!    parallel, then exchange the messages they produced and repeat.
+//!
+//! # Determinism: `N = 1` ≡ `N = k`
+//!
+//! The partition into domains is fixed by the model, **not** by the thread
+//! count: `N` only decides how domains are multiplexed onto threads. Every
+//! source of ordering is thread-count-invariant by construction:
+//!
+//! * each domain's RNG seed is [`domain_seed`]`(seed, d)`;
+//! * window boundaries come from a global minimum over *all* domain queues,
+//!   which is the same no matter how the queues are distributed;
+//! * exchanged messages are injected in the total order
+//!   `(deliver_at, src domain, send seq)` ([`Envelope::order_key`]), erasing
+//!   the wall-clock order in which worker threads routed them;
+//! * within a domain, the engine's FIFO same-instant tie-break applies.
+//!
+//! Hence the same `(seed, builders, horizon)` produces bit-identical domain
+//! traces and outputs for every thread count, and the differential suite
+//! (`tests/shard_differential.rs`) pins exactly that.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::Sim;
+use crate::sync::{inject_sorted, Envelope, ShardLink};
+use crate::time::{SimDuration, SimTime};
+
+/// Sentinel published when a domain's event queue is empty, and stored as
+/// the window decision when the run should stop.
+const IDLE: u64 = u64::MAX;
+
+/// How a sharded run is partitioned and bounded.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker threads to advance domains on. Clamped to `[1, domains]`;
+    /// the *result* of the run does not depend on this value.
+    pub threads: usize,
+    /// Conservative lookahead: the minimum virtual latency every
+    /// cross-domain send must carry. Must be positive — a zero lookahead
+    /// admits no safe window (derive it from the model's latency floors,
+    /// e.g. `NetParams::conservative_lookahead`).
+    pub lookahead: SimDuration,
+    /// Optional virtual-time horizon. Events scheduled after it never run;
+    /// each domain's clock is advanced to exactly the horizon at the end,
+    /// as [`Sim::run_until`] does.
+    pub until: Option<SimTime>,
+}
+
+/// One domain's model state in a sharded run.
+///
+/// A world lives on the thread that owns its domain for the whole run
+/// (worlds need not be `Send`; messages and outputs must be).
+pub trait ShardWorld: 'static {
+    /// Cross-domain message payload.
+    type Msg: Send + 'static;
+    /// Per-domain result extracted when the run completes.
+    type Out: Send + 'static;
+
+    /// Handles a message from another domain, invoked inside the receiving
+    /// engine at exactly the envelope's delivery instant.
+    fn deliver(&mut self, sim: &mut Sim, msg: Self::Msg);
+
+    /// Extracts the domain's result after the run completes (queue drained
+    /// or horizon reached).
+    fn finish(&mut self, sim: &mut Sim) -> Self::Out;
+}
+
+/// Derives domain `d`'s RNG seed from the run's master seed.
+///
+/// SplitMix64-style finalizer: deterministic, cheap, and decorrelated
+/// across both arguments, so neighboring domains (and neighboring master
+/// seeds) get unrelated streams. Thread count never enters the derivation —
+/// this is one of the pillars of `N = 1` ≡ `N = k` reproducibility.
+#[must_use]
+pub fn domain_seed(master: u64, domain: usize) -> u64 {
+    let mut z = master ^ (domain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cross-thread coordination state for one sharded run.
+struct Fabric<M> {
+    /// Per-domain earliest-pending-event instant in nanos (`IDLE` = empty
+    /// queue). Barriers order the writes against the reads.
+    mins: Vec<AtomicU64>,
+    /// Per-destination-domain mailboxes for the exchange step.
+    inboxes: Mutex<Vec<Vec<Envelope<M>>>>,
+    /// The window decision thread 0 publishes each round: the exclusive
+    /// window end in nanos, or `IDLE` to stop.
+    decision: AtomicU64,
+    barrier: Barrier,
+}
+
+/// Runs `builders.len()` domains to completion (or to the configured
+/// horizon) on up to `cfg.threads` worker threads, returning each domain's
+/// output in domain order.
+///
+/// Builder `d` constructs domain `d`'s world inside that domain's fresh
+/// engine (seeded with [`domain_seed`]); the [`ShardLink`] it receives is
+/// the world's only channel to other domains. Builders may send on the link
+/// immediately — such messages are exchanged before the first window.
+///
+/// # Panics
+///
+/// Panics if `builders` is empty, `cfg.threads` is zero, or
+/// `cfg.lookahead` is zero.
+pub fn run_sharded<W, B>(cfg: &ShardConfig, seed: u64, builders: Vec<B>) -> Vec<W::Out>
+where
+    W: ShardWorld,
+    B: FnOnce(&mut Sim, ShardLink<W::Msg>) -> W + Send,
+{
+    let domains = builders.len();
+    assert!(domains > 0, "run_sharded needs at least one domain");
+    assert!(cfg.threads > 0, "run_sharded needs at least one thread");
+    assert!(!cfg.lookahead.is_zero(), "conservative sync needs a positive lookahead");
+    let threads = cfg.threads.min(domains);
+
+    let fabric = Fabric::<W::Msg> {
+        mins: (0..domains).map(|_| AtomicU64::new(IDLE)).collect(),
+        inboxes: Mutex::new((0..domains).map(|_| Vec::new()).collect()),
+        decision: AtomicU64::new(IDLE),
+        barrier: Barrier::new(threads),
+    };
+    let outputs: Mutex<Vec<Option<W::Out>>> = Mutex::new((0..domains).map(|_| None).collect());
+
+    // Round-robin domain ownership: thread t owns every domain d with
+    // d % threads == t. (Ownership affects wall-clock balance only, never
+    // results.)
+    let mut per_thread: Vec<Vec<(usize, B)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (d, builder) in builders.into_iter().enumerate() {
+        per_thread[d % threads].push((d, builder));
+    }
+
+    std::thread::scope(|scope| {
+        for (t, owned) in per_thread.into_iter().enumerate() {
+            let fabric = &fabric;
+            let outputs = &outputs;
+            let worker = move || {
+                run_worker::<W, B>(cfg, seed, t == 0, domains, owned, fabric, outputs);
+            };
+            if t == threads - 1 {
+                // Run the last partition on the calling thread; with
+                // threads == 1 this makes the serial path truly serial.
+                worker();
+            } else {
+                scope.spawn(worker);
+            }
+        }
+    });
+
+    let mut outputs = outputs.into_inner().expect("no worker panicked");
+    outputs
+        .iter_mut()
+        .enumerate()
+        .map(|(d, slot)| slot.take().unwrap_or_else(|| panic!("domain {d} produced no output")))
+        .collect()
+}
+
+/// One domain as a worker thread sees it: its index, engine, world, and
+/// cross-shard link.
+type ShardCell<W> = (usize, Sim, Rc<RefCell<W>>, ShardLink<<W as ShardWorld>::Msg>);
+
+/// One worker thread's share of the conservative-sync protocol.
+fn run_worker<W, B>(
+    cfg: &ShardConfig,
+    seed: u64,
+    leader: bool,
+    domains: usize,
+    owned: Vec<(usize, B)>,
+    fabric: &Fabric<W::Msg>,
+    outputs: &Mutex<Vec<Option<W::Out>>>,
+) where
+    W: ShardWorld,
+    B: FnOnce(&mut Sim, ShardLink<W::Msg>) -> W,
+{
+    let domain_count = u32::try_from(domains).expect("domain count fits u32");
+    // Build this thread's domains: a fresh engine per domain, seeded
+    // independently of thread count, plus the world and its link.
+    let mut shards: Vec<ShardCell<W>> = owned
+        .into_iter()
+        .map(|(d, builder)| {
+            let mut sim = Sim::new(domain_seed(seed, d));
+            let link = ShardLink::new(
+                u32::try_from(d).expect("domain index fits u32"),
+                domain_count,
+                cfg.lookahead,
+            );
+            let world = Rc::new(RefCell::new(builder(&mut sim, link.clone())));
+            (d, sim, world, link)
+        })
+        .collect();
+
+    loop {
+        // (a) Exchange: publish everything our domains sent last window
+        // (or at build time) into the shared per-destination mailboxes.
+        {
+            let mut inboxes = fabric.inboxes.lock().expect("no worker panicked");
+            for (_, _, _, link) in &shards {
+                for (dest, env) in link.drain() {
+                    inboxes[dest as usize].push(env);
+                }
+            }
+        }
+        fabric.barrier.wait();
+
+        // (b) Inject: schedule our domains' freshly arrived messages in the
+        // canonical (deliver_at, src, seq) order. Local step — our own
+        // mailboxes only — so no barrier is needed before (c).
+        for (d, sim, world, _) in &mut shards {
+            let arrived = {
+                let mut inboxes = fabric.inboxes.lock().expect("no worker panicked");
+                std::mem::take(&mut inboxes[*d])
+            };
+            if !arrived.is_empty() {
+                let world = Rc::clone(world);
+                inject_sorted(sim, arrived, move |sim, env: Envelope<W::Msg>| {
+                    world.borrow_mut().deliver(sim, env.payload);
+                });
+            }
+        }
+
+        // (c) Publish each owned domain's earliest pending instant.
+        for (d, sim, _, _) in &mut shards {
+            let min = sim.next_event_at().map_or(IDLE, SimTime::as_nanos);
+            fabric.mins[*d].store(min, Ordering::SeqCst);
+        }
+        fabric.barrier.wait();
+
+        // (d) The leader turns the global minimum into a window decision.
+        if leader {
+            let gmin = fabric.mins.iter().map(|m| m.load(Ordering::SeqCst)).min().unwrap_or(IDLE);
+            let decision = match cfg.until {
+                _ if gmin == IDLE => IDLE,
+                Some(until) if gmin > until.as_nanos() => IDLE,
+                Some(until) => {
+                    // Cap the window just past the horizon so events at
+                    // exactly `until` still run but nothing later does.
+                    let end = SimTime::from_nanos(gmin) + cfg.lookahead;
+                    end.as_nanos().min(until.as_nanos() + 1)
+                }
+                None => (SimTime::from_nanos(gmin) + cfg.lookahead).as_nanos(),
+            };
+            fabric.decision.store(decision, Ordering::SeqCst);
+        }
+        fabric.barrier.wait();
+
+        // (e) Execute the window in parallel, or stop.
+        let decision = fabric.decision.load(Ordering::SeqCst);
+        if decision == IDLE {
+            break;
+        }
+        let window_end = SimTime::from_nanos(decision);
+        for (_, sim, _, _) in &mut shards {
+            sim.run_before(window_end);
+        }
+    }
+
+    // Settle clocks on the horizon (queues hold only post-horizon events,
+    // if any) and collect outputs in domain order.
+    let mut outputs = outputs.lock().expect("no worker panicked");
+    for (d, sim, world, _) in &mut shards {
+        if let Some(until) = cfg.until {
+            sim.run_until(until);
+        }
+        outputs[*d] = Some(world.borrow_mut().finish(sim));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy world: every `period`, domain `d` sends a counter to domain
+    /// `(d + 1) % D`; deliveries append `(now_nanos, src, value)` to a log.
+    struct RingWorld {
+        link: ShardLink<u64>,
+        log: Vec<(u64, u32, u64)>,
+        sent: u64,
+    }
+
+    impl RingWorld {
+        fn build(sim: &mut Sim, link: ShardLink<u64>, period: SimDuration, rounds: u64) -> Self {
+            let next = (link.domain() + 1) % link.domains();
+            for i in 0..rounds {
+                let link = link.clone();
+                let base = link.domain() as u64 * 1_000;
+                sim.schedule_at(SimTime::ZERO + period * i, move |sim| {
+                    link.send(sim, next, link.lookahead(), base + i);
+                });
+            }
+            RingWorld { link, log: Vec::new(), sent: rounds }
+        }
+    }
+
+    impl ShardWorld for RingWorld {
+        type Msg = u64;
+        type Out = (Vec<(u64, u32, u64)>, u64, u64);
+
+        fn deliver(&mut self, sim: &mut Sim, msg: Self::Msg) {
+            self.log.push((sim.now().as_nanos(), self.link.domain() as u32, msg));
+        }
+
+        fn finish(&mut self, sim: &mut Sim) -> Self::Out {
+            (std::mem::take(&mut self.log), self.sent, sim.now().as_nanos())
+        }
+    }
+
+    fn ring_run(threads: usize, domains: usize, seed: u64) -> Vec<<RingWorld as ShardWorld>::Out> {
+        let cfg = ShardConfig {
+            threads,
+            lookahead: SimDuration::from_millis(1),
+            until: Some(SimTime::from_secs(1)),
+        };
+        let builders: Vec<_> = (0..domains)
+            .map(|_| {
+                |sim: &mut Sim, link: ShardLink<u64>| {
+                    RingWorld::build(sim, link, SimDuration::from_millis(7), 40)
+                }
+            })
+            .collect();
+        run_sharded::<RingWorld, _>(&cfg, seed, builders)
+    }
+
+    #[test]
+    fn messages_cross_domains_and_arrive_on_time() {
+        let outs = ring_run(2, 3, 11);
+        for (d, (log, _, now)) in outs.iter().enumerate() {
+            assert_eq!(log.len(), 40, "domain {d} received every ring message");
+            // Clock settled exactly on the horizon.
+            assert_eq!(*now, SimTime::from_secs(1).as_nanos());
+            let src = ((d + 3 - 1) % 3) as u64;
+            for (at, _, value) in log {
+                assert_eq!(value / 1_000, src, "messages come from the ring predecessor");
+                // deliver_at = send instant + lookahead, and sends are on a
+                // 7 ms grid.
+                let offset = at - 1_000_000;
+                assert_eq!(offset % 7_000_000, 0, "domain {d} delivery at {at}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let serial = ring_run(1, 5, 99);
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(ring_run(threads, 5, 99), serial, "N={threads} diverged from N=1");
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_and_seeds_differ_across_domains() {
+        assert_eq!(ring_run(2, 3, 7), ring_run(2, 3, 7));
+        assert_ne!(domain_seed(7, 0), domain_seed(7, 1));
+        assert_ne!(domain_seed(7, 0), domain_seed(8, 0));
+        // Domain RNG streams are decorrelated in practice.
+        let mut a = crate::rng::SimRng::new(domain_seed(7, 0));
+        let mut b = crate::rng::SimRng::new(domain_seed(7, 1));
+        assert_ne!(a.gen_unit().to_bits(), b.gen_unit().to_bits());
+    }
+
+    /// Same-instant cross-domain deliveries land in (src, seq) order no
+    /// matter which thread routed them first.
+    struct SinkWorld {
+        seen: Vec<(u32, u64)>,
+    }
+
+    impl ShardWorld for SinkWorld {
+        type Msg = (u32, u64);
+        type Out = Vec<(u32, u64)>;
+
+        fn deliver(&mut self, _sim: &mut Sim, msg: Self::Msg) {
+            self.seen.push(msg);
+        }
+
+        fn finish(&mut self, _sim: &mut Sim) -> Self::Out {
+            std::mem::take(&mut self.seen)
+        }
+    }
+
+    #[test]
+    fn simultaneous_deliveries_order_by_source_then_seq() {
+        for threads in [1, 4] {
+            let cfg = ShardConfig {
+                threads,
+                lookahead: SimDuration::from_millis(2),
+                until: None,
+            };
+            // Domains 1..4 each send two messages to domain 0, all
+            // delivered at exactly t = 2 ms.
+            let builders: Vec<_> = (0..4)
+                .map(|_| {
+                    |sim: &mut Sim, link: ShardLink<(u32, u64)>| {
+                        if link.domain() != 0 {
+                            let d = link.domain() as u32;
+                            for seq in 0..2 {
+                                link.send(sim, 0, link.lookahead(), (d, seq));
+                            }
+                        }
+                        SinkWorld { seen: Vec::new() }
+                    }
+                })
+                .collect();
+            let outs = run_sharded::<SinkWorld, _>(&cfg, 1, builders);
+            assert_eq!(
+                outs[0],
+                vec![(1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)],
+                "N={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_cuts_off_later_events() {
+        struct Quiet;
+        impl ShardWorld for Quiet {
+            type Msg = ();
+            type Out = u64;
+            fn deliver(&mut self, _sim: &mut Sim, (): Self::Msg) {}
+            fn finish(&mut self, sim: &mut Sim) -> u64 {
+                sim.now().as_nanos()
+            }
+        }
+        let cfg = ShardConfig {
+            threads: 2,
+            lookahead: SimDuration::from_millis(1),
+            until: Some(SimTime::from_nanos(10_000_000)),
+        };
+        let fired = std::sync::Arc::new(AtomicU64::new(0));
+        let builders: Vec<_> = (0..2)
+            .map(|_| {
+                let fired = std::sync::Arc::clone(&fired);
+                move |sim: &mut Sim, _link: ShardLink<()>| {
+                    let early = std::sync::Arc::clone(&fired);
+                    let late = std::sync::Arc::clone(&fired);
+                    sim.schedule_at(SimTime::from_nanos(10_000_000), move |_| {
+                        early.fetch_add(1, Ordering::SeqCst);
+                    });
+                    sim.schedule_at(SimTime::from_nanos(10_000_001), move |_| {
+                        late.fetch_add(100, Ordering::SeqCst);
+                    });
+                    Quiet
+                }
+            })
+            .collect();
+        let outs = run_sharded::<Quiet, _>(&cfg, 5, builders);
+        // Events at exactly the horizon ran; one nanosecond later did not.
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(outs, vec![10_000_000, 10_000_000]);
+    }
+
+    #[test]
+    fn more_threads_than_domains_clamps() {
+        let outs = ring_run(64, 2, 3);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs, ring_run(1, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        struct Quiet;
+        impl ShardWorld for Quiet {
+            type Msg = ();
+            type Out = ();
+            fn deliver(&mut self, _sim: &mut Sim, (): Self::Msg) {}
+            fn finish(&mut self, _sim: &mut Sim) {}
+        }
+        let cfg = ShardConfig { threads: 1, lookahead: SimDuration::ZERO, until: None };
+        let builders = vec![|_: &mut Sim, _: ShardLink<()>| Quiet];
+        run_sharded::<Quiet, _>(&cfg, 0, builders);
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-shard message fabric for the parallel sharded DES.
+//!
+//! A sharded run (see [`shard`](crate::shard)) partitions a simulation into
+//! per-thread domains, each owning its own [`Sim`] engine. Domains interact
+//! only through timestamped messages sent over a [`ShardLink`]; every send
+//! must ride at least [`lookahead`](ShardLink::lookahead) of virtual latency,
+//! which is what lets the conservative synchronization protocol execute each
+//! domain's window in parallel without ever receiving a message from its
+//! past.
+//!
+//! Determinism is structural: envelopes carry a `(deliver_at, src, seq)` key
+//! that totally orders every exchange round, so the order in which worker
+//! threads happened to push into the shared mailboxes never leaks into the
+//! destination engine's event order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// A timestamped cross-shard message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Virtual instant the destination must process the message at.
+    pub deliver_at: SimTime,
+    /// Sending domain index.
+    pub src: u32,
+    /// Per-source send counter; the tie-break of last resort.
+    pub seq: u64,
+    /// The model's payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// The total-order key every exchange round is sorted by before
+    /// injection: delivery time, then source domain, then send order.
+    /// Distinct envelopes never compare equal (the `(src, seq)` pair is
+    /// unique), so the destination's same-instant FIFO order is fully
+    /// determined no matter which worker thread routed the envelope first.
+    #[must_use]
+    pub fn order_key(&self) -> (SimTime, u32, u64) {
+        (self.deliver_at, self.src, self.seq)
+    }
+}
+
+/// Outbound messages accumulated by one domain during a window.
+#[derive(Debug)]
+pub(crate) struct Outbox<M> {
+    next_seq: u64,
+    pub(crate) pending: Vec<(u32, Envelope<M>)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { next_seq: 0, pending: Vec::new() }
+    }
+}
+
+/// A domain's handle for sending timestamped messages to other domains.
+///
+/// Cloneable; clones share the domain's outbox, so model components can
+/// each hold one. Sends are collected locally during a window and exchanged
+/// at the next synchronization barrier — they never block.
+#[derive(Debug)]
+pub struct ShardLink<M> {
+    domain: u32,
+    domains: u32,
+    lookahead: SimDuration,
+    outbox: Rc<RefCell<Outbox<M>>>,
+}
+
+impl<M> Clone for ShardLink<M> {
+    fn clone(&self) -> Self {
+        ShardLink {
+            domain: self.domain,
+            domains: self.domains,
+            lookahead: self.lookahead,
+            outbox: Rc::clone(&self.outbox),
+        }
+    }
+}
+
+impl<M> ShardLink<M> {
+    pub(crate) fn new(domain: u32, domains: u32, lookahead: SimDuration) -> Self {
+        ShardLink { domain, domains, lookahead, outbox: Rc::new(RefCell::new(Outbox::default())) }
+    }
+
+    /// This domain's index.
+    #[must_use]
+    pub fn domain(&self) -> usize {
+        self.domain as usize
+    }
+
+    /// Total number of domains in the sharded run.
+    #[must_use]
+    pub fn domains(&self) -> usize {
+        self.domains as usize
+    }
+
+    /// The run's conservative lookahead: the minimum virtual latency every
+    /// cross-shard send must carry.
+    #[must_use]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Sends `payload` to domain `dest`, delivered `delay` after the
+    /// sender's current instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` undercuts the lookahead (the message could land in
+    /// a window the destination already executed — a conservative-sync
+    /// violation, always a model bug), or if `dest` is out of range.
+    pub fn send(&self, sim: &Sim, dest: usize, delay: SimDuration, payload: M) {
+        assert!(
+            delay >= self.lookahead,
+            "cross-shard send with delay {delay:?} under the lookahead {:?}",
+            self.lookahead
+        );
+        assert!(dest < self.domains as usize, "destination domain {dest} out of range");
+        let mut outbox = self.outbox.borrow_mut();
+        let seq = outbox.next_seq;
+        outbox.next_seq += 1;
+        let env =
+            Envelope { deliver_at: sim.now() + delay, src: self.domain, seq, payload };
+        outbox.pending.push((u32::try_from(dest).expect("domain index fits u32"), env));
+    }
+
+    /// Takes everything sent since the last drain (the barrier-exchange
+    /// step). Send sequence numbers keep counting across drains.
+    pub(crate) fn drain(&self) -> Vec<(u32, Envelope<M>)> {
+        std::mem::take(&mut self.outbox.borrow_mut().pending)
+    }
+}
+
+/// Sorts one domain's freshly exchanged envelopes into their canonical
+/// injection order and schedules each at its delivery instant, invoking
+/// `deliver` from inside the destination engine.
+pub(crate) fn inject_sorted<M: 'static, F>(
+    sim: &mut Sim,
+    mut envelopes: Vec<Envelope<M>>,
+    deliver: F,
+) where
+    F: Fn(&mut Sim, Envelope<M>) + Clone + 'static,
+{
+    envelopes.sort_by_key(Envelope::order_key);
+    for env in envelopes {
+        let deliver = deliver.clone();
+        sim.schedule_at(env.deliver_at, move |sim| deliver(sim, env));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_stamps_monotone_sequence_numbers() {
+        let sim = Sim::new(0);
+        let link: ShardLink<u32> = ShardLink::new(1, 4, SimDuration::from_millis(1));
+        link.send(&sim, 0, SimDuration::from_millis(1), 10);
+        link.send(&sim, 3, SimDuration::from_millis(2), 20);
+        let drained = link.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 0);
+        assert_eq!(drained[0].1.seq, 0);
+        assert_eq!(drained[1].1.seq, 1);
+        // Sequence numbers keep counting across drains.
+        link.send(&sim, 2, SimDuration::from_millis(1), 30);
+        assert_eq!(link.drain()[0].1.seq, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "under the lookahead")]
+    fn sends_below_the_lookahead_are_rejected() {
+        let sim = Sim::new(0);
+        let link: ShardLink<()> = ShardLink::new(0, 2, SimDuration::from_millis(5));
+        link.send(&sim, 1, SimDuration::from_millis(4), ());
+    }
+
+    #[test]
+    fn injection_sorts_by_time_then_source_then_seq() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let out = Rc::clone(&log);
+        let at = SimTime::from_nanos(1_000);
+        let envelopes = vec![
+            Envelope { deliver_at: at, src: 2, seq: 0, payload: "c" },
+            Envelope { deliver_at: at, src: 1, seq: 1, payload: "b" },
+            Envelope { deliver_at: SimTime::from_nanos(500), src: 9, seq: 0, payload: "first" },
+            Envelope { deliver_at: at, src: 1, seq: 0, payload: "a" },
+        ];
+        inject_sorted(&mut sim, envelopes, move |_sim, env| {
+            out.borrow_mut().push(env.payload);
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["first", "a", "b", "c"]);
+    }
+}

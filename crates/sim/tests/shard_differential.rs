@@ -1,0 +1,306 @@
+//! Differential property tests for the parallel sharded DES: for any
+//! generated multi-domain station workload, a run on one thread must be
+//! observationally identical to a run on many threads — same per-domain
+//! event traces, same cross-domain delivery traces, same merged metrics.
+//!
+//! Each property generates a random *shard program* (plain data, so it can
+//! be replayed for every thread count): per-domain station capacities and
+//! job lists, where some jobs forward a completion notice to another domain
+//! over the [`ShardLink`]. The programs deliberately provoke the hard
+//! cases: same-instant submissions, simultaneous cross-domain deliveries
+//! from different sources, RNG-sampled service times (pinning the
+//! per-domain seed derivation), and sends landing exactly one lookahead
+//! ahead of the receiver's frontier.
+
+use lambda_sim::shard::{run_sharded, ShardConfig, ShardWorld};
+use lambda_sim::{
+    Dist, LatencyRecorder, ShardLink, Sim, SimDuration, SimTime, Station, StationRef, Timeline,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Nanoseconds per delay unit; small integer delays scaled up so that
+/// same-instant collisions stay common.
+const TICK: u64 = 50_000;
+
+/// The conservative lookahead every generated program runs under.
+const LOOKAHEAD: SimDuration = SimDuration::from_millis(2);
+
+/// One job in a domain's program.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    id: u32,
+    /// Submission instant, in ticks.
+    submit_at: u64,
+    /// Base service time, in ticks (a sampled jitter is added on top).
+    service: u64,
+    /// Forward a completion notice to this domain, `extra` ticks past the
+    /// lookahead.
+    notify: Option<(usize, u64)>,
+}
+
+/// One domain's slice of the program.
+#[derive(Debug, Clone)]
+struct DomainSpec {
+    servers: u32,
+    jobs: Vec<JobSpec>,
+}
+
+/// Everything observable about one domain after a run.
+#[derive(Debug, Clone, PartialEq)]
+struct DomainTrace {
+    /// `(completion_ns, job_id)` in execution order.
+    completions: Vec<(u64, u32)>,
+    /// `(delivery_ns, src_domain, job_id)` in execution order.
+    deliveries: Vec<(u64, u32, u32)>,
+    /// Raw per-completion latencies in nanoseconds, in completion order
+    /// (feeds the run-wide merge).
+    raw_latencies: Vec<u64>,
+    /// Latency digest: `(count, mean_ns, p50_ns, p99_ns, max_ns)`.
+    latency: (usize, u64, u64, u64, u64),
+    /// Per-10ms-bucket completion counts (bit-exact f64 comparison).
+    throughput: Vec<f64>,
+    final_now_ns: u64,
+}
+
+fn digest(lat: &LatencyRecorder) -> (usize, u64, u64, u64, u64) {
+    (
+        lat.count(),
+        lat.mean().as_nanos(),
+        lat.percentile(0.50).as_nanos(),
+        lat.percentile(0.99).as_nanos(),
+        lat.max().as_nanos(),
+    )
+}
+
+/// Shared mutable state between the world and its in-flight job closures.
+struct Inner {
+    completions: Vec<(u64, u32)>,
+    deliveries: Vec<(u64, u32, u32)>,
+    raw_latencies: Vec<u64>,
+    latency: LatencyRecorder,
+    throughput: Timeline,
+}
+
+struct StationWorld {
+    inner: Rc<RefCell<Inner>>,
+    #[allow(dead_code)]
+    station: StationRef,
+}
+
+impl ShardWorld for StationWorld {
+    /// `(src_domain, job_id)` — a completion notice from another domain.
+    type Msg = (u32, u32);
+    type Out = DomainTrace;
+
+    fn deliver(&mut self, sim: &mut Sim, (src, job): Self::Msg) {
+        self.inner.borrow_mut().deliveries.push((sim.now().as_nanos(), src, job));
+    }
+
+    fn finish(&mut self, sim: &mut Sim) -> DomainTrace {
+        let inner = self.inner.borrow();
+        DomainTrace {
+            completions: inner.completions.clone(),
+            deliveries: inner.deliveries.clone(),
+            raw_latencies: inner.raw_latencies.clone(),
+            latency: digest(&inner.latency),
+            throughput: inner.throughput.buckets(),
+            final_now_ns: sim.now().as_nanos(),
+        }
+    }
+}
+
+fn build_domain(sim: &mut Sim, link: ShardLink<(u32, u32)>, spec: &DomainSpec) -> StationWorld {
+    let station = Station::new("shard-cpu", spec.servers);
+    let inner = Rc::new(RefCell::new(Inner {
+        completions: Vec::new(),
+        deliveries: Vec::new(),
+        raw_latencies: Vec::new(),
+        latency: LatencyRecorder::new(),
+        throughput: Timeline::new(SimDuration::from_millis(10)),
+    }));
+    // Service jitter sampled from the domain's own RNG stream: exercises
+    // the domain_seed derivation — any thread-count leakage into RNG
+    // consumption order would show up as diverging completion times.
+    let jitter = Dist::uniform(0.0, TICK as f64 / 1e9);
+    for job in spec.jobs.iter().cloned() {
+        let station = Rc::clone(&station);
+        let inner = Rc::clone(&inner);
+        let link = link.clone();
+        sim.schedule_at(SimTime::from_nanos(job.submit_at * TICK), move |sim| {
+            let submitted = sim.now();
+            let service =
+                SimDuration::from_nanos(job.service * TICK) + sim.rng().sample_duration(&jitter);
+            Station::submit(&station, sim, service, move |sim: &mut Sim| {
+                let now = sim.now();
+                {
+                    let mut inner = inner.borrow_mut();
+                    let latency = now.saturating_since(submitted);
+                    inner.completions.push((now.as_nanos(), job.id));
+                    inner.raw_latencies.push(latency.as_nanos());
+                    inner.latency.record(latency);
+                    inner.throughput.add(now, 1.0);
+                }
+                if let Some((dest, extra)) = job.notify {
+                    let delay = link.lookahead() + SimDuration::from_nanos(extra * TICK);
+                    link.send(sim, dest, delay, (link.domain() as u32, job.id));
+                }
+            });
+        });
+    }
+    StationWorld { inner, station }
+}
+
+/// Runs a program on `threads` threads and returns every domain's trace
+/// plus the run-wide merged metrics digest.
+fn run_program(
+    threads: usize,
+    seed: u64,
+    specs: &[DomainSpec],
+) -> (Vec<DomainTrace>, (usize, u64, u64, u64, u64), Vec<f64>) {
+    let cfg = ShardConfig {
+        threads,
+        lookahead: LOOKAHEAD,
+        until: Some(SimTime::from_secs(2)),
+    };
+    let builders: Vec<_> = specs
+        .iter()
+        .map(|spec| move |sim: &mut Sim, link: ShardLink<(u32, u32)>| build_domain(sim, link, spec))
+        .collect();
+    let traces = run_sharded::<StationWorld, _>(&cfg, seed, builders);
+    // Reduce per-domain metrics into run-wide figures the same way a real
+    // sharded experiment does (LatencyRecorder::merge / Timeline::merge);
+    // the merge itself must also be thread-count-invariant.
+    let mut merged_lat = LatencyRecorder::new();
+    let mut merged_tp = Timeline::new(SimDuration::from_millis(10));
+    for trace in &traces {
+        let mut lat = LatencyRecorder::new();
+        for &ns in &trace.raw_latencies {
+            lat.record(SimDuration::from_nanos(ns));
+        }
+        merged_lat.merge(&lat);
+        let mut tp = Timeline::new(SimDuration::from_millis(10));
+        for (i, v) in trace.throughput.iter().enumerate() {
+            tp.add(SimTime::from_nanos(i as u64 * 10_000_000), *v);
+        }
+        merged_tp.merge(&tp);
+    }
+    (traces, digest(&merged_lat), merged_tp.buckets())
+}
+
+/// Turns raw proptest output into a numbered program over `domains`
+/// domains.
+fn number_program(
+    domains: usize,
+    raw: Vec<(u8, Vec<(u64, u64, (bool, u8, u64))>)>,
+) -> Vec<DomainSpec> {
+    let mut next_id = 0u32;
+    raw.into_iter()
+        .take(domains)
+        .enumerate()
+        .map(|(d, (servers, jobs))| DomainSpec {
+            servers: u32::from(servers % 3) + 1,
+            jobs: jobs
+                .into_iter()
+                .map(|(submit_at, service, (notify, dest, extra))| {
+                    let id = next_id;
+                    next_id += 1;
+                    JobSpec {
+                        id,
+                        submit_at,
+                        service,
+                        notify: notify.then(|| {
+                            // Never notify yourself; wrap into another domain.
+                            let dest = (d + 1 + usize::from(dest) % (domains - 1)) % domains;
+                            (dest, extra)
+                        }),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: for any program and seed, every thread
+    /// count produces the same traces and merged metrics as the serial
+    /// (N=1) run.
+    #[test]
+    fn thread_count_is_unobservable(
+        seed in any::<u64>(),
+        raw in prop::collection::vec(
+            (
+                0..3u8,
+                prop::collection::vec(
+                    (0..40u64, 1..30u64, (any::<bool>(), 0..8u8, 0..20u64)),
+                    0..24,
+                ),
+            ),
+            4,
+        ),
+    ) {
+        let specs = number_program(4, raw);
+        let serial = run_program(1, seed, &specs);
+        for threads in [2, 4] {
+            let parallel = run_program(threads, seed, &specs);
+            prop_assert_eq!(&parallel.0, &serial.0, "traces diverged at N={}", threads);
+            prop_assert_eq!(parallel.1, serial.1, "merged latencies diverged at N={}", threads);
+            prop_assert_eq!(&parallel.2, &serial.2, "merged timeline diverged at N={}", threads);
+        }
+    }
+
+    /// Replays are bit-identical: the same `(seed, program, N)` twice.
+    #[test]
+    fn same_inputs_replay_bit_identically(
+        seed in any::<u64>(),
+        raw in prop::collection::vec(
+            (
+                0..3u8,
+                prop::collection::vec(
+                    (0..30u64, 1..20u64, (any::<bool>(), 0..8u8, 0..10u64)),
+                    0..12,
+                ),
+            ),
+            4,
+        ),
+    ) {
+        let specs = number_program(4, raw);
+        let a = run_program(4, seed, &specs);
+        let b = run_program(4, seed, &specs);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+}
+
+/// A deterministic companion pinning one interesting fixed program, so a
+/// regression shows up as a plain test failure with a readable diff.
+#[test]
+fn fixed_cross_traffic_program_is_thread_count_invariant() {
+    let specs: Vec<DomainSpec> = (0..4)
+        .map(|d| DomainSpec {
+            servers: (d as u32 % 2) + 1,
+            jobs: (0..16)
+                .map(|i| JobSpec {
+                    id: (d * 16 + i) as u32,
+                    submit_at: (i as u64 * 3) % 17,
+                    service: 1 + (i as u64 * 5) % 11,
+                    notify: if i % 2 == 0 { Some(((d + 1) % 4, i as u64 % 6)) } else { None },
+                })
+                .collect(),
+        })
+        .collect();
+    let serial = run_program(1, 0xF5, &specs);
+    // Every domain saw traffic and every domain received notices.
+    for (d, trace) in serial.0.iter().enumerate() {
+        assert_eq!(trace.completions.len(), 16, "domain {d}");
+        assert_eq!(trace.deliveries.len(), 8, "domain {d}");
+        assert_eq!(trace.latency.0, 16, "domain {d}");
+    }
+    for threads in [2, 3, 4, 7] {
+        assert_eq!(run_program(threads, 0xF5, &specs), serial, "N={threads}");
+    }
+}

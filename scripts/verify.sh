@@ -20,6 +20,12 @@
 #      small system and exits nonzero if any post-run invariant audit
 #      (leaked locks/txns/invocations, namespace↔store divergence,
 #      op-count conservation) fails.
+#   9. parallel DES smoke: bench_parallel --smoke runs the sharded
+#      cluster at N in {1,2,4,8} worker threads and asserts every thread
+#      count produces a bit-identical ClusterReport fingerprint.
+#  10. fig10 at --threads=4: the figure sweep re-run on four worker
+#      threads must still match the golden capture byte-for-byte —
+#      sweep-level parallelism must never reach the simulated results.
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
@@ -39,6 +45,7 @@ cargo build --release --offline -p lambda-bench --bin bench_faas
 cargo build --release --offline -p lambda-bench --bin fig10_latency_cdfs
 cargo build --release --offline -p lambda-bench --bin fig15_fault_tolerance
 cargo build --release --offline -p lambda-bench --bin fig15b_chaos
+cargo build --release --offline -p lambda-bench --bin bench_parallel
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
@@ -69,5 +76,15 @@ echo "fig15 output matches the golden capture"
 
 echo "== chaos smoke (fault classes + invariant audits) =="
 ./target/release/fig15b_chaos --smoke
+
+echo "== parallel DES smoke (N=1..8 fingerprints must match) =="
+./target/release/bench_parallel --smoke
+
+echo "== fig10 golden check at --threads=4 =="
+./target/release/fig10_latency_cdfs --threads=4 > results/fig10_latency_cdfs_t4.txt
+diff <(grep -v wall-clock results/golden/fig10_latency_cdfs.txt) \
+     <(grep -v wall-clock results/fig10_latency_cdfs_t4.txt)
+rm -f results/fig10_latency_cdfs_t4.txt
+echo "fig10 output matches the golden capture at 4 threads"
 
 echo "verify.sh: all checks passed"
