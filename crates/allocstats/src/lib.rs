@@ -1,0 +1,317 @@
+//! # lambda-allocstats
+//!
+//! A counting global allocator for byte-accurate memory accounting in the
+//! memory-footprint benches (`fig08d_million_scale` and the
+//! `bytes_per_inode` regression gate).
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and maintains process-wide
+//! live/peak byte counters in [`GLOBAL`]. It is *not* registered anywhere in
+//! library code: a binary (or integration-test crate) opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: lambda_allocstats::CountingAlloc = lambda_allocstats::CountingAlloc;
+//! ```
+//!
+//! so the accounting overhead (two relaxed atomic RMWs per allocation) is
+//! only ever paid by binaries that asked for it. In `lambda-bench` the
+//! registration sits behind the `alloc-stats` cargo feature.
+//!
+//! The counters track **requested** bytes (`Layout::size`), not allocator
+//! bucket sizes — the quantity the row-layout arithmetic in DESIGN.md §3.6
+//! predicts. All accounting logic lives in [`Counters`], which is plain safe
+//! code and unit-testable without touching the real global allocator; the
+//! single `unsafe` surface is the delegating [`GlobalAlloc`] impl.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live/peak byte counters. The process-wide instance is [`GLOBAL`];
+/// tests construct their own to exercise the accounting deterministically.
+#[derive(Debug)]
+pub struct Counters {
+    live: AtomicU64,
+    peak: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counters {
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn note_alloc(&self, bytes: u64) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records a deallocation of `bytes`.
+    pub fn note_dealloc(&self, bytes: u64) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a reallocation from `old` to `new` bytes.
+    pub fn note_realloc(&self, old: u64, new: u64) {
+        if new >= old {
+            self.note_alloc(new - old);
+            // One logical event, not an alloc+free pair.
+            self.frees.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.note_dealloc(old - new);
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently live (allocated, not yet freed) bytes.
+    #[must_use]
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Counters::live`] since process start (or the
+    /// last [`Counters::reset_peak`]).
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live level, so a measurement window
+    /// observes only its own high-water mark.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of allocation events recorded.
+    #[must_use]
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Number of deallocation events recorded.
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        self.frees.load(Ordering::Relaxed)
+    }
+
+    /// Opens a measurement scope anchored at the current live level.
+    /// Scopes nest freely — each one only remembers its own baseline.
+    #[must_use]
+    pub fn scope(&self) -> MemScope<'_> {
+        MemScope { counters: self, base_live: self.live() }
+    }
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A measurement window over a [`Counters`]: bytes that became live since
+/// the scope opened. Purely observational — dropping a scope changes
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct MemScope<'a> {
+    counters: &'a Counters,
+    base_live: u64,
+}
+
+impl MemScope<'_> {
+    /// Net bytes allocated (and still live) since the scope opened.
+    /// Saturates at zero if the scope freed more than it allocated.
+    #[must_use]
+    pub fn grown(&self) -> u64 {
+        self.counters.live().saturating_sub(self.base_live)
+    }
+
+    /// Signed net live-byte delta since the scope opened.
+    #[must_use]
+    pub fn delta(&self) -> i64 {
+        self.counters.live() as i64 - self.base_live as i64
+    }
+
+    /// The live level when this scope opened.
+    #[must_use]
+    pub fn baseline(&self) -> u64 {
+        self.base_live
+    }
+}
+
+/// The process-wide counter set fed by [`CountingAlloc`].
+pub static GLOBAL: Counters = Counters::new();
+
+/// Currently live heap bytes (zero unless a binary registered
+/// [`CountingAlloc`]).
+#[must_use]
+pub fn live_bytes() -> u64 {
+    GLOBAL.live()
+}
+
+/// Peak live heap bytes since process start or the last
+/// [`reset_peak`].
+#[must_use]
+pub fn peak_bytes() -> u64 {
+    GLOBAL.peak()
+}
+
+/// Resets the process-wide peak to the current live level.
+pub fn reset_peak() {
+    GLOBAL.reset_peak();
+}
+
+/// Whether a [`CountingAlloc`] is actually feeding [`GLOBAL`]: true once
+/// any allocation has been recorded (the runtime allocates long before
+/// `main`, so under a registered counter this is never zero).
+#[must_use]
+pub fn active() -> bool {
+    GLOBAL.alloc_count() > 0
+}
+
+/// The counting allocator: [`System`] plus [`GLOBAL`] accounting. Register
+/// it with `#[global_allocator]` in a binary to activate the counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAlloc;
+
+// The only unsafe in the crate: a pass-through to `System` with the same
+// contracts the caller already promised `GlobalAlloc`.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            GLOBAL.note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        GLOBAL.note_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            GLOBAL.note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            GLOBAL.note_realloc(layout.size() as u64, new_size as u64);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_dealloc_track_live_bytes() {
+        let c = Counters::new();
+        c.note_alloc(100);
+        c.note_alloc(50);
+        assert_eq!(c.live(), 150);
+        c.note_dealloc(100);
+        assert_eq!(c.live(), 50);
+        c.note_dealloc(50);
+        assert_eq!(c.live(), 0);
+        assert_eq!(c.alloc_count(), 2);
+        assert_eq!(c.free_count(), 2);
+    }
+
+    #[test]
+    fn peak_is_a_high_water_mark() {
+        let c = Counters::new();
+        c.note_alloc(100);
+        assert_eq!(c.peak(), 100);
+        c.note_dealloc(100);
+        // Freeing never lowers the peak.
+        assert_eq!(c.peak(), 100);
+        c.note_alloc(60);
+        assert_eq!(c.peak(), 100);
+        c.note_alloc(60);
+        assert_eq!(c.peak(), 120);
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_live() {
+        let c = Counters::new();
+        c.note_alloc(500);
+        c.note_dealloc(400);
+        assert_eq!(c.peak(), 500);
+        c.reset_peak();
+        assert_eq!(c.peak(), 100);
+        c.note_alloc(10);
+        assert_eq!(c.peak(), 110);
+    }
+
+    #[test]
+    fn realloc_accounts_the_delta_both_ways() {
+        let c = Counters::new();
+        c.note_alloc(64);
+        c.note_realloc(64, 256);
+        assert_eq!(c.live(), 256);
+        assert_eq!(c.peak(), 256);
+        c.note_realloc(256, 32);
+        assert_eq!(c.live(), 32);
+        assert_eq!(c.peak(), 256);
+    }
+
+    #[test]
+    fn nested_scopes_each_keep_their_own_baseline() {
+        let c = Counters::new();
+        let outer = c.scope();
+        c.note_alloc(50);
+        let inner = c.scope();
+        c.note_alloc(25);
+        assert_eq!(inner.grown(), 25);
+        assert_eq!(outer.grown(), 75);
+        c.note_dealloc(25);
+        assert_eq!(inner.grown(), 0);
+        assert_eq!(inner.delta(), 0);
+        assert_eq!(outer.grown(), 50);
+        // The peak survives the inner scope's churn.
+        assert_eq!(c.peak(), 75);
+    }
+
+    #[test]
+    fn scope_delta_can_go_negative_grown_saturates() {
+        let c = Counters::new();
+        c.note_alloc(100);
+        let s = c.scope();
+        c.note_dealloc(40);
+        assert_eq!(s.delta(), -40);
+        assert_eq!(s.grown(), 0);
+        assert_eq!(s.baseline(), 100);
+    }
+
+    #[test]
+    fn global_counters_are_reachable() {
+        // No CountingAlloc is registered in this test binary, so the
+        // global counters are silent — but the accessors must work.
+        let live = live_bytes();
+        let peak = peak_bytes();
+        assert!(peak >= live || peak == 0);
+        reset_peak();
+        assert_eq!(peak_bytes(), live_bytes());
+    }
+}

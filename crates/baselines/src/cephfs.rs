@@ -165,10 +165,10 @@ impl MemNamespace {
         let descendants = if target.is_dir() { self.subtree_ids(target.id) } else { Vec::new() };
         for id in &descendants {
             let inode = self.inodes.remove(id).expect("collected");
-            self.children.remove(&(inode.parent, inode.name));
+            self.children.remove(&(inode.parent, inode.name.to_string()));
         }
         self.inodes.remove(&target.id);
-        self.children.remove(&(target.parent, target.name.clone()));
+        self.children.remove(&(target.parent, target.name.to_string()));
         let n = descendants.len() as u64 + 1;
         Ok((OpOutcome::Deleted(n), n))
     }
@@ -189,18 +189,18 @@ impl MemNamespace {
         }
         let moved_count =
             if target.is_dir() { self.subtree_ids(target.id).len() as u64 + 1 } else { 1 };
-        self.children.remove(&(target.parent, target.name.clone()));
+        self.children.remove(&(target.parent, target.name.to_string()));
         self.children.insert((dst_parent.id, dst_name.clone()), target.id);
         let inode = self.inodes.get_mut(&target.id).expect("resolved");
         inode.parent = dst_parent.id;
-        inode.name = dst_name;
+        inode.name = dst_name.into();
         Ok((OpOutcome::Moved(moved_count), moved_count))
     }
 
     fn ls(&self, path: &DfsPath) -> OpResult {
         let target = self.resolve(path)?;
         if !target.is_dir() {
-            return Ok(OpOutcome::Listing(vec![target.name]));
+            return Ok(OpOutcome::Listing(vec![target.name.to_string()]));
         }
         let names = self
             .children

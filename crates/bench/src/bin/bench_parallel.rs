@@ -45,7 +45,7 @@ fn main() {
     let seed = arg_u64("seed", 11);
     let smoke = arg_flag("smoke");
     let domains = arg_usize("domains", 8);
-    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let host_cores = host_cores();
 
     let mut points: Vec<SweepPoint> = Vec::new();
     for threads in [1usize, 2, 4, 8] {

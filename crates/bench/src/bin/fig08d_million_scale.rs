@@ -1,0 +1,372 @@
+//! Beyond-paper memory-footprint sweep: λFS metadata service at
+//! 25k–1M clients over namespaces up to 12M inodes.
+//!
+//! The paper evaluates λFS at 25k/50k-op throughput against a ~100k-inode
+//! tree; this bench asks what the *reproduction's* resident footprint does
+//! when the namespace and client population grow by two orders of
+//! magnitude. Two numbers matter:
+//!
+//! * **bytes/inode** — live-heap growth across [`DfsService::bootstrap_tree`]
+//!   divided by the inodes created (store rows + children index + interner);
+//! * **bytes/client** — live-heap growth across [`LambdaFs::build`] divided
+//!   by the client count. The delta includes the system's fixed build cost
+//!   (store, platform, deployments), so it over-reports slightly at small
+//!   client counts and converges to the true per-client figure at 25k+.
+//!
+//! Byte accounting needs the counting global allocator: build with
+//! `--features alloc-stats`. Without it the sweep still runs (wall-clock
+//! and sim-op throughput are reported) and the byte fields are zero.
+//!
+//! A `reference_scale25` section replays the fig08a λFS configuration at
+//! scale 25 (the exact system the performance figures run, via
+//! [`lambda_config`]) and compares its bytes/inode against the value
+//! measured on the tree *before* the footprint overhaul, pinning the
+//! optimization's claimed reduction in the committed JSON.
+//!
+//! Flags: `--smoke` (tiny points for CI), `--threads=N` (sweep width;
+//! byte deltas are exact only at the default sequential width because the
+//! allocator counters are process-global), `--seed=N`.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Instant;
+
+use lambda_allocstats as mem;
+use lambda_bench::*;
+use lambda_fs::{DfsService, LambdaFs, LambdaFsConfig};
+use lambda_namespace::{interned, DfsPath, FsOp};
+use lambda_sim::{every, Sim, SimDuration, SimRng};
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static COUNTING_ALLOC: mem::CountingAlloc = mem::CountingAlloc;
+
+/// Bytes/inode measured by this binary's `reference_scale25` run on the
+/// tree before the footprint overhaul (the commit introducing this bench),
+/// with `--features alloc-stats` on a sequential sweep. The committed JSON
+/// reports the reduction against these.
+const PRE_PR_BYTES_PER_INODE_SCALE25: f64 = 295.0;
+/// Bytes/client measured at the 25k-client sweep point before the
+/// overhaul (same capture protocol as
+/// [`PRE_PR_BYTES_PER_INODE_SCALE25`]).
+const PRE_PR_BYTES_PER_CLIENT_25K: f64 = 81.4;
+
+/// Directory fan-out of the sweep trees: 48 files per directory, matching
+/// the industrial workload's layout, so each directory accounts for 49
+/// inodes.
+const FILES_PER_DIR: usize = 48;
+
+struct PointResult {
+    clients: u32,
+    dirs: usize,
+    inodes_created: usize,
+    build_bytes: u64,
+    bootstrap_bytes: u64,
+    peak_bytes: u64,
+    bytes_per_client: f64,
+    bytes_per_inode: f64,
+    build_wall_secs: f64,
+    bootstrap_wall_secs: f64,
+    run_wall_secs: f64,
+    sim_ops: u64,
+    issued: u64,
+    accounted: u64,
+}
+
+fn sweep_config(clients: u32) -> LambdaFsConfig {
+    LambdaFsConfig {
+        clients,
+        // The evaluation's client fleet: 8 VMs, 128 clients per TCP
+        // server. Caches keep their industrial sizing — the sweep's read
+        // load touches a bounded slice of the tree, so cache growth is
+        // bounded by the ops issued, not the namespace size.
+        ..Default::default()
+    }
+}
+
+/// Issues `total_ops` read-class operations (70 % read / 30 % stat) at
+/// `rate` ops/sec from uniformly random clients against uniformly random
+/// bootstrap files, building each target path on the fly — at 10M+ inodes,
+/// materializing the full file list (as the industrial driver does) would
+/// cost more memory than the namespace under measurement.
+fn run_lean_reads(
+    sim: &mut Sim,
+    fs: &Rc<LambdaFs>,
+    dirs: &[DfsPath],
+    total_ops: u64,
+    rate: f64,
+    seed: u64,
+) -> u64 {
+    let file_names: Vec<&'static str> =
+        (0..FILES_PER_DIR).map(|f| interned(&format!("file{f:05}"))).collect();
+    let issued = Rc::new(Cell::new(0u64));
+    let rng = RefCell::new(SimRng::new(seed ^ 0x00F1_608D));
+    let n_clients = fs.client_lib().client_count();
+    let per_tick = (rate / 10.0).ceil().max(1.0) as u64;
+    {
+        let fs = Rc::clone(fs);
+        let issued = Rc::clone(&issued);
+        let dirs: Rc<[DfsPath]> = dirs.into();
+        every(sim, sim.now(), SimDuration::from_millis(100), move |sim| {
+            for _ in 0..per_tick {
+                if issued.get() >= total_ops {
+                    return false;
+                }
+                let (client, d, f, read) = {
+                    let mut rng = rng.borrow_mut();
+                    (
+                        rng.pick_index(n_clients),
+                        rng.pick_index(dirs.len()),
+                        rng.pick_index(file_names.len()),
+                        rng.gen_bool(0.7),
+                    )
+                };
+                let path = dirs[d].join(file_names[f]).expect("valid component");
+                let op = if read { FsOp::ReadFile(path) } else { FsOp::Stat(path) };
+                issued.set(issued.get() + 1);
+                fs.submit(sim, client, op, Box::new(|_sim, _result| {}));
+            }
+            true
+        });
+    }
+    let run_secs = (total_ops as f64 / rate).ceil() as u64 + 10;
+    sim.run_for(SimDuration::from_secs(run_secs));
+    issued.get()
+}
+
+fn run_point(clients: u32, dirs: usize, total_ops: u64, rate: f64, seed: u64) -> PointResult {
+    let mut sim = Sim::new(seed);
+    let t_build = Instant::now();
+    let build_scope = mem::GLOBAL.scope();
+    let fs = Rc::new(LambdaFs::build(&mut sim, sweep_config(clients)));
+    let build_bytes = build_scope.grown();
+    let build_wall_secs = t_build.elapsed().as_secs_f64();
+
+    let inodes_before = fs.schema().inode_count(fs.db());
+    let t_boot = Instant::now();
+    let boot_scope = mem::GLOBAL.scope();
+    let dir_paths = fs.bootstrap_tree(&DfsPath::root(), dirs, FILES_PER_DIR);
+    let bootstrap_bytes = boot_scope.grown();
+    let bootstrap_wall_secs = t_boot.elapsed().as_secs_f64();
+    let inodes_created = fs.schema().inode_count(fs.db()) - inodes_before;
+
+    mem::reset_peak();
+    let t_run = Instant::now();
+    fs.start(&mut sim);
+    // Warm every deployment from every VM, as the figures do. The first
+    // few dozen directories cover all ten partitions.
+    fs.prewarm_with(&mut sim, &dir_paths[..dir_paths.len().min(64)]);
+    sim.run_for(SimDuration::from_secs(8));
+    let sim_ops = run_lean_reads(&mut sim, &fs, &dir_paths, total_ops, rate, seed);
+    fs.stop(&mut sim);
+    sim.run_for(SimDuration::from_secs(5));
+    let run_wall_secs = t_run.elapsed().as_secs_f64();
+    let peak_bytes = mem::peak_bytes();
+
+    let (issued, accounted) = {
+        let metrics = fs.metrics();
+        let mut metrics = metrics.borrow_mut();
+        metrics.bytes_per_inode = bootstrap_bytes as f64 / inodes_created.max(1) as f64;
+        metrics.bytes_per_client = build_bytes as f64 / f64::from(clients.max(1));
+        (metrics.issued, metrics.accounted())
+    };
+    // `audit()` is O(n²) in the namespace — at 10M inodes the billing
+    // conservation check below is the affordable integrity gate.
+    assert_eq!(issued, accounted, "{clients} clients: operations leaked");
+
+    PointResult {
+        clients,
+        dirs,
+        inodes_created,
+        build_bytes,
+        bootstrap_bytes,
+        peak_bytes,
+        bytes_per_client: build_bytes as f64 / f64::from(clients.max(1)),
+        bytes_per_inode: bootstrap_bytes as f64 / inodes_created.max(1) as f64,
+        build_wall_secs,
+        bootstrap_wall_secs,
+        run_wall_secs,
+        sim_ops,
+        issued,
+        accounted,
+    }
+}
+
+struct Scale25Reference {
+    clients: u32,
+    dirs: usize,
+    inodes_created: usize,
+    bytes_per_inode: f64,
+    bootstrap_wall_secs: f64,
+}
+
+/// Bootstraps the exact fig08a λFS system at scale 25 and measures its
+/// bytes/inode — the acceptance point the pre-PR constant was captured at.
+fn scale25_reference(seed: u64) -> Scale25Reference {
+    let params = IndustrialParams::spotify(25_000.0, 25.0, seed);
+    let spotify = params.spotify_config();
+    let cfg = lambda_config(&params, false);
+    let clients = cfg.clients;
+    let mut sim = Sim::new(seed);
+    let fs = LambdaFs::build(&mut sim, cfg);
+    let inodes_before = fs.schema().inode_count(fs.db());
+    let t_boot = Instant::now();
+    let boot_scope = mem::GLOBAL.scope();
+    fs.schema().bootstrap_tree(fs.db(), &DfsPath::root(), spotify.dirs, spotify.files_per_dir);
+    let bootstrap_bytes = boot_scope.grown();
+    let inodes_created = fs.schema().inode_count(fs.db()) - inodes_before;
+    Scale25Reference {
+        clients,
+        dirs: spotify.dirs,
+        inodes_created,
+        bytes_per_inode: bootstrap_bytes as f64 / inodes_created.max(1) as f64,
+        bootstrap_wall_secs: t_boot.elapsed().as_secs_f64(),
+    }
+}
+
+fn reduction_vs(pre: f64, post: f64) -> Option<f64> {
+    (pre > 0.0 && post > 0.0).then(|| pre / post)
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |x| format!("{x:.2}"))
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}kB", b / 1e3)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+fn main() {
+    let seed = arg_u64("seed", 11);
+    let smoke = arg_flag("smoke");
+    let threads = bench_threads();
+    let host_cores = host_cores();
+    let counting = mem::active();
+    if !counting {
+        println!("note: built without --features alloc-stats; byte columns will read 0");
+    }
+
+    // (clients, directories): each directory holds 48 files, so the full
+    // sweep tops out at 1M clients over a 12.0M-inode namespace and the
+    // acceptance point (500k clients / 10.0M inodes) is the third entry.
+    let points: &[(u32, usize)] = if smoke {
+        &[(512, 100), (2_048, 500)]
+    } else {
+        &[(25_000, 5_103), (100_000, 20_409), (500_000, 204_082), (1_000_000, 244_898)]
+    };
+    let (total_ops, rate) = if smoke { (1_500, 500.0) } else { (20_000, 4_000.0) };
+
+    println!("scale-25 reference (fig08a λFS system):");
+    let reference = scale25_reference(seed);
+    println!(
+        "  {} clients, {} dirs, {} inodes: {:.1} bytes/inode ({:.2}s bootstrap)",
+        reference.clients,
+        reference.dirs,
+        reference.inodes_created,
+        reference.bytes_per_inode,
+        reference.bootstrap_wall_secs,
+    );
+
+    let jobs: Vec<Box<dyn FnOnce() -> PointResult + Send>> = points
+        .iter()
+        .map(|&(clients, dirs)| {
+            Box::new(move || run_point(clients, dirs, total_ops, rate, seed))
+                as Box<dyn FnOnce() -> PointResult + Send>
+        })
+        .collect();
+    let results = run_parallel_ops(jobs, |p| p.sim_ops);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|p| {
+            vec![
+                p.clients.to_string(),
+                p.inodes_created.to_string(),
+                format!("{:.1}", p.bytes_per_inode),
+                format!("{:.0}", p.bytes_per_client),
+                fmt_bytes(p.peak_bytes as f64),
+                format!("{:.2}s", p.bootstrap_wall_secs),
+                format!("{:.2}s", p.run_wall_secs),
+                fmt_ops(p.sim_ops as f64 / p.run_wall_secs.max(1e-9)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Million-scale memory sweep: seed {seed}, threads {threads}{}",
+            if smoke { ", smoke" } else { "" }
+        ),
+        &["clients", "inodes", "B/inode", "B/client", "peak", "boot", "run", "ops/wsec"],
+        &rows,
+    );
+
+    let inode_reduction =
+        reduction_vs(PRE_PR_BYTES_PER_INODE_SCALE25, reference.bytes_per_inode);
+    let client_reduction = reduction_vs(
+        PRE_PR_BYTES_PER_CLIENT_25K,
+        results.first().map_or(0.0, |p| p.bytes_per_client),
+    );
+    if let Some(r) = inode_reduction {
+        println!("\nbytes/inode at scale 25: {r:.2}x reduction vs pre-overhaul");
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"clients\": {}, \"dirs\": {}, \"inodes\": {}, \
+                 \"build_bytes\": {}, \"bootstrap_bytes\": {}, \"peak_bytes\": {}, \
+                 \"bytes_per_inode\": {:.2}, \"bytes_per_client\": {:.2}, \
+                 \"build_wall_secs\": {:.3}, \"bootstrap_wall_secs\": {:.3}, \
+                 \"run_wall_secs\": {:.3}, \"sim_ops\": {}, \
+                 \"sim_ops_per_wall_sec\": {:.1}, \"issued\": {}, \"accounted\": {}}}",
+                p.clients,
+                p.dirs,
+                p.inodes_created,
+                p.build_bytes,
+                p.bootstrap_bytes,
+                p.peak_bytes,
+                p.bytes_per_inode,
+                p.bytes_per_client,
+                p.build_wall_secs,
+                p.bootstrap_wall_secs,
+                p.run_wall_secs,
+                p.sim_ops,
+                p.sim_ops as f64 / p.run_wall_secs.max(1e-9),
+                p.issued,
+                p.accounted,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"million_scale_memory\",\n  \"seed\": {seed},\n  \
+         \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \
+         \"alloc_stats_active\": {counting},\n  \
+         \"bytes_exact\": {},\n  \
+         \"reference_scale25\": {{\"clients\": {}, \"dirs\": {}, \"inodes\": {}, \
+         \"bytes_per_inode\": {:.2}, \"pre_pr_bytes_per_inode\": {:.2}, \
+         \"inode_reduction_vs_pre_pr\": {}, \"pre_pr_bytes_per_client_25k\": {:.2}, \
+         \"client_reduction_vs_pre_pr\": {}}},\n  \"points\": [\n{}\n  ]\n}}\n",
+        counting && threads == 1,
+        reference.clients,
+        reference.dirs,
+        reference.inodes_created,
+        reference.bytes_per_inode,
+        PRE_PR_BYTES_PER_INODE_SCALE25,
+        fmt_opt(inode_reduction),
+        PRE_PR_BYTES_PER_CLIENT_25K,
+        fmt_opt(client_reduction),
+        entries.join(",\n")
+    );
+    let name = if smoke { "BENCH_scale_smoke" } else { "BENCH_scale" };
+    let path = write_json(name, &json);
+    println!("wrote {}", path.display());
+}

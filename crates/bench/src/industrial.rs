@@ -94,7 +94,10 @@ impl IndustrialParams {
         StoreParams::default().slowed(self.scale)
     }
 
-    fn spotify_config(&self) -> SpotifyConfig {
+    /// The workload configuration at this scale (public so the memory
+    /// bench can bootstrap the exact tree the industrial figures use).
+    #[must_use]
+    pub fn spotify_config(&self) -> SpotifyConfig {
         SpotifyConfig {
             base_throughput: self.base_throughput / self.scale,
             duration: SimDuration::from_secs((self.duration_secs as f64 / self.scale.sqrt()) as u64),
@@ -256,7 +259,11 @@ fn sample_namenodes(sim: &mut Sim, fs: &Rc<LambdaFs>, until: SimTime) -> Rc<std:
     series
 }
 
-fn lambda_config(p: &IndustrialParams, reduced_cache: bool) -> LambdaFsConfig {
+/// The λFS configuration the industrial figures run (public so the
+/// memory-footprint bench can measure the *same* system the performance
+/// figures use, rather than a bespoke lookalike).
+#[must_use]
+pub fn lambda_config(p: &IndustrialParams, reduced_cache: bool) -> LambdaFsConfig {
     let spotify = p.spotify_config();
     // Working-set size *per NameNode*: each deployment caches ~1/n of the
     // tree; "reduced" caps each NameNode cache well below its partition's

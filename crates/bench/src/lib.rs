@@ -16,6 +16,7 @@
 //! | `fig08a_industrial_25k` | Fig. 8(a) + Table 2 |
 //! | `fig08b_industrial_50k` | Fig. 8(b) |
 //! | `fig08c_perf_per_cost` | Fig. 8(c) |
+//! | `fig08d_million_scale` | beyond-paper: memory footprint at 25k–1M clients, 10M+ inodes |
 //! | `fig09_cumulative_cost` | Fig. 9 |
 //! | `fig10_latency_cdfs` | Fig. 10 |
 //! | `fig11_client_scaling` | Fig. 11 |
@@ -39,12 +40,14 @@ pub mod subtree_exp;
 pub mod tree_exp;
 
 pub use industrial::{
-    cost_normalized_vcpus, run_industrial, IndustrialParams, IndustrialReport, SystemKind,
+    cost_normalized_vcpus, lambda_config, run_industrial, IndustrialParams, IndustrialReport,
+    SystemKind,
 };
 pub use micro_exp::{run_micro_point, MicroParams, MicroPoint, MICRO_OPS};
 pub use report::{
     arg_f64, arg_flag, arg_u64, arg_usize, bench_threads, fmt_events_per_sec, fmt_ms, fmt_ops,
-    print_series, print_table, run_parallel, run_parallel_ops, scale_from_args, write_json,
+    host_cores, print_series, print_table, run_parallel, run_parallel_ops, scale_from_args,
+    write_json,
 };
 pub use subtree_exp::{run_subtree_mv, SubtreeMvResult};
 pub use tree_exp::{run_tree_point, TreePoint, TreeSystem};

@@ -133,6 +133,16 @@ pub fn bench_threads() -> usize {
     arg_usize("threads", fallback).max(1)
 }
 
+/// The number of hardware threads on the machine running the bench, as
+/// reported by [`std::thread::available_parallelism`]. Recorded in every
+/// bench JSON that reports wall-clock speedups so the numbers stay
+/// interpretable off-host: a `speedup_vs_1 ≈ 1.0` sweep is *expected* on
+/// a `host_cores = 1` box, and evidence of a bug on a 32-core one.
+#[must_use]
+pub fn host_cores() -> usize {
+    thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
 /// The experiment scale factor: 1.0 = the paper's full scale. Defaults to
 /// a 5× reduction (load, resources, and store capacity shrink together, so
 /// the figures' shapes are preserved); `--full` forces 1.0.

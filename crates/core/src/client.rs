@@ -24,9 +24,20 @@
 //!   the moving average — the thrashing signature — the client stops
 //!   issuing HTTP invocations entirely, reusing any live TCP connection
 //!   (even to a foreign deployment, which then serves without caching).
+//!
+//! # Memory layout
+//!
+//! The library is sized for the `fig08d_million_scale` sweep: a million
+//! simulated clients must fit comfortably. Per-client state is 40 bytes —
+//! a client's VM and TCP-server indices are *derived* from its id (the
+//! placement is a fixed formula) rather than stored, and the moving
+//! latency window is a lazily boxed fixed ring instead of an eagerly
+//! allocated `VecDeque`. In-flight requests live in a generation-tagged
+//! slab: completion frees the record immediately (the old
+//! `Rc<RefCell<Attempt>>` lived until its last retry timer fired), and the
+//! timers hold a 12-byte `Copy` key instead of refcounted pointers.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use lambda_faas::{DeploymentId, InstanceId, Platform, Responder};
@@ -59,44 +70,60 @@ const RETRY_BUDGET_CAPACITY: f64 = 50.0;
 /// Tokens regained per simulated second of calm.
 const RETRY_BUDGET_REFILL_PER_SEC: f64 = 10.0;
 
-#[derive(Debug, Default)]
-struct TcpServer {
-    /// deployment index → connected instances.
-    connections: HashMap<u32, Vec<InstanceId>>,
+/// A client-VM TCP server's connection table (generic over the instance
+/// id type only so unit tests can drive it with plain integers).
+#[derive(Debug)]
+struct TcpServer<I = InstanceId> {
+    /// (deployment index, connected instances), sorted by deployment. A
+    /// server sees a handful of deployments, so a sorted vec beats a
+    /// `HashMap`'s table allocation at a million-client scale and makes
+    /// "first connected deployment" a linear prefix scan.
+    connections: Vec<(u32, Vec<I>)>,
     /// Round-robin cursor so a server spreads load over every connected
     /// instance of a deployment rather than funneling into the first.
     next: std::cell::Cell<usize>,
 }
 
-impl TcpServer {
-    fn connection_to(&self, deployment: u32) -> Option<InstanceId> {
-        let conns = self.connections.get(&deployment)?;
+impl<I> Default for TcpServer<I> {
+    fn default() -> Self {
+        TcpServer { connections: Vec::new(), next: std::cell::Cell::new(0) }
+    }
+}
+
+impl<I: Copy + Eq> TcpServer<I> {
+    fn connection_to(&self, deployment: u32) -> Option<I> {
+        let idx = self.connections.binary_search_by_key(&deployment, |(d, _)| *d).ok()?;
+        let conns = &self.connections[idx].1;
         if conns.is_empty() {
             return None;
         }
-        let idx = self.next.get();
-        self.next.set(idx.wrapping_add(1));
-        Some(conns[idx % conns.len()])
+        let cursor = self.next.get();
+        self.next.set(cursor.wrapping_add(1));
+        Some(conns[cursor % conns.len()])
     }
 
-    fn any_connection(&self) -> Option<(u32, InstanceId)> {
-        self.connections
-            .iter()
-            .filter(|(_, v)| !v.is_empty())
-            .min_by_key(|(d, _)| **d)
-            .map(|(d, v)| (*d, v[0]))
+    /// The lowest-numbered deployment with a live connection (the sorted
+    /// order makes "lowest" the first hit).
+    fn any_connection(&self) -> Option<(u32, I)> {
+        self.connections.iter().find(|(_, v)| !v.is_empty()).map(|(d, v)| (*d, v[0]))
     }
 
-    fn register(&mut self, deployment: u32, instance: InstanceId) {
-        let conns = self.connections.entry(deployment).or_default();
+    fn register(&mut self, deployment: u32, instance: I) {
+        let conns = match self.connections.binary_search_by_key(&deployment, |(d, _)| *d) {
+            Ok(idx) => &mut self.connections[idx].1,
+            Err(idx) => {
+                self.connections.insert(idx, (deployment, Vec::new()));
+                &mut self.connections[idx].1
+            }
+        };
         if !conns.contains(&instance) {
             conns.push(instance);
         }
     }
 
-    fn remove(&mut self, deployment: u32, instance: InstanceId) {
-        if let Some(conns) = self.connections.get_mut(&deployment) {
-            conns.retain(|i| *i != instance);
+    fn remove(&mut self, deployment: u32, instance: I) {
+        if let Ok(idx) = self.connections.binary_search_by_key(&deployment, |(d, _)| *d) {
+            self.connections[idx].1.retain(|i| *i != instance);
         }
     }
 }
@@ -106,28 +133,87 @@ struct Vm {
     servers: Vec<TcpServer>,
 }
 
+/// Fixed-capacity ring of the most recent read latencies (seconds),
+/// summing oldest-to-newest — float-for-float the order the `VecDeque` it
+/// replaced summed in, so moving averages are bit-identical.
+#[derive(Debug)]
+struct LatencyWindow {
+    buf: Box<[f64]>,
+    /// Index of the oldest sample.
+    head: u32,
+    len: u32,
+}
+
+impl LatencyWindow {
+    fn boxed(capacity: usize) -> Box<LatencyWindow> {
+        Box::new(LatencyWindow { buf: vec![0.0; capacity].into_boxed_slice(), head: 0, len: 0 })
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Appends a sample, dropping the oldest once full — the
+    /// `push_back` + `pop_front` discipline of the old deque.
+    fn push(&mut self, v: f64) {
+        let cap = self.buf.len();
+        if (self.len as usize) < cap {
+            let idx = (self.head as usize + self.len as usize) % cap;
+            self.buf[idx] = v;
+            self.len += 1;
+        } else {
+            self.buf[self.head as usize] = v;
+            self.head = ((self.head as usize + 1) % cap) as u32;
+        }
+    }
+
+    fn avg(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.buf.len();
+        let mut sum = 0.0;
+        for k in 0..self.len as usize {
+            sum += self.buf[(self.head as usize + k) % cap];
+        }
+        Some(sum / f64::from(self.len))
+    }
+}
+
+/// Per-client resident state: 40 bytes. The client's id, VM, and TCP
+/// server are all derived from its index (see [`LibInner::placement`]),
+/// and the latency window is allocated only once the client completes its
+/// first read.
 #[derive(Debug)]
 struct ClientState {
-    id: ClientId,
-    vm: usize,
-    server: usize,
     next_seq: u64,
-    /// Moving window of recent end-to-end latencies (seconds).
-    window: VecDeque<f64>,
-    anti_thrash: bool,
     /// Remaining retry-budget tokens (circuit breaker).
     retry_tokens: f64,
     /// When the token bucket was last refilled.
     last_refill: SimTime,
+    /// Moving window of recent end-to-end latencies (seconds), lazily
+    /// allocated at its fixed `latency_window` capacity.
+    window: Option<Box<LatencyWindow>>,
+    anti_thrash: bool,
 }
 
 impl ClientState {
-    fn avg_latency(&self) -> Option<f64> {
-        if self.window.is_empty() {
-            None
-        } else {
-            Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+    fn new() -> ClientState {
+        ClientState {
+            next_seq: 0,
+            retry_tokens: RETRY_BUDGET_CAPACITY,
+            last_refill: SimTime::ZERO,
+            window: None,
+            anti_thrash: false,
         }
+    }
+
+    fn avg_latency(&self) -> Option<f64> {
+        self.window.as_ref().and_then(|w| w.avg())
+    }
+
+    fn window_len(&self) -> usize {
+        self.window.as_ref().map_or(0, |w| w.len())
     }
 
     /// Refills the retry budget for the calm since the last refill, then
@@ -147,6 +233,88 @@ impl ClientState {
     }
 }
 
+/// One in-flight request record. Completion removes it from the slab, so
+/// a record lives exactly as long as the request is outstanding — not
+/// until the last retry timer referencing it fires.
+struct Attempt {
+    op: FsOp,
+    id: RequestId,
+    started: SimTime,
+    tries: u32,
+    done: Option<OpDone>,
+}
+
+/// `Copy` handle to a slab slot: stale once the slot's generation moves on
+/// (i.e. the request completed), so timers and duplicate responses check
+/// liveness with one compare. Carries the issuing client's index so
+/// connection registration works even after completion — a duplicate
+/// response's connection-back is still worth recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AttemptKey {
+    slot: u32,
+    gen: u32,
+    client: u32,
+}
+
+/// Generation-tagged slab of in-flight [`Attempt`]s (same idiom as the
+/// FaaS platform's invocation-record slab).
+#[derive(Default)]
+struct AttemptSlab {
+    slots: Vec<(u32, Option<Attempt>)>,
+    free: Vec<u32>,
+}
+
+impl AttemptSlab {
+    fn insert(&mut self, client: u32, rec: Attempt) -> AttemptKey {
+        match self.free.pop() {
+            Some(slot) => {
+                let (gen, cell) = &mut self.slots[slot as usize];
+                debug_assert!(cell.is_none());
+                *cell = Some(rec);
+                AttemptKey { slot, gen: *gen, client }
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("attempt slab overflow");
+                self.slots.push((0, Some(rec)));
+                AttemptKey { slot, gen: 0, client }
+            }
+        }
+    }
+
+    fn get(&self, key: AttemptKey) -> Option<&Attempt> {
+        let (gen, rec) = self.slots.get(key.slot as usize)?;
+        if *gen != key.gen {
+            return None;
+        }
+        rec.as_ref()
+    }
+
+    fn get_mut(&mut self, key: AttemptKey) -> Option<&mut Attempt> {
+        let (gen, rec) = self.slots.get_mut(key.slot as usize)?;
+        if *gen != key.gen {
+            return None;
+        }
+        rec.as_mut()
+    }
+
+    /// Removes the record, bumping the slot's generation so every
+    /// outstanding key to it goes stale.
+    fn take(&mut self, key: AttemptKey) -> Option<Attempt> {
+        let (gen, rec) = self.slots.get_mut(key.slot as usize)?;
+        if *gen != key.gen {
+            return None;
+        }
+        let rec = rec.take()?;
+        *gen = gen.wrapping_add(1);
+        self.free.push(key.slot);
+        Some(rec)
+    }
+
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
 struct LibInner {
     config: Rc<LambdaFsConfig>,
     platform: Platform<NameNode>,
@@ -154,11 +322,27 @@ struct LibInner {
     partitioner: Rc<Partitioner>,
     vms: Vec<Vm>,
     clients: Vec<ClientState>,
+    /// Client-placement constants (see [`LibInner::placement`]).
+    vm_count: usize,
+    per_server: usize,
+    attempts: AttemptSlab,
     metrics: Rc<RefCell<RunMetrics>>,
     /// Network fault injector, when a fault plan is installed. `None`
     /// keeps every hop on the exact pre-fault-plane code path (and RNG
     /// stream), so fault-free runs replay bit-identically.
     injector: Option<FaultInjector>,
+}
+
+impl LibInner {
+    /// A client's `(vm, tcp server)` placement, derived from its index:
+    /// clients round-robin over VMs, then fill each VM's servers
+    /// `per_server` at a time. Storing these per client would be 16 dead
+    /// bytes × a million clients.
+    fn placement(&self, client: usize) -> (usize, usize) {
+        let vm = client % self.vm_count;
+        let index_on_vm = client / self.vm_count;
+        (vm, index_on_vm / self.per_server)
+    }
 }
 
 /// The client library handle; one instance serves all simulated clients.
@@ -173,18 +357,9 @@ impl std::fmt::Debug for ClientLib {
         f.debug_struct("ClientLib")
             .field("clients", &inner.clients.len())
             .field("vms", &inner.vms.len())
+            .field("in_flight", &inner.attempts.live())
             .finish()
     }
-}
-
-struct Attempt {
-    op: FsOp,
-    id: RequestId,
-    client: usize,
-    started: SimTime,
-    tries: u32,
-    completed: bool,
-    done: Option<OpDone>,
 }
 
 impl ClientLib {
@@ -200,26 +375,14 @@ impl ClientLib {
     ) -> Self {
         let vm_count = config.client_vms.max(1) as usize;
         let per_server = config.clients_per_tcp_server.max(1) as usize;
-        let clients: Vec<ClientState> = (0..config.clients.max(1))
-            .map(|i| {
-                let vm = i as usize % vm_count;
-                let index_on_vm = i as usize / vm_count;
-                ClientState {
-                    id: ClientId(i),
-                    vm,
-                    server: index_on_vm / per_server,
-                    next_seq: 0,
-                    window: VecDeque::new(),
-                    anti_thrash: false,
-                    retry_tokens: RETRY_BUDGET_CAPACITY,
-                    last_refill: SimTime::ZERO,
-                }
-            })
-            .collect();
+        let n = config.clients.max(1) as usize;
+        let clients: Vec<ClientState> = (0..n).map(|_| ClientState::new()).collect();
         let mut vms: Vec<Vm> = (0..vm_count).map(|_| Vm { servers: Vec::new() }).collect();
-        for c in &clients {
-            while vms[c.vm].servers.len() <= c.server {
-                vms[c.vm].servers.push(TcpServer::default());
+        for i in 0..n {
+            let vm = i % vm_count;
+            let server = (i / vm_count) / per_server;
+            while vms[vm].servers.len() <= server {
+                vms[vm].servers.push(TcpServer::default());
             }
         }
         ClientLib {
@@ -230,7 +393,10 @@ impl ClientLib {
                 partitioner,
                 vms,
                 clients,
-            metrics,
+                vm_count,
+                per_server,
+                attempts: AttemptSlab::default(),
+                metrics,
                 injector: None,
             })),
         }
@@ -278,62 +444,53 @@ impl ClientLib {
     ///
     /// Panics if `client` is out of range.
     pub fn submit(&self, sim: &mut Sim, client: usize, op: FsOp, done: OpDone) {
-        let id = {
+        let key = {
             let mut inner = self.inner.borrow_mut();
             inner.metrics.borrow_mut().issued += 1;
             let state = &mut inner.clients[client];
             state.next_seq += 1;
-            RequestId { client: state.id, seq: state.next_seq }
+            let id = RequestId { client: ClientId(client as u32), seq: state.next_seq };
+            let rec = Attempt { op, id, started: sim.now(), tries: 0, done: Some(done) };
+            inner.attempts.insert(client as u32, rec)
         };
-        let attempt = Rc::new(RefCell::new(Attempt {
-            op,
-            id,
-            client,
-            started: sim.now(),
-            tries: 0,
-            completed: false,
-            done: Some(done),
-        }));
-        self.try_send(sim, &attempt);
+        self.try_send(sim, key);
     }
 
     /// Routing decision + dispatch for one (re)try.
-    fn try_send(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>) {
-        if attempt.borrow().completed {
-            return;
-        }
+    fn try_send(&self, sim: &mut Sim, key: AttemptKey) {
         enum Route {
             Tcp { deployment: u32, instance: InstanceId, owned: bool, shared: bool },
             Http { deployment: u32 },
         }
         let sim_now = sim.now();
-        let (route, request, timeout, src) = {
-            let target = {
-                let inner = self.inner.borrow();
-                let a = attempt.borrow();
-                inner.partitioner.deployment_for_path(a.op.primary_path())
-            };
-            // Probabilistic HTTP replacement keeps auto-scaling alive
-            // (§3.4); suspended in anti-thrashing mode (Appendix C).
-            let replace = {
-                let inner = self.inner.borrow();
-                let anti_thrash = inner.clients[attempt.borrow().client].anti_thrash;
-                let p = inner.config.http_replace_prob;
-                drop(inner);
-                !anti_thrash && sim.rng().gen_bool(p)
-            };
+        let client = key.client as usize;
+        // Probabilistic HTTP replacement keeps auto-scaling alive (§3.4);
+        // suspended in anti-thrashing mode (Appendix C).
+        let replace = {
             let inner = self.inner.borrow();
-            let a = attempt.borrow();
-            let state = &inner.clients[a.client];
-            let vm = &inner.vms[state.vm];
+            if inner.attempts.get(key).is_none() {
+                return; // completed while a timer was in flight
+            }
+            let anti_thrash = inner.clients[client].anti_thrash;
+            let p = inner.config.http_replace_prob;
+            drop(inner);
+            !anti_thrash && sim.rng().gen_bool(p)
+        };
+        let (route, request, timeout, src, tries_at_send) = {
+            let inner = self.inner.borrow();
+            let Some(a) = inner.attempts.get(key) else { return };
+            let target = inner.partitioner.deployment_for_path(a.op.primary_path());
+            let state = &inner.clients[client];
+            let (vm_idx, server) = inner.placement(client);
+            let vm = &inner.vms[vm_idx];
             // 1) A connection from the client's own TCP server.
-            let own = vm.servers[state.server].connection_to(target);
+            let own = vm.servers[server].connection_to(target);
             // 2) Connection sharing: borrow from a sibling server (Fig. 4).
             let borrowed = own.is_none().then(|| {
                 vm.servers
                     .iter()
                     .enumerate()
-                    .filter(|(i, _)| *i != state.server)
+                    .filter(|(i, _)| *i != server)
                     .find_map(|(_, s)| s.connection_to(target))
             }).flatten();
             let conn = own.or(borrowed);
@@ -351,7 +508,7 @@ impl ClientLib {
                 None if state.anti_thrash => {
                     // TCP-only mode: reuse *any* live connection rather
                     // than invoking HTTP (which would add containers).
-                    match vm.servers.iter().find_map(TcpServer::any_connection) {
+                    match vm.servers.iter().find_map(|s| s.any_connection()) {
                         Some((dep, instance)) => Route::Tcp {
                             deployment: dep,
                             instance,
@@ -378,7 +535,7 @@ impl ClientLib {
                 id: a.id,
                 op: a.op.clone(),
                 via_http,
-                client_vm: state.vm as u32,
+                client_vm: vm_idx as u32,
                 owned: match &route {
                     Route::Tcp { owned, .. } => *owned,
                     Route::Http { .. } => true,
@@ -389,7 +546,7 @@ impl ClientLib {
             // average tracks read-class latency, so early resubmission is
             // applied to read-class operations only — duplicating a slow
             // (store-bound) write wastes store capacity for no benefit.
-            let is_read = !attempt.borrow().op.is_write();
+            let is_read = !a.op.is_write();
             let straggler = if is_read {
                 state.avg_latency().map(|avg| {
                     SimDuration::from_secs_f64(avg * inner.config.straggler_threshold)
@@ -400,10 +557,9 @@ impl ClientLib {
             };
             let full = inner.config.client_timeout;
             let timeout = straggler.map_or(full, |s| s.min(full));
-            (route, request, timeout, state.vm as u32)
+            (route, request, timeout, vm_idx as u32, a.tries)
         };
         // Dispatch.
-        let tries_at_send = attempt.borrow().tries;
         match route {
             Route::Tcp { deployment, instance, shared, .. } => {
                 {
@@ -425,14 +581,14 @@ impl ClientLib {
                 match self.net_decide(sim_now, src, NN_ENDPOINT_BASE + deployment) {
                     NetDecision::Drop => {} // lost; the retry timer recovers
                     NetDecision::Duplicate => {
-                        self.send_tcp(sim, hop, deployment, instance, request.clone(), attempt, src);
-                        self.send_tcp(sim, hop, deployment, instance, request, attempt, src);
+                        self.send_tcp(sim, hop, deployment, instance, request.clone(), key, src);
+                        self.send_tcp(sim, hop, deployment, instance, request, key, src);
                     }
                     NetDecision::Delay(extra) => {
-                        self.send_tcp(sim, hop + extra, deployment, instance, request, attempt, src);
+                        self.send_tcp(sim, hop + extra, deployment, instance, request, key, src);
                     }
                     NetDecision::Deliver => {
-                        self.send_tcp(sim, hop, deployment, instance, request, attempt, src);
+                        self.send_tcp(sim, hop, deployment, instance, request, key, src);
                     }
                 }
             }
@@ -441,58 +597,58 @@ impl ClientLib {
                 match self.net_decide(sim_now, src, NN_ENDPOINT_BASE + deployment) {
                     NetDecision::Drop => {} // the gateway never sees it
                     NetDecision::Duplicate => {
-                        self.send_http(sim, deployment, request.clone(), attempt, src);
-                        self.send_http(sim, deployment, request, attempt, src);
+                        self.send_http(sim, deployment, request.clone(), key, src);
+                        self.send_http(sim, deployment, request, key, src);
                     }
                     NetDecision::Delay(extra) => {
                         let this = self.clone();
-                        let attempt2 = Rc::clone(attempt);
                         sim.schedule(extra, move |sim| {
-                            this.send_http(sim, deployment, request, &attempt2, src);
+                            this.send_http(sim, deployment, request, key, src);
                         });
                     }
-                    NetDecision::Deliver => self.send_http(sim, deployment, request, attempt, src),
+                    NetDecision::Deliver => self.send_http(sim, deployment, request, key, src),
                 }
             }
         }
         // Arm the (re)submission timer.
         let this = self.clone();
-        let attempt2 = Rc::clone(attempt);
         let is_straggler_deadline = timeout < self.inner.borrow().config.client_timeout;
         sim.schedule(timeout, move |sim| {
             let should_retry = {
-                let a = attempt2.borrow();
-                !a.completed && a.tries == tries_at_send
+                let inner = this.inner.borrow();
+                inner.attempts.get(key).is_some_and(|a| a.tries == tries_at_send)
             };
             if !should_retry {
                 return;
             }
             let exhausted = {
-                let inner = this.inner.borrow();
-                let mut a = attempt2.borrow_mut();
+                let mut inner = this.inner.borrow_mut();
+                let max_retries = inner.config.max_retries;
+                let metrics = Rc::clone(&inner.metrics);
+                let a = inner.attempts.get_mut(key).expect("liveness checked above");
                 a.tries += 1;
-                let mut m = inner.metrics.borrow_mut();
+                let mut m = metrics.borrow_mut();
                 m.retries += 1;
                 if is_straggler_deadline {
                     m.straggler_resubmits += 1;
                 }
-                a.tries > inner.config.max_retries
+                a.tries > max_retries
             };
             if exhausted {
                 // Every attempt died on the wire: a true timeout.
-                this.complete(sim, &attempt2, Err(FsError::Timeout));
+                this.complete(sim, key, Err(FsError::Timeout));
                 return;
             }
-            if !this.spend_retry_token(sim, &attempt2) {
+            if !this.spend_retry_token(sim, key) {
                 return; // breaker open: shed instead of storming
             }
             // Exponential backoff with jitter (anti-request-storm, §3.2).
-            let tries = attempt2.borrow().tries;
+            let tries =
+                this.inner.borrow().attempts.get(key).map_or(0, |a| a.tries);
             let factor = (1u64 << tries.min(6)) as f64 * sim.rng().gen_range(0.5..1.5);
             let delay = BACKOFF_BASE.mul_f64(factor);
             let this2 = this.clone();
-            let attempt3 = Rc::clone(&attempt2);
-            sim.schedule(delay, move |sim| this2.try_send(sim, &attempt3));
+            sim.schedule(delay, move |sim| this2.try_send(sim, key));
         });
     }
 
@@ -506,12 +662,10 @@ impl ClientLib {
         deployment: u32,
         instance: InstanceId,
         request: NnRequest,
-        attempt: &Rc<RefCell<Attempt>>,
+        key: AttemptKey,
         src: u32,
     ) {
         let this2 = self.clone();
-        let attempt2 = Rc::clone(attempt);
-        let attempt3 = Rc::clone(attempt);
         let platform = self.inner.borrow().platform.clone();
         sim.schedule(hop, move |sim| {
             let back = {
@@ -535,16 +689,14 @@ impl ClientLib {
                     };
                     if matches!(decision, NetDecision::Duplicate) {
                         let this4 = this3.clone();
-                        let attempt4 = Rc::clone(&attempt3);
                         let resp2 = resp.clone();
                         sim.schedule(back, move |sim| {
-                            this4.on_response(sim, &attempt4, resp2);
+                            this4.on_response(sim, key, resp2);
                         });
                     }
                     let this4 = this3.clone();
-                    let attempt4 = Rc::clone(&attempt3);
                     sim.schedule(back, move |sim| {
-                        this4.on_response(sim, &attempt4, resp);
+                        this4.on_response(sim, key, resp);
                     });
                 }),
             );
@@ -552,7 +704,7 @@ impl ClientLib {
                 // Dead connection: forget it and reroute now
                 // (§3.2's transparent TCP-failure handling).
                 this2.remove_connection(deployment, instance);
-                this2.try_send(sim, &attempt2);
+                this2.try_send(sim, key);
             }
         });
     }
@@ -563,7 +715,7 @@ impl ClientLib {
         sim: &mut Sim,
         deployment: u32,
         request: NnRequest,
-        attempt: &Rc<RefCell<Attempt>>,
+        key: AttemptKey,
         src: u32,
     ) {
         let (platform, dep_id) = {
@@ -571,7 +723,6 @@ impl ClientLib {
             (inner.platform.clone(), inner.deployments[deployment as usize])
         };
         let this = self.clone();
-        let attempt2 = Rc::clone(attempt);
         platform.invoke_http(
             sim,
             dep_id,
@@ -581,62 +732,60 @@ impl ClientLib {
                     NetDecision::Drop => {} // response lost; the timer recovers
                     NetDecision::Delay(extra) => {
                         let this2 = this.clone();
-                        let attempt3 = Rc::clone(&attempt2);
-                        sim.schedule(extra, move |sim| this2.on_response(sim, &attempt3, resp));
+                        sim.schedule(extra, move |sim| this2.on_response(sim, key, resp));
                     }
                     NetDecision::Duplicate => {
-                        this.on_response(sim, &attempt2, resp.clone());
-                        this.on_response(sim, &attempt2, resp);
+                        this.on_response(sim, key, resp.clone());
+                        this.on_response(sim, key, resp);
                     }
-                    NetDecision::Deliver => this.on_response(sim, &attempt2, resp),
+                    NetDecision::Deliver => this.on_response(sim, key, resp),
                 }
             }),
         );
     }
 
-    fn on_response(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>, resp: NnResponse) {
+    fn on_response(&self, sim: &mut Sim, key: AttemptKey, resp: NnResponse) {
         let NnResponse::Op { result, served_by, deployment, .. } = resp else {
             return; // offload replies never reach clients
         };
         // Register the NameNode's connection-back even for duplicate
-        // responses — more routes is strictly better.
+        // responses to a completed request — more routes is strictly
+        // better (the key carries the client index precisely for this).
         {
-            let client = attempt.borrow().client;
             let mut inner = self.inner.borrow_mut();
-            let (vm, server) = {
-                let st = &inner.clients[client];
-                (st.vm, st.server)
-            };
+            let (vm, server) = inner.placement(key.client as usize);
             inner.vms[vm].servers[server].register(deployment, served_by);
         }
-        if attempt.borrow().completed {
+        if self.inner.borrow().attempts.get(key).is_none() {
             return; // duplicate (straggler resubmission raced the original)
         }
         match result {
             Err(FsError::Retryable(_)) | Err(FsError::SubtreeLocked(_)) => {
                 let exhausted = {
-                    let inner = self.inner.borrow();
-                    let mut a = attempt.borrow_mut();
+                    let mut inner = self.inner.borrow_mut();
+                    let max_retries = inner.config.max_retries;
+                    let metrics = Rc::clone(&inner.metrics);
+                    let a = inner.attempts.get_mut(key).expect("liveness checked above");
                     a.tries += 1;
-                    inner.metrics.borrow_mut().retries += 1;
-                    a.tries > inner.config.max_retries
+                    metrics.borrow_mut().retries += 1;
+                    a.tries > max_retries
                 };
                 if exhausted {
                     // The service answered every time, just never with a
                     // final result — not a timeout.
-                    self.complete(sim, attempt, Err(FsError::RetriesExhausted));
-                } else if !self.spend_retry_token(sim, attempt) {
+                    self.complete(sim, key, Err(FsError::RetriesExhausted));
+                } else if !self.spend_retry_token(sim, key) {
                     // breaker open: shed instead of storming
                 } else {
-                    let tries = attempt.borrow().tries;
+                    let tries =
+                        self.inner.borrow().attempts.get(key).map_or(0, |a| a.tries);
                     let factor = (1u64 << tries.min(6)) as f64 * sim.rng().gen_range(0.5..1.5);
                     let delay = BACKOFF_BASE.mul_f64(factor);
                     let this = self.clone();
-                    let attempt2 = Rc::clone(attempt);
-                    sim.schedule(delay, move |sim| this.try_send(sim, &attempt2));
+                    sim.schedule(delay, move |sim| this.try_send(sim, key));
                 }
             }
-            other => self.complete(sim, attempt, other),
+            other => self.complete(sim, key, other),
         }
     }
 
@@ -644,37 +793,31 @@ impl ClientLib {
     /// On an empty budget the attempt is completed with
     /// [`FsError::RetriesExhausted`] (and a load-shed is recorded) and
     /// `false` comes back — the caller must not resend.
-    fn spend_retry_token(&self, sim: &mut Sim, attempt: &Rc<RefCell<Attempt>>) -> bool {
+    fn spend_retry_token(&self, sim: &mut Sim, key: AttemptKey) -> bool {
         let ok = {
             let mut inner = self.inner.borrow_mut();
-            let client = attempt.borrow().client;
             let now = sim.now();
-            let ok = inner.clients[client].take_retry_token(now);
+            let ok = inner.clients[key.client as usize].take_retry_token(now);
             if !ok {
                 inner.metrics.borrow_mut().load_sheds += 1;
             }
             ok
         };
         if !ok {
-            self.complete(sim, attempt, Err(FsError::RetriesExhausted));
+            self.complete(sim, key, Err(FsError::RetriesExhausted));
         }
         ok
     }
 
-    fn complete(
-        &self,
-        sim: &mut Sim,
-        attempt: &Rc<RefCell<Attempt>>,
-        result: lambda_namespace::OpResult,
-    ) {
+    fn complete(&self, sim: &mut Sim, key: AttemptKey, result: lambda_namespace::OpResult) {
         let done = {
-            let mut a = attempt.borrow_mut();
-            if a.completed {
-                return;
-            }
-            a.completed = true;
-            let latency = sim.now().saturating_since(a.started);
             let mut inner = self.inner.borrow_mut();
+            // Taking the record frees the slot now and stales every
+            // outstanding key (the old code's `completed` flag).
+            let Some(mut a) = inner.attempts.take(key) else {
+                return;
+            };
+            let latency = sim.now().saturating_since(a.started);
             let metrics = Rc::clone(&inner.metrics);
             match &result {
                 Ok(_) => {
@@ -691,11 +834,11 @@ impl ClientLib {
             if !a.op.is_write() {
                 let window_size = inner.config.latency_window;
                 let thresh = inner.config.anti_thrash_threshold;
-                let state = &mut inner.clients[a.client];
+                let state = &mut inner.clients[key.client as usize];
                 let avg = state.avg_latency();
                 let lat = latency.as_secs_f64();
                 if let Some(avg) = avg {
-                    if state.window.len() >= window_size / 2 {
+                    if state.window_len() >= window_size / 2 {
                         if !state.anti_thrash
                             && lat > (thresh * avg).max(ANTI_THRASH_FLOOR_SECS)
                         {
@@ -706,9 +849,11 @@ impl ClientLib {
                         }
                     }
                 }
-                state.window.push_back(lat);
-                if state.window.len() > window_size {
-                    state.window.pop_front();
+                if window_size > 0 {
+                    state
+                        .window
+                        .get_or_insert_with(|| LatencyWindow::boxed(window_size))
+                        .push(lat);
                 }
             }
             a.done.take()
@@ -726,12 +871,9 @@ impl ClientLib {
             .vms
             .iter()
             .flat_map(|vm| {
-                vm.servers.iter().map(|s| {
-                    let mut v: Vec<(u32, usize)> =
-                        s.connections.iter().map(|(d, c)| (*d, c.len())).collect();
-                    v.sort_unstable();
-                    v
-                })
+                vm.servers
+                    .iter()
+                    .map(|s| s.connections.iter().map(|(d, c)| (*d, c.len())).collect())
             })
             .collect()
     }
@@ -743,5 +885,84 @@ impl ClientLib {
                 server.remove(deployment, instance);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_state_stays_compact() {
+        // The fig08d sweep holds a million of these; placement fields and
+        // an eager deque would double it.
+        assert_eq!(std::mem::size_of::<ClientState>(), 40);
+        assert_eq!(std::mem::size_of::<AttemptKey>(), 12);
+    }
+
+    #[test]
+    fn latency_window_matches_deque_semantics() {
+        use std::collections::VecDeque;
+        let cap = 4;
+        let mut ring = LatencyWindow::boxed(cap);
+        let mut deque: VecDeque<f64> = VecDeque::new();
+        for i in 0..11 {
+            let v = f64::from(i) * 0.25 + 0.001;
+            ring.push(v);
+            deque.push_back(v);
+            if deque.len() > cap {
+                deque.pop_front();
+            }
+            assert_eq!(ring.len(), deque.len());
+            let deque_avg = if deque.is_empty() {
+                None
+            } else {
+                Some(deque.iter().sum::<f64>() / deque.len() as f64)
+            };
+            // Bit-identical, not approximately equal: the ring must sum in
+            // the deque's oldest-first order.
+            assert_eq!(ring.avg(), deque_avg);
+        }
+    }
+
+    #[test]
+    fn attempt_slab_recycles_slots_and_stales_keys() {
+        let mut slab = AttemptSlab::default();
+        let rec = || Attempt {
+            op: FsOp::Stat("/x".parse().unwrap()),
+            id: RequestId { client: ClientId(0), seq: 1 },
+            started: SimTime::ZERO,
+            tries: 0,
+            done: None,
+        };
+        let k1 = slab.insert(0, rec());
+        assert!(slab.get(k1).is_some());
+        assert_eq!(slab.live(), 1);
+        assert!(slab.take(k1).is_some());
+        assert!(slab.get(k1).is_none(), "taken key must go stale");
+        assert!(slab.take(k1).is_none(), "double-take must fail");
+        let k2 = slab.insert(3, rec());
+        assert_eq!(k2.slot, k1.slot, "slot must be recycled");
+        assert_ne!(k2.gen, k1.gen, "generation must move on");
+        assert!(slab.get(k1).is_none());
+        assert!(slab.get(k2).is_some());
+    }
+
+    #[test]
+    fn tcp_server_keeps_connections_sorted() {
+        let mut s: TcpServer<u64> = TcpServer::default();
+        s.register(7, 70);
+        s.register(2, 20);
+        s.register(5, 50);
+        s.register(2, 21);
+        s.register(2, 20); // duplicate: ignored
+        let deps: Vec<u32> = s.connections.iter().map(|(d, _)| *d).collect();
+        assert_eq!(deps, vec![2, 5, 7]);
+        assert_eq!(s.any_connection(), Some((2, 20)));
+        s.remove(2, 20);
+        s.remove(2, 21);
+        assert_eq!(s.any_connection(), Some((5, 50)), "empty entries are skipped");
+        assert!(s.connection_to(2).is_none());
+        assert!(s.connection_to(5).is_some());
     }
 }

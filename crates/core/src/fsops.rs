@@ -30,11 +30,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use lambda_namespace::{
-    DfsPath, FsError, FsOp, Inode, InodeId, MetadataCache, MetadataSchema, OpOutcome, OpResult,
+    DfsPath, FsError, FsOp, Inode, InodeId, InodeName, MetadataCache, MetadataSchema, OpOutcome,
+    OpResult,
 };
 use lambda_sim::params::CpuParams;
 use lambda_sim::{Sim, SimDuration, Station, StationRef};
-use lambda_store::{Db, LockMode, StoreError};
+use lambda_store::{Db, LockMode, NameKey, StoreError};
 
 /// Completion callback for one operation.
 pub type OpDone = Box<dyn FnOnce(&mut Sim, OpResult)>;
@@ -324,7 +325,7 @@ impl OpEngine {
             let target = chain.last().expect("non-empty").clone();
             if !target.is_dir() {
                 // `ls` of a file lists the file itself.
-                return done(sim, Ok(OpOutcome::Listing(vec![target.name])));
+                return done(sim, Ok(OpOutcome::Listing(vec![target.name.to_string()])));
             }
             if allow_cache {
                 if let Some(cache) = &this.cache {
@@ -367,10 +368,10 @@ impl OpEngine {
                         this3.db.scan(
                             sim,
                             this3.schema.children,
-                            (dir, String::new())..(dir + 1, String::new()),
+                            (dir, NameKey::MIN)..(dir + 1, NameKey::MIN),
                             move |sim, rows| {
                                 let names: Vec<String> =
-                                    rows.into_iter().map(|((_, name), _)| name).collect();
+                                    rows.into_iter().map(|((_, name), _)| name.as_str().to_string()).collect();
                                 if allow_cache {
                                     if let Some(cache) = &this4.cache {
                                         cache.borrow_mut().cache_listing(dir, names.clone());
@@ -415,7 +416,7 @@ impl OpEngine {
                 // children slot, and the new inode row. The children key
                 // tuple is built once and reused for the post-lock
                 // revalidation probe below.
-                let child_key = (parent.id, name.to_string());
+                let child_key = (parent.id, NameKey::new(name));
                 let mut keys = vec![
                     this2.db.lock_key(this2.schema.inodes, &parent.id),
                     this2.db.lock_key(this2.schema.inodes, &new_id),
@@ -488,7 +489,7 @@ impl OpEngine {
                                 this4.db.upsert(
                                     txn,
                                     this4.schema.children,
-                                    (parent.id, name2.to_string()),
+                                    (parent.id, NameKey::new(name2)),
                                     new_id,
                                 )
                             });
@@ -541,7 +542,7 @@ impl OpEngine {
                         .db
                         .peek_range(
                             this2.schema.children,
-                            (target.id, String::new())..(target.id + 1, String::new()),
+                            (target.id, NameKey::MIN)..(target.id + 1, NameKey::MIN),
                         )
                         .is_empty()
                 {
@@ -564,11 +565,11 @@ impl OpEngine {
         done: OpDone,
     ) {
         let parent_path = path.parent().expect("non-root");
-        let name = lambda_namespace::interned(&target.name);
+        let name = target.name.as_str();
         let mut keys = vec![
             self.db.lock_key(self.schema.inodes, &target.parent),
             self.db.lock_key(self.schema.inodes, &target.id),
-            self.db.lock_key(self.schema.children, &(target.parent, name.to_string())),
+            self.db.lock_key(self.schema.children, &(target.parent, NameKey::new(name))),
         ];
         keys.sort();
         let txn = self.db.begin();
@@ -585,7 +586,7 @@ impl OpEngine {
                 .db
                 .peek_range(
                     this.schema.children,
-                    (target.id, String::new())..(target.id + 1, String::new()),
+                    (target.id, NameKey::MIN)..(target.id + 1, NameKey::MIN),
                 )
                 .is_empty();
             if target_now.is_none() || parent_now.is_none() || !still_leaf {
@@ -605,7 +606,7 @@ impl OpEngine {
                 parent_now.mtime_nanos = sim.now().as_nanos();
                 let writes = this2
                     .db
-                    .remove(txn, this2.schema.children, (target.parent, name.to_string()))
+                    .remove(txn, this2.schema.children, (target.parent, NameKey::new(name)))
                     .map(|_| ())
                     .and_then(|()| this2.db.remove(txn, this2.schema.inodes, target.id).map(|_| ()))
                     .and_then(|()| {
@@ -689,8 +690,8 @@ impl OpEngine {
             let mut keys = vec![
                 this.db.lock_key(this.schema.inodes, &target.parent),
                 this.db.lock_key(this.schema.inodes, &target.id),
-                this.db.lock_key(this.schema.children, &(target.parent, target.name.clone())),
-                this.db.lock_key(this.schema.children, &(dst_parent.id, dst_name.to_string())),
+                this.db.lock_key(this.schema.children, &(target.parent, target.name.key())),
+                this.db.lock_key(this.schema.children, &(dst_parent.id, NameKey::new(dst_name))),
             ];
             if dst_parent.id != target.parent {
                 keys.push(this.db.lock_key(this.schema.inodes, &dst_parent.id));
@@ -707,10 +708,10 @@ impl OpEngine {
                 // Re-validate.
                 let still_there = this2
                     .db
-                    .peek(this2.schema.children, &(target.parent, target.name.clone()))
+                    .peek(this2.schema.children, &(target.parent, target.name.key()))
                     == Some(target.id);
                 let dst_free =
-                    this2.db.peek(this2.schema.children, &(dst_parent.id, dst_name.to_string())).is_none();
+                    this2.db.peek(this2.schema.children, &(dst_parent.id, NameKey::new(dst_name))).is_none();
                 let dst_parent_now = this2.db.peek(this2.schema.inodes, &dst_parent.id);
                 if !still_there || dst_parent_now.as_ref().is_none_or(|p| !p.is_dir()) {
                     this2.db.abort(sim, txn);
@@ -739,17 +740,17 @@ impl OpEngine {
                 this2.with_coherence(sim, inv, move |sim| {
                     let mut moved = target.clone();
                     moved.parent = dst_parent.id;
-                    moved.name = dst_name.to_string();
+                    moved.name = InodeName::new(dst_name);
                     moved.mtime_nanos = sim.now().as_nanos();
                     let writes = this3
                         .db
-                        .remove(txn, this3.schema.children, (target.parent, target.name.clone()))
+                        .remove(txn, this3.schema.children, (target.parent, target.name.key()))
                         .map(|_| ())
                         .and_then(|()| {
                             this3.db.upsert(
                                 txn,
                                 this3.schema.children,
-                                (dst_parent.id, dst_name.to_string()),
+                                (dst_parent.id, NameKey::new(dst_name)),
                                 target.id,
                             )
                         })

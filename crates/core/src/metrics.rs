@@ -46,6 +46,13 @@ pub struct RunMetrics {
     pub http_no_connection: u64,
     /// Per-second series of no-connection HTTP fallbacks (diagnostics).
     pub no_conn_timeline: Timeline,
+    /// Resident heap bytes per stored inode, measured by a bench with the
+    /// counting allocator active (0.0 = not measured this run). A gauge,
+    /// not a counter: [`RunMetrics::merge`] keeps the maximum.
+    pub bytes_per_inode: f64,
+    /// Resident heap bytes per simulated client (0.0 = not measured).
+    /// Same gauge semantics as [`RunMetrics::bytes_per_inode`].
+    pub bytes_per_client: f64,
 }
 
 impl Default for RunMetrics {
@@ -76,6 +83,8 @@ impl RunMetrics {
             http_replaced: 0,
             http_no_connection: 0,
             no_conn_timeline: Timeline::new(SimDuration::from_secs(10)),
+            bytes_per_inode: 0.0,
+            bytes_per_client: 0.0,
         }
     }
 
@@ -181,6 +190,10 @@ impl RunMetrics {
         self.connection_shares += other.connection_shares;
         self.http_replaced += other.http_replaced;
         self.http_no_connection += other.http_no_connection;
+        // Gauges, not counters: per-entity footprints are properties of a
+        // measurement, so a merged run reports the worst domain's figure.
+        self.bytes_per_inode = self.bytes_per_inode.max(other.bytes_per_inode);
+        self.bytes_per_client = self.bytes_per_client.max(other.bytes_per_client);
     }
 }
 
@@ -257,6 +270,19 @@ mod tests {
         assert_eq!(dst.completed, 1);
         assert_eq!(dst.timeouts, 1);
         assert_eq!(dst.peak_throughput(), 1.0);
+    }
+
+    #[test]
+    fn byte_gauges_merge_as_maxima() {
+        let mut a = RunMetrics::new();
+        a.bytes_per_inode = 120.0;
+        a.bytes_per_client = 48.0;
+        let mut b = RunMetrics::new();
+        b.bytes_per_inode = 90.0;
+        b.bytes_per_client = 64.0;
+        a.merge(&b);
+        assert_eq!(a.bytes_per_inode, 120.0);
+        assert_eq!(a.bytes_per_client, 64.0);
     }
 
     #[test]

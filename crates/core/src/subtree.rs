@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use lambda_namespace::{DfsPath, FsError, InodeId, OpOutcome, SubtreeLockRow};
 use lambda_sim::{Sim, SimDuration};
-use lambda_store::LockMode;
+use lambda_store::{LockMode, NameKey};
 
 use crate::fsops::{InvalidationSet, OpDone, OpEngine};
 use crate::messages::{SubtreeBatch, SubtreeBatchKind, SubtreeItem};
@@ -230,7 +230,7 @@ impl SubtreeExecutor {
                         .is_none_or(|alive| alive(row.holder));
                     if holder_alive {
                         this2.engine.db.abort(sim, txn);
-                        return done(sim, Err(FsError::SubtreeLocked(row.path)));
+                        return done(sim, Err(FsError::SubtreeLocked(row.path.to_string())));
                     }
                     // Stale flag from a crashed NameNode: reclaim it
                     // (paper §3.6 — the Coordinator detects crashes,
@@ -241,8 +241,8 @@ impl SubtreeExecutor {
                 let row = SubtreeLockRow {
                     holder: this2.engine.subtree.holder_tag,
                     acquired_nanos: sim.now().as_nanos(),
-                    path: path2.to_string(),
-                    op: op_name.to_string(),
+                    path: path2.as_str(),
+                    op: op_name,
                 };
                 if this2.engine.db.upsert(txn, this2.engine.schema.subtree_locks, root.id, row).is_err() {
                     this2.engine.db.abort(sim, txn);
@@ -316,7 +316,7 @@ impl SubtreeExecutor {
         self.engine.db.scan(
             sim,
             self.engine.schema.children,
-            (dir, String::new())..(dir + 1, String::new()),
+            (dir, NameKey::MIN)..(dir + 1, NameKey::MIN),
             move |sim, rows| {
                 for ((parent, name), id) in rows {
                     let is_dir = this
@@ -327,7 +327,7 @@ impl SubtreeExecutor {
                     if is_dir {
                         queue.push_back(id);
                     }
-                    acc.push(SubtreeItem { id, parent, name: lambda_namespace::interned(&name) });
+                    acc.push(SubtreeItem { id, parent, name: name.as_str() });
                 }
                 this.collect_step(sim, queue, acc, done);
             },
@@ -467,14 +467,10 @@ impl SubtreeExecutor {
                 let engine = self.engine.clone();
                 let txn = engine.db.begin();
                 let mut keys = Vec::with_capacity(batch.items.len() * 2);
-                // Reused probe tuple: one String allocation for the whole
-                // batch rather than one clone per deleted row.
-                let mut child_key = (0u64, String::new());
+                // Item names are interned, so each probe key is two moves.
                 for item in &batch.items {
                     keys.push(engine.db.lock_key(engine.schema.inodes, &item.id));
-                    child_key.0 = item.parent;
-                    child_key.1.clear();
-                    child_key.1.push_str(item.name);
+                    let child_key = (item.parent, NameKey::new(item.name));
                     keys.push(engine.db.lock_key(engine.schema.children, &child_key));
                 }
                 keys.sort();
@@ -492,7 +488,7 @@ impl SubtreeExecutor {
                         let _ = engine2.db.remove(
                             txn,
                             engine2.schema.children,
-                            (item.parent, item.name.to_string()),
+                            (item.parent, NameKey::new(item.name)),
                         );
                     }
                     engine2.db.commit(sim, txn, move |sim, _r| done(sim));
@@ -511,7 +507,7 @@ impl OpEngine {
         let mut keys = vec![
             self.db.lock_key(self.schema.inodes, &root.parent),
             self.db.lock_key(self.schema.inodes, &root.id),
-            self.db.lock_key(self.schema.children, &(root.parent, root.name.to_string())),
+            self.db.lock_key(self.schema.children, &(root.parent, root.name.key())),
         ];
         keys.sort();
         let txn = self.db.begin();
@@ -529,7 +525,7 @@ impl OpEngine {
             parent_now.mtime_nanos = sim.now().as_nanos();
             let writes = this
                 .db
-                .remove(txn, this.schema.children, (root.parent, root.name.to_string()))
+                .remove(txn, this.schema.children, (root.parent, root.name.key()))
                 .map(|_| ())
                 .and_then(|()| this.db.remove(txn, this.schema.inodes, root.id).map(|_| ()))
                 .and_then(|()| this.db.upsert(txn, this.schema.inodes, root.parent, parent_now));

@@ -1,5 +1,13 @@
 //! INodes, blocks, and DataNode descriptors — the row types of the
 //! persistent metadata store.
+//!
+//! The [`Inode`] row is deliberately compact (64 bytes, down from 104 with
+//! an owned `String` name and `Vec` block list): the store keeps every row
+//! resident and clones rows on every read, so at the 10M-inode scale of
+//! `fig08d_million_scale` each row byte is ~10MB of resident memory and
+//! each per-clone allocation is measurable wall-clock.
+
+use crate::path::InodeName;
 
 /// Identifier of an inode. The root directory is always
 /// [`ROOT_INODE_ID`].
@@ -17,6 +25,77 @@ pub enum InodeKind {
     Directory,
 }
 
+/// An inode's ordered data-block ids, inline up to one block.
+///
+/// Directories and empty files — the overwhelming majority of rows in the
+/// simulated namespaces — pay 0 heap bytes; a `Vec<u64>` spent 24 bytes of
+/// row plus an allocation per non-empty list. The canonical form is
+/// maintained by [`BlockList::push`]: `Many` always holds ≥ 2 blocks, so
+/// derived equality agrees with slice equality.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum BlockList {
+    /// No blocks (directories, empty files).
+    #[default]
+    Empty,
+    /// Exactly one block, stored inline.
+    One(BlockId),
+    /// Two or more blocks (boxed twice-indirect: the spill case is rare
+    /// enough that keeping the enum at 16 bytes wins).
+    Many(Box<Vec<BlockId>>),
+}
+
+impl BlockList {
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!(self, BlockList::Empty)
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            BlockList::Empty => 0,
+            BlockList::One(_) => 1,
+            BlockList::Many(v) => v.len(),
+        }
+    }
+
+    /// The blocks, in order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[BlockId] {
+        match self {
+            BlockList::Empty => &[],
+            BlockList::One(b) => std::slice::from_ref(b),
+            BlockList::Many(v) => v,
+        }
+    }
+
+    /// Appends a block id.
+    pub fn push(&mut self, block: BlockId) {
+        match self {
+            BlockList::Empty => *self = BlockList::One(block),
+            BlockList::One(first) => *self = BlockList::Many(Box::new(vec![*first, block])),
+            BlockList::Many(v) => v.push(block),
+        }
+    }
+
+    /// Iterates over the block ids.
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl FromIterator<BlockId> for BlockList {
+    fn from_iter<I: IntoIterator<Item = BlockId>>(iter: I) -> BlockList {
+        let mut list = BlockList::Empty;
+        for b in iter {
+            list.push(b);
+        }
+        list
+    }
+}
+
 /// File-system metadata for one file or directory.
 ///
 /// This mirrors the HopsFS `INode` row: identity, tree position,
@@ -27,8 +106,9 @@ pub struct Inode {
     pub id: InodeId,
     /// Parent directory id (the root is its own parent).
     pub parent: InodeId,
-    /// Name within the parent directory (`""` for the root).
-    pub name: String,
+    /// Name within the parent directory (`""` for the root), as a 4-byte
+    /// interned symbol.
+    pub name: InodeName,
     /// File or directory.
     pub kind: InodeKind,
     /// POSIX-style permission bits.
@@ -42,13 +122,13 @@ pub struct Inode {
     /// Modification time, nanoseconds of simulated time.
     pub mtime_nanos: u64,
     /// Ids of the file's data blocks, in order.
-    pub blocks: Vec<u64>,
+    pub blocks: BlockList,
 }
 
 impl Inode {
     /// Builds a directory inode.
     #[must_use]
-    pub fn directory(id: InodeId, parent: InodeId, name: impl Into<String>) -> Self {
+    pub fn directory(id: InodeId, parent: InodeId, name: impl Into<InodeName>) -> Self {
         Inode {
             id,
             parent,
@@ -59,13 +139,13 @@ impl Inode {
             group: 0,
             size: 0,
             mtime_nanos: 0,
-            blocks: Vec::new(),
+            blocks: BlockList::Empty,
         }
     }
 
     /// Builds a file inode.
     #[must_use]
-    pub fn file(id: InodeId, parent: InodeId, name: impl Into<String>) -> Self {
+    pub fn file(id: InodeId, parent: InodeId, name: impl Into<InodeName>) -> Self {
         Inode {
             id,
             parent,
@@ -76,7 +156,7 @@ impl Inode {
             group: 0,
             size: 0,
             mtime_nanos: 0,
-            blocks: Vec::new(),
+            blocks: BlockList::Empty,
         }
     }
 
@@ -153,5 +233,44 @@ mod tests {
         assert_eq!(r.parent, ROOT_INODE_ID);
         assert!(r.is_dir());
         assert_eq!(r.name, "");
+    }
+
+    #[test]
+    fn inode_row_stays_compact() {
+        // The point of the interned name + inline block list: the resident
+        // row is 64 bytes. A change that grows it shows up here, not as a
+        // silent regression in the fig08d memory sweep.
+        assert_eq!(std::mem::size_of::<Inode>(), 64);
+        assert_eq!(std::mem::size_of::<BlockList>(), 16);
+        assert_eq!(std::mem::size_of::<InodeName>(), 4);
+    }
+
+    #[test]
+    fn block_list_keeps_canonical_form() {
+        let mut b = BlockList::Empty;
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.as_slice(), &[] as &[u64]);
+        b.push(7);
+        assert_eq!(b, BlockList::One(7));
+        b.push(9);
+        assert_eq!(b.as_slice(), &[7, 9]);
+        assert_eq!(b.len(), 2);
+        b.push(11);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![7, 9, 11]);
+        let again: BlockList = b.iter().collect();
+        assert_eq!(again, b);
+    }
+
+    #[test]
+    fn inode_names_compare_like_strings() {
+        let a = InodeName::new("alpha");
+        let b = InodeName::new("beta");
+        assert!(a < b);
+        assert_eq!(a, InodeName::new("alpha"));
+        assert_eq!(a.as_str(), "alpha");
+        assert_eq!(a, "alpha");
+        assert_eq!("alpha", a);
+        assert!(!a.is_empty());
+        assert!(InodeName::new("").is_empty());
     }
 }

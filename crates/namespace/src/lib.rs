@@ -31,11 +31,12 @@ mod schema;
 pub use cache::{CacheStats, MetadataCache};
 pub use datanode::DataNodeFleet;
 pub use inode::{
-    BlockId, BlockInfo, DataNodeId, DataNodeInfo, Inode, InodeId, InodeKind, ROOT_INODE_ID,
+    BlockId, BlockInfo, BlockList, DataNodeId, DataNodeInfo, Inode, InodeId, InodeKind,
+    ROOT_INODE_ID,
 };
 pub use ops::{FsError, FsOp, OpClass, OpOutcome, OpResult};
 pub use partition::Partitioner;
-pub use path::{interned, Ancestors, DfsPath, ParsePathError};
+pub use path::{interned, Ancestors, DfsPath, InodeName, ParsePathError};
 pub use schema::{MetadataSchema, SubtreeLockRow};
 
 #[cfg(test)]

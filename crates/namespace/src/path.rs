@@ -78,6 +78,127 @@ pub fn interned(name: &str) -> &'static str {
     resolve(intern(name))
 }
 
+/// An inode's name within its parent directory, stored as a 4-byte interned
+/// symbol instead of a 24-byte (plus heap) `String`.
+///
+/// `Copy`, so cloning an [`Inode`](crate::Inode) row — which the store does
+/// on every read — copies a word where it used to allocate. Two names are
+/// equal iff their symbols are equal (the interner guarantees one symbol
+/// per distinct string); ordering is by content, matching the `String` it
+/// replaced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InodeName(Sym);
+
+impl InodeName {
+    /// Interns `name`. A hash probe for any name seen before (every
+    /// component of every parsed or joined path already is).
+    #[must_use]
+    pub fn new(name: &str) -> InodeName {
+        InodeName(intern(name))
+    }
+
+    /// The name text, backed by the interner arena (outlives `self`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        resolve(self.0)
+    }
+
+    /// Whether the name is empty (only the root's is).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.as_str().is_empty()
+    }
+
+    /// This name as a children-index key suffix (resolves the symbol to
+    /// its arena string; no interner lock, no allocation).
+    #[must_use]
+    pub fn key(self) -> lambda_store::NameKey {
+        lambda_store::NameKey::new(self.as_str())
+    }
+}
+
+impl From<InodeName> for lambda_store::NameKey {
+    fn from(name: InodeName) -> lambda_store::NameKey {
+        name.key()
+    }
+}
+
+impl From<&str> for InodeName {
+    fn from(name: &str) -> InodeName {
+        InodeName::new(name)
+    }
+}
+
+impl From<String> for InodeName {
+    fn from(name: String) -> InodeName {
+        InodeName::new(&name)
+    }
+}
+
+impl From<&String> for InodeName {
+    fn from(name: &String) -> InodeName {
+        InodeName::new(name)
+    }
+}
+
+impl std::ops::Deref for InodeName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for InodeName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for InodeName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<InodeName> for str {
+    fn eq(&self, other: &InodeName) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<InodeName> for &str {
+    fn eq(&self, other: &InodeName) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl Ord for InodeName {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for InodeName {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for InodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for InodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
 /// Interner for *rendered* full-path strings (backing [`DfsPath::as_str`]):
 /// one allocation per distinct rendered path, shared by every `DfsPath`
 /// that renders it.
@@ -197,9 +318,11 @@ impl DfsPath {
     /// The path as a string slice.
     ///
     /// The first call on a non-parsed path renders and interns the string;
-    /// subsequent calls are free.
+    /// subsequent calls are free. The slice borrows the interner arena, so
+    /// it outlives the path — row types (e.g. subtree-lock rows) can carry
+    /// it as a plain `&'static str` instead of cloning a `String`.
     #[must_use]
-    pub fn as_str(&self) -> &str {
+    pub fn as_str(&self) -> &'static str {
         if let Some(s) = self.full.get() {
             return s;
         }

@@ -694,6 +694,27 @@ impl Db {
         t.insert(key, value);
     }
 
+    /// Repacks every table's B-tree into dense nodes. Call once after a
+    /// bulk load: [`Db::bootstrap_insert`]'s ascending key order leaves
+    /// every node ~half full, so a freshly loaded namespace holds nearly
+    /// 2× the node memory it needs. Iteration order, lookups, and all
+    /// charged/simulated behavior are unchanged — this reshapes resident
+    /// memory only, so it is safe (if pointless) to call repeatedly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction is active, like [`Db::bootstrap_insert`].
+    pub fn bootstrap_repack(&self) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.txns.is_empty(),
+            "bootstrap_repack is only allowed before any transaction starts"
+        );
+        for t in &mut inner.tables {
+            t.repack();
+        }
+    }
+
     /// Reads a row with **no** lock and **no** capacity charge. This is the
     /// test/reporting peephole; protocol code paths must use
     /// [`Db::read_locked`] or [`Db::read_committed`].

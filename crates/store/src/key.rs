@@ -63,10 +63,58 @@ impl KeyCodec for (u64, u64) {
     }
 }
 
+/// A `Copy` name suffix for `(id, name)` row keys: a `&'static str`
+/// (pointing into an interner arena or at a literal) instead of an owned
+/// `String`, so a children-index row key is 24 bytes with no heap box and
+/// cloning one is a memcpy.
+///
+/// Equality and ordering are by **content** (`&str`'s own `Ord`), exactly
+/// like the `String` it replaces, so two `NameKey`s built from different
+/// arena entries with equal text still collide — interning is a memory
+/// optimization, never a correctness requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameKey(&'static str);
+
+impl NameKey {
+    /// The smallest key (`""`): the start bound for `ls`-style range scans
+    /// over one parent id, `(dir, NameKey::MIN)..(dir + 1, NameKey::MIN)`.
+    pub const MIN: NameKey = NameKey("");
+
+    /// Wraps a static (interned or literal) name.
+    #[must_use]
+    pub fn new(name: &'static str) -> NameKey {
+        NameKey(name)
+    }
+
+    /// The name text.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for NameKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl KeyCodec for (u64, NameKey) {
+    /// Byte-identical to the `(u64, String)` encoding of the same text, so
+    /// migrating a table's key type moves no row to a different shard and
+    /// reorders no lock acquisition.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+        out.extend_from_slice(self.1 .0.as_bytes());
+    }
+}
+
 /// Bytes a key may occupy before spilling to the heap: covers `u64`,
-/// `(u64, u64)`, and `(u64, String)` with names up to 15 bytes — every
-/// key the metadata schema produces for typical component names.
-const INLINE_KEY: usize = 23;
+/// `(u64, u64)`, and `(u64, name)` keys with names up to 14 bytes — every
+/// key the metadata schema produces for typical component names — while
+/// keeping the whole [`EncodedKey`] at 24 bytes (23 would pad the enum out
+/// to 32).
+const INLINE_KEY: usize = 22;
 
 /// An owned, encoded row key with small-key optimization.
 ///

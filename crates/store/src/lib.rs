@@ -32,7 +32,7 @@ mod txn;
 
 pub use db::{Db, DbStats};
 pub use error::{StoreError, StoreResult};
-pub use key::{EncodedKey, KeyCodec};
+pub use key::{EncodedKey, KeyCodec, NameKey};
 pub use lock::{Acquire, LockKey, LockManager, LockMode, WaiterToken};
 pub use table::{TableHandle, TableId};
 pub use txn::TxnId;

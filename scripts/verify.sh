@@ -26,6 +26,12 @@
 #  10. fig10 at --threads=4: the figure sweep re-run on four worker
 #      threads must still match the golden capture byte-for-byte —
 #      sweep-level parallelism must never reach the simulated results.
+#  11. memory sweep smoke: fig08d_million_scale --smoke exercises the
+#      footprint instrumentation end-to-end (small scales, exact
+#      bytes/inode + bytes/client accounting via the counting allocator).
+#  12. alloc-stats feature build: the counting-allocator feature must
+#      keep compiling in release mode (it is off by default, so only
+#      this step catches bit-rot).
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
@@ -46,6 +52,7 @@ cargo build --release --offline -p lambda-bench --bin fig10_latency_cdfs
 cargo build --release --offline -p lambda-bench --bin fig15_fault_tolerance
 cargo build --release --offline -p lambda-bench --bin fig15b_chaos
 cargo build --release --offline -p lambda-bench --bin bench_parallel
+cargo build --release --offline -p lambda-bench --bin fig08d_million_scale --features alloc-stats
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
@@ -86,5 +93,11 @@ diff <(grep -v wall-clock results/golden/fig10_latency_cdfs.txt) \
      <(grep -v wall-clock results/fig10_latency_cdfs_t4.txt)
 rm -f results/fig10_latency_cdfs_t4.txt
 echo "fig10 output matches the golden capture at 4 threads"
+
+echo "== memory sweep smoke (fig08d, counting allocator) =="
+./target/release/fig08d_million_scale --smoke
+
+echo "== memory budget regression (bytes/inode at scale 25) =="
+cargo test -q --release --offline -p lambda-bench --features alloc-stats --test mem_budget
 
 echo "verify.sh: all checks passed"
