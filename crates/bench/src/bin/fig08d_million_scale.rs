@@ -25,7 +25,10 @@
 //!
 //! Flags: `--smoke` (tiny points for CI), `--threads=N` (sweep width;
 //! byte deltas are exact only at the default sequential width because the
-//! allocator counters are process-global), `--seed=N`.
+//! allocator counters are process-global), `--seed=N`, `--phase-timings`
+//! (print a per-point wall-clock breakdown of build/bootstrap/start/
+//! prewarm/warmup/issue/drain — the profile that directs scale-cliff
+//! work; the same breakdown is always emitted into the JSON).
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -56,6 +59,11 @@ const PRE_PR_BYTES_PER_CLIENT_25K: f64 = 81.4;
 /// inodes.
 const FILES_PER_DIR: usize = 48;
 
+/// Wall-clock phases of one sweep point, in execution order. `issue` is
+/// the steady-state window (warmed system, reads in flight) — the phase
+/// the scale-cliff acceptance ratio is computed from.
+const PHASES: &[&str] = &["build", "bootstrap", "start", "prewarm", "warmup", "issue", "drain"];
+
 struct PointResult {
     clients: u32,
     dirs: usize,
@@ -68,6 +76,8 @@ struct PointResult {
     build_wall_secs: f64,
     bootstrap_wall_secs: f64,
     run_wall_secs: f64,
+    /// Seconds per phase, parallel to [`PHASES`].
+    phase_secs: Vec<f64>,
     sim_ops: u64,
     issued: u64,
     accounted: u64,
@@ -152,16 +162,36 @@ fn run_point(clients: u32, dirs: usize, total_ops: u64, rate: f64, seed: u64) ->
 
     mem::reset_peak();
     let t_run = Instant::now();
+    let mut t_phase = Instant::now();
+    let mut lap = || {
+        let s = t_phase.elapsed().as_secs_f64();
+        t_phase = Instant::now();
+        s
+    };
     fs.start(&mut sim);
+    let start_secs = lap();
     // Warm every deployment from every VM, as the figures do. The first
     // few dozen directories cover all ten partitions.
     fs.prewarm_with(&mut sim, &dir_paths[..dir_paths.len().min(64)]);
+    let prewarm_secs = lap();
     sim.run_for(SimDuration::from_secs(8));
+    let warmup_secs = lap();
     let sim_ops = run_lean_reads(&mut sim, &fs, &dir_paths, total_ops, rate, seed);
+    let issue_secs = lap();
     fs.stop(&mut sim);
     sim.run_for(SimDuration::from_secs(5));
+    let drain_secs = lap();
     let run_wall_secs = t_run.elapsed().as_secs_f64();
     let peak_bytes = mem::peak_bytes();
+    let phase_secs = vec![
+        build_wall_secs,
+        bootstrap_wall_secs,
+        start_secs,
+        prewarm_secs,
+        warmup_secs,
+        issue_secs,
+        drain_secs,
+    ];
 
     let (issued, accounted) = {
         let metrics = fs.metrics();
@@ -186,6 +216,7 @@ fn run_point(clients: u32, dirs: usize, total_ops: u64, rate: f64, seed: u64) ->
         build_wall_secs,
         bootstrap_wall_secs,
         run_wall_secs,
+        phase_secs,
         sim_ops,
         issued,
         accounted,
@@ -247,6 +278,7 @@ fn fmt_bytes(b: f64) -> String {
 fn main() {
     let seed = arg_u64("seed", 11);
     let smoke = arg_flag("smoke");
+    let phase_timings = arg_flag("phase-timings");
     let threads = bench_threads();
     let host_cores = host_cores();
     let counting = mem::active();
@@ -308,6 +340,23 @@ fn main() {
         &rows,
     );
 
+    if phase_timings {
+        let mut header = vec!["clients", "inodes/s"];
+        header.extend(PHASES);
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|p| {
+                let mut row = vec![
+                    p.clients.to_string(),
+                    fmt_ops(p.inodes_created as f64 / p.bootstrap_wall_secs.max(1e-9)),
+                ];
+                row.extend(p.phase_secs.iter().map(|s| format!("{s:.3}s")));
+                row
+            })
+            .collect();
+        print_table("Phase wall-clock breakdown", &header, &rows);
+    }
+
     let inode_reduction =
         reduction_vs(PRE_PR_BYTES_PER_INODE_SCALE25, reference.bytes_per_inode);
     let client_reduction = reduction_vs(
@@ -321,13 +370,21 @@ fn main() {
     let entries: Vec<String> = results
         .iter()
         .map(|p| {
+            let phases = PHASES
+                .iter()
+                .zip(&p.phase_secs)
+                .map(|(name, secs)| format!("\"{name}\": {secs:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
                 "    {{\"clients\": {}, \"dirs\": {}, \"inodes\": {}, \
                  \"build_bytes\": {}, \"bootstrap_bytes\": {}, \"peak_bytes\": {}, \
                  \"bytes_per_inode\": {:.2}, \"bytes_per_client\": {:.2}, \
                  \"build_wall_secs\": {:.3}, \"bootstrap_wall_secs\": {:.3}, \
+                 \"bootstrap_inodes_per_sec\": {:.0}, \
                  \"run_wall_secs\": {:.3}, \"sim_ops\": {}, \
-                 \"sim_ops_per_wall_sec\": {:.1}, \"issued\": {}, \"accounted\": {}}}",
+                 \"sim_ops_per_wall_sec\": {:.1}, \"issued\": {}, \"accounted\": {}, \
+                 \"phases\": {{{phases}}}}}",
                 p.clients,
                 p.dirs,
                 p.inodes_created,
@@ -338,6 +395,7 @@ fn main() {
                 p.bytes_per_client,
                 p.build_wall_secs,
                 p.bootstrap_wall_secs,
+                p.inodes_created as f64 / p.bootstrap_wall_secs.max(1e-9),
                 p.run_wall_secs,
                 p.sim_ops,
                 p.sim_ops as f64 / p.run_wall_secs.max(1e-9),

@@ -1,0 +1,103 @@
+//! Bootstrap-throughput and bulk-build-density regression tests.
+//!
+//! The streaming tree loader (DESIGN.md §3.7) took the fig08d 500k-client
+//! bootstrap from 151 s to ~6 s (≥1.7M inodes/sec at 10M inodes). These
+//! tests pin the two properties that matter going forward:
+//!
+//! * **throughput** — a fresh 1M-inode tree must load at ≥500k inodes/sec
+//!   (measured ~4M/sec; the generous floor absorbs CI-host jitter while
+//!   still failing hard on any return of per-entry path resolution);
+//! * **density** — the streaming path's live heap per inode must not
+//!   exceed the per-entry insert+repack path's. Contents and iteration
+//!   order are pinned by the differential proptest in
+//!   `crates/store/tests/bulk_build.rs`; node occupancy is only
+//!   observable through the allocator, so it is pinned here.
+//!
+//! Wall-clock and allocator measurements both need a release build with
+//! the counting global allocator, so the file only exists under
+//! `--features alloc-stats` (verify.sh runs it that way in release); a
+//! plain debug `cargo test` compiles it to nothing.
+#![cfg(feature = "alloc-stats")]
+
+use std::time::Instant;
+
+use lambda_allocstats as mem;
+use lambda_namespace::{interned, DfsPath, MetadataSchema};
+use lambda_sim::params::StoreParams;
+use lambda_sim::SimDuration;
+use lambda_store::Db;
+
+#[global_allocator]
+static COUNTING_ALLOC: mem::CountingAlloc = mem::CountingAlloc;
+
+/// Floor on fresh-tree bootstrap throughput, inodes per wall-second.
+const INODES_PER_SEC_FLOOR: f64 = 500_000.0;
+
+fn fresh_schema() -> (Db, MetadataSchema) {
+    let db = Db::new(&StoreParams::default(), SimDuration::from_secs(5));
+    let schema = MetadataSchema::install(&db);
+    (db, schema)
+}
+
+#[test]
+fn fresh_tree_bootstrap_meets_throughput_floor() {
+    let (db, schema) = fresh_schema();
+    // 20 409 dirs × 48 files ≈ the fig08d 100k-client point (1.0M inodes):
+    // large enough that the rate is timing-jitter-free, small enough for CI.
+    let (dirs, files_per_dir) = (20_409, 48);
+    let before = schema.inode_count(&db);
+    let t = Instant::now();
+    schema.bootstrap_tree(&db, &DfsPath::root(), dirs, files_per_dir);
+    let secs = t.elapsed().as_secs_f64();
+    let created = schema.inode_count(&db) - before;
+    assert_eq!(created, dirs * (files_per_dir + 1));
+    let rate = created as f64 / secs.max(1e-9);
+    assert!(
+        rate >= INODES_PER_SEC_FLOOR,
+        "bootstrap throughput regressed: {rate:.0} inodes/sec < floor \
+         {INODES_PER_SEC_FLOOR:.0} ({created} inodes in {secs:.2}s; the streaming \
+         loader measured ~4M/sec)"
+    );
+}
+
+#[test]
+fn streaming_path_is_at_least_as_dense_as_insert_plus_repack() {
+    assert!(mem::active(), "counting allocator must be registered");
+    let (dirs, files_per_dir) = (2_000, 48);
+    // Intern every name up front so neither measurement pays arena growth
+    // (the interner is process-global; whichever load ran first would
+    // otherwise be charged for both).
+    for d in 0..dirs {
+        let _ = interned(&format!("dir{d:05}"));
+    }
+    for f in 0..files_per_dir {
+        let _ = interned(&format!("file{f:05}"));
+    }
+
+    // Streaming path: fresh root, bulk_build all the way down.
+    let (db_a, schema_a) = fresh_schema();
+    let scope_a = mem::GLOBAL.scope();
+    schema_a.bootstrap_tree(&db_a, &DfsPath::root(), dirs, files_per_dir);
+    let grown_a = scope_a.grown();
+
+    // Per-entry path: a pre-existing colliding directory forces the
+    // idempotent fallback, which inserts row by row and repacks.
+    let (db_b, schema_b) = fresh_schema();
+    let scope_b = mem::GLOBAL.scope();
+    schema_b.bootstrap_mkdir(&db_b, &DfsPath::root().join("dir00000").unwrap());
+    schema_b.bootstrap_tree(&db_b, &DfsPath::root(), dirs, files_per_dir);
+    let grown_b = scope_b.grown();
+
+    assert_eq!(
+        schema_a.inode_count(&db_a),
+        schema_b.inode_count(&db_b),
+        "both paths must build the same tree"
+    );
+    // 2% headroom for allocator bookkeeping jitter between the two runs.
+    assert!(
+        grown_a as f64 <= grown_b as f64 * 1.02,
+        "bulk_build is less dense than insert+repack: streaming grew {grown_a} \
+         bytes vs per-entry {grown_b} over {} inodes",
+        dirs * (files_per_dir + 1),
+    );
+}

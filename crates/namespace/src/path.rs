@@ -60,9 +60,14 @@ fn resolve(sym: Sym) -> &'static str {
     NAMES.with(|cache| {
         let mut cache = cache.borrow_mut();
         if (sym.0 as usize) >= cache.len() {
+            // The arena is append-only, so the mirror's prefix is always
+            // current: copy only the tail it hasn't seen. (Rebuilding the
+            // whole mirror per new symbol made resolving a fresh symbol
+            // O(arena) — quadratic over a bulk load that interns hundreds
+            // of thousands of names.)
             let tab = symtab().lock().expect("symbol table poisoned");
-            cache.clear();
-            cache.extend_from_slice(&tab.names);
+            let seen = cache.len();
+            cache.extend_from_slice(&tab.names[seen..]);
         }
         cache[sym.0 as usize]
     })
@@ -395,6 +400,18 @@ impl DfsPath {
             return Err(ParsePathError { input: name.to_string(), reason: "invalid component" });
         }
         Ok(DfsPath { comps: self.comps.push(intern(name)), full: Cell::new(None) })
+    }
+
+    /// Appends an already-interned name without re-validating or
+    /// re-interning it.
+    ///
+    /// Equivalent to [`DfsPath::join`] for any name that parses as a valid
+    /// component (an [`InodeName`] always does — it came from one), but
+    /// skips the interner lock and the byte scan, which matters when a
+    /// bulk loader joins millions of names it already interned.
+    #[must_use]
+    pub fn join_interned(&self, name: InodeName) -> DfsPath {
+        DfsPath { comps: self.comps.push(name.0), full: Cell::new(None) }
     }
 
     /// The ancestor path with the first `k` of our components.

@@ -694,6 +694,40 @@ impl Db {
         t.insert(key, value);
     }
 
+    /// Bulk-loads a strictly ascending stream of fresh rows into `table`,
+    /// merging with any rows already present, with no transaction, no
+    /// locks, and no capacity charge.
+    ///
+    /// The streaming counterpart of [`Db::bootstrap_insert`] +
+    /// [`Db::bootstrap_repack`]: the sorted stream feeds the B-tree's
+    /// dense bulk build directly, so the table comes out already repacked
+    /// — per-entry insert traffic and the post-hoc repack pass both
+    /// disappear. Pre-run bulk loading only, like `bootstrap_insert`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction is active, if the stream is not strictly
+    /// ascending by key, or if a streamed key already exists in the table.
+    pub fn bootstrap_bulk_load<K, V>(
+        &self,
+        table: TableHandle<K, V>,
+        rows: impl Iterator<Item = (K, V)>,
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.txns.is_empty(),
+            "bootstrap_bulk_load is only allowed before any transaction starts"
+        );
+        let t = inner.tables[table.id().raw() as usize]
+            .as_any_mut()
+            .downcast_mut::<TypedTable<K, V>>()
+            .expect("table handle type mismatch");
+        t.bulk_build(rows);
+    }
+
     /// Repacks every table's B-tree into dense nodes. Call once after a
     /// bulk load: [`Db::bootstrap_insert`]'s ascending key order leaves
     /// every node ~half full, so a freshly loaded namespace holds nearly

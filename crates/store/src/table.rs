@@ -126,6 +126,79 @@ impl<K: KeyCodec, V: Clone + 'static> TypedTable<K, V> {
     fn repack(&mut self) {
         self.rows = std::mem::take(&mut self.rows).into_iter().collect();
     }
+
+    /// Builds the table directly from a strictly ascending stream of fresh
+    /// rows, merged with whatever the table already holds.
+    ///
+    /// This is the streaming successor to insert-then-[`repack`]: instead
+    /// of pushing every row through `BTreeMap::insert` (rightmost-edge
+    /// splits, half-full nodes) and densifying afterwards, the sorted
+    /// stream goes straight into `BTreeMap::from_iter`'s dense bulk build.
+    /// The resulting table is logically identical to inserting the same
+    /// rows and repacking — same contents, same iteration order, same node
+    /// occupancy — which `tests/bulk_build.rs` pins differentially.
+    ///
+    /// [`repack`]: TypedTable::repack
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not strictly ascending by key or contains a key
+    /// the table already holds (bootstrap streams are collision-free by
+    /// construction; a violation here is a loader bug, mirroring
+    /// `bootstrap_add`'s name-collision panic).
+    pub(crate) fn bulk_build(&mut self, rows: impl Iterator<Item = (K, V)>) {
+        let name = Rc::clone(&self.name);
+        let mut last: Option<K> = None;
+        let rows = rows.inspect(move |(k, _)| {
+            if let Some(prev) = &last {
+                assert!(
+                    prev < k,
+                    "bulk_build stream for table {name} is not strictly ascending"
+                );
+            }
+            last = Some(k.clone());
+        });
+        let old = std::mem::take(&mut self.rows);
+        if old.is_empty() {
+            self.rows = rows.collect();
+            return;
+        }
+        let name = Rc::clone(&self.name);
+        self.rows = MergeAscending {
+            old: old.into_iter().peekable(),
+            new: rows.peekable(),
+            name,
+        }
+        .collect();
+    }
+}
+
+/// Merges two ascending `(key, value)` streams into one, panicking on a
+/// key present in both (bulk loads must not overwrite existing rows).
+struct MergeAscending<K, V, A: Iterator<Item = (K, V)>, B: Iterator<Item = (K, V)>> {
+    old: std::iter::Peekable<A>,
+    new: std::iter::Peekable<B>,
+    name: Rc<str>,
+}
+
+impl<K: Ord, V, A: Iterator<Item = (K, V)>, B: Iterator<Item = (K, V)>> Iterator
+    for MergeAscending<K, V, A, B>
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        match (self.old.peek(), self.new.peek()) {
+            (Some((a, _)), Some((b, _))) => match a.cmp(b) {
+                std::cmp::Ordering::Less => self.old.next(),
+                std::cmp::Ordering::Greater => self.new.next(),
+                std::cmp::Ordering::Equal => {
+                    panic!("bulk_build key collision in table {}", self.name)
+                }
+            },
+            (Some(_), None) => self.old.next(),
+            (None, _) => self.new.next(),
+        }
+    }
 }
 
 impl<K: KeyCodec, V: Clone + 'static> AnyTable for TypedTable<K, V> {

@@ -26,12 +26,17 @@
 #  10. fig10 at --threads=4: the figure sweep re-run on four worker
 #      threads must still match the golden capture byte-for-byte —
 #      sweep-level parallelism must never reach the simulated results.
-#  11. memory sweep smoke: fig08d_million_scale --smoke exercises the
-#      footprint instrumentation end-to-end (small scales, exact
-#      bytes/inode + bytes/client accounting via the counting allocator).
+#  11. memory sweep smoke: fig08d_million_scale --smoke --phase-timings
+#      exercises the footprint instrumentation and the per-phase
+#      wall-clock breakdown end-to-end (small scales, exact bytes/inode +
+#      bytes/client accounting via the counting allocator).
 #  12. alloc-stats feature build: the counting-allocator feature must
 #      keep compiling in release mode (it is off by default, so only
 #      this step catches bit-rot).
+#  13. bootstrap budget regression: the streaming tree loader must keep
+#      loading fresh trees at >=500k inodes/sec and stay at least as
+#      dense per inode as insert+repack (crates/bench/tests/
+#      bootstrap_budget.rs, release + alloc-stats).
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
@@ -94,10 +99,13 @@ diff <(grep -v wall-clock results/golden/fig10_latency_cdfs.txt) \
 rm -f results/fig10_latency_cdfs_t4.txt
 echo "fig10 output matches the golden capture at 4 threads"
 
-echo "== memory sweep smoke (fig08d, counting allocator) =="
-./target/release/fig08d_million_scale --smoke
+echo "== memory sweep smoke (fig08d, counting allocator, phase timings) =="
+./target/release/fig08d_million_scale --smoke --phase-timings
 
 echo "== memory budget regression (bytes/inode at scale 25) =="
 cargo test -q --release --offline -p lambda-bench --features alloc-stats --test mem_budget
+
+echo "== bootstrap budget regression (throughput floor + bulk density) =="
+cargo test -q --release --offline -p lambda-bench --features alloc-stats --test bootstrap_budget
 
 echo "verify.sh: all checks passed"
