@@ -21,7 +21,9 @@
 //! bucket sizes — the quantity the row-layout arithmetic in DESIGN.md §3.6
 //! predicts. All accounting logic lives in [`Counters`], which is plain safe
 //! code and unit-testable without touching the real global allocator; the
-//! single `unsafe` surface is the delegating [`GlobalAlloc`] impl.
+//! `unsafe` surface is the delegating [`GlobalAlloc`] impl plus the raw
+//! `madvise` syscall that asks the kernel for huge pages under the store's
+//! multi-hundred-MB arena tables (`advise_huge`).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,7 +113,7 @@ impl Counters {
     /// Scopes nest freely — each one only remembers its own baseline.
     #[must_use]
     pub fn scope(&self) -> MemScope<'_> {
-        MemScope { counters: self, base_live: self.live() }
+        MemScope { counters: self, base_live: self.live(), base_allocs: self.alloc_count() }
     }
 }
 
@@ -128,6 +130,7 @@ impl Default for Counters {
 pub struct MemScope<'a> {
     counters: &'a Counters,
     base_live: u64,
+    base_allocs: u64,
 }
 
 impl MemScope<'_> {
@@ -148,6 +151,17 @@ impl MemScope<'_> {
     #[must_use]
     pub fn baseline(&self) -> u64 {
         self.base_live
+    }
+
+    /// Allocation *events* since the scope opened (reallocs count once).
+    ///
+    /// This is the per-op allocation counter behind the zero-alloc
+    /// regression gates: unlike byte deltas, which an alloc+free pair
+    /// cancels out of, the event count catches every transient
+    /// allocation on a path that claims to make none.
+    #[must_use]
+    pub fn allocs(&self) -> u64 {
+        self.counters.alloc_count() - self.base_allocs
     }
 }
 
@@ -181,19 +195,168 @@ pub fn active() -> bool {
     GLOBAL.alloc_count() > 0
 }
 
-/// The counting allocator: [`System`] plus [`GLOBAL`] accounting. Register
-/// it with `#[global_allocator]` in a binary to activate the counters.
+/// Allocations at least this large get `MADV_HUGEPAGE` advice. 2 MiB is
+/// the x86-64 huge-page size; anything smaller cannot contain one.
+const HUGE_THRESHOLD: usize = 2 << 20;
+
+/// Advises the kernel to back `[ptr, ptr + len)` with transparent huge
+/// pages (`MADV_HUGEPAGE`), on hosts where THP is in `madvise` mode.
+///
+/// The store's arena tables are a handful of multi-hundred-MB buffers; on
+/// 4 KiB pages a 10M-row table costs a dTLB miss on nearly every descent
+/// level, and huge pages collapse that ~512×. The build has no `libc`, so
+/// the one-line `madvise` call is a raw syscall; it is advisory — any
+/// failure (foreign kernel, THP disabled) changes nothing.
+///
+/// Container runtimes commonly start processes with `PR_SET_THP_DISABLE`
+/// set, which silently voids every `MADV_HUGEPAGE`; the first call here
+/// clears that per-process flag once (`prctl(PR_SET_THP_DISABLE, 0)` —
+/// unprivileged, affects only this process).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+fn advise_huge(ptr: *mut u8, len: usize) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const PAGE: usize = 4096;
+    const MADV_HUGEPAGE: usize = 14;
+    const SYS_MADVISE: usize = 28;
+    const SYS_PRCTL: usize = 157;
+    const PR_SET_THP_DISABLE: usize = 41;
+
+    // SAFETY for both syscalls below: madvise on a range inside an
+    // allocation this process owns never unmaps or alters contents, and
+    // prctl(PR_SET_THP_DISABLE, 0) only clears this process's THP opt-out;
+    // both are advisory and their failure changes nothing.
+    static THP_ENABLED: AtomicBool = AtomicBool::new(false);
+    if !THP_ENABLED.swap(true, Ordering::Relaxed) {
+        // prctl demands args 3..5 be zero, so all six registers are pinned.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_PRCTL => _,
+                in("rdi") PR_SET_THP_DISABLE,
+                in("rsi") 0usize,
+                in("rdx") 0usize,
+                in("r10") 0usize,
+                in("r8") 0usize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+    }
+
+    // madvise wants a page-aligned start: round in to the aligned interior
+    // of the block (malloc headers may offset it).
+    let addr = (ptr as usize).next_multiple_of(PAGE);
+    let len = len.saturating_sub(addr - ptr as usize) & !(PAGE - 1);
+    if len == 0 {
+        return;
+    }
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MADVISE => _,
+            in("rdi") addr,
+            in("rsi") len,
+            in("rdx") MADV_HUGEPAGE,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn advise_huge(_ptr: *mut u8, _len: usize) {}
+
+/// Best-effort synchronous collapse of every large anonymous mapping into
+/// huge pages (`MADV_COLLAPSE`, Linux 6.1+). Returns the number of bytes
+/// the kernel accepted for collapse (0 where unsupported).
+///
+/// [`advise_huge`] only affects pages faulted *after* the advice; a `Vec`
+/// grown by doubling keeps every page touched before its final `realloc`
+/// at 4 KiB (`mremap` moves small pages as small pages), which caps THP
+/// coverage of the arenas near 50%. Calling this once after a bulk build
+/// collapses the already-faulted remainder in place. Failures (old
+/// kernel, fragmented memory) leave the mapping as it was.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+pub fn collapse_large_anon_mappings() -> usize {
+    const SYS_MADVISE: usize = 28;
+    const MADV_COLLAPSE: usize = 25;
+    let Ok(maps) = std::fs::read_to_string("/proc/self/maps") else {
+        return 0;
+    };
+    let mut collapsed = 0usize;
+    for line in maps.lines() {
+        // "start-end perms offset dev inode [path]" — large private
+        // writable anonymous regions only (the heap and glibc's mmap'd
+        // big blocks; leave files, stacks, and guard pages alone).
+        let mut fields = line.split_ascii_whitespace();
+        let (Some(range), Some(perms)) = (fields.next(), fields.next()) else {
+            continue;
+        };
+        let path = fields.nth(3);
+        if perms != "rw-p" || path.is_some_and(|p| p != "[heap]") {
+            continue;
+        }
+        let Some((lo, hi)) = range.split_once('-') else {
+            continue;
+        };
+        let (Ok(lo), Ok(hi)) =
+            (usize::from_str_radix(lo, 16), usize::from_str_radix(hi, 16))
+        else {
+            continue;
+        };
+        let len = hi.saturating_sub(lo);
+        if len < HUGE_THRESHOLD {
+            continue;
+        }
+        // SAFETY: MADV_COLLAPSE on a mapping this process owns; it only
+        // changes the page-table granularity, never contents or validity.
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MADVISE => ret,
+                in("rdi") lo,
+                in("rsi") len,
+                in("rdx") MADV_COLLAPSE,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if ret == 0 {
+            collapsed += len;
+        }
+    }
+    collapsed
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn collapse_large_anon_mappings() -> usize {
+    0
+}
+
+/// The counting allocator: [`System`] plus [`GLOBAL`] accounting, plus
+/// huge-page advice for arena-scale blocks (see [`advise_huge`]). Register
+/// it with `#[global_allocator]` in a binary to activate both.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CountingAlloc;
 
-// The only unsafe in the crate: a pass-through to `System` with the same
-// contracts the caller already promised `GlobalAlloc`.
+// A pass-through to `System` with the same contracts the caller already
+// promised `GlobalAlloc`.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
             GLOBAL.note_alloc(layout.size() as u64);
+            if layout.size() >= HUGE_THRESHOLD {
+                advise_huge(p, layout.size());
+            }
         }
         p
     }
@@ -207,6 +370,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
             GLOBAL.note_alloc(layout.size() as u64);
+            if layout.size() >= HUGE_THRESHOLD {
+                advise_huge(p, layout.size());
+            }
         }
         p
     }
@@ -215,6 +381,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
             GLOBAL.note_realloc(layout.size() as u64, new_size as u64);
+            if new_size >= HUGE_THRESHOLD {
+                advise_huge(p, new_size);
+            }
         }
         p
     }
@@ -291,6 +460,21 @@ mod tests {
         assert_eq!(outer.grown(), 50);
         // The peak survives the inner scope's churn.
         assert_eq!(c.peak(), 75);
+    }
+
+    #[test]
+    fn scope_counts_allocation_events_not_bytes() {
+        let c = Counters::new();
+        c.note_alloc(10);
+        let s = c.scope();
+        assert_eq!(s.allocs(), 0);
+        c.note_alloc(100);
+        c.note_dealloc(100);
+        // The byte delta cancelled; the event did not.
+        assert_eq!(s.grown(), 0);
+        assert_eq!(s.allocs(), 1);
+        c.note_realloc(10, 50);
+        assert_eq!(s.allocs(), 2, "realloc is one logical event");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! doubles as a CI gate (`--smoke`) and as the honest speedup record for
 //! the host it ran on (`host_cores` is written alongside the numbers —
 //! on a single-core host the speedup is expected to be ≈1× or below).
+//! Points running more workers than the host has cores additionally carry
+//! `"oversubscribed": true` in the JSON: their wall-clock measures the OS
+//! scheduler, not the sharding, and must not be read as speedup data.
 //!
 //! `--smoke` shrinks the workload; `--seed=N` reseeds; `--domains=N`
 //! changes the shard count (default 8).
@@ -115,7 +118,7 @@ fn main() {
             format!(
                 "    {{\"threads\": {}, \"wall_secs\": {:.4}, \"speedup_vs_1\": {:.3}, \
                  \"fingerprint\": \"{:016x}\", \"completed\": {}, \"issued\": {}, \
-                 \"remote_requests\": {}}}",
+                 \"remote_requests\": {}, \"oversubscribed\": {}}}",
                 p.threads,
                 p.wall_secs,
                 baseline.wall_secs / p.wall_secs.max(1e-9),
@@ -123,6 +126,11 @@ fn main() {
                 p.completed,
                 p.issued,
                 p.remote,
+                // Honest reporting: with more workers than cores the
+                // wall-clock is a scheduling artifact, not a speedup
+                // measurement — flag those points so downstream readers
+                // (and the README table) can discount them.
+                p.threads > host_cores,
             )
         })
         .collect();

@@ -1,0 +1,283 @@
+//! Store-engine microbenchmark: the arena-backed B+ tree
+//! ([`lambda_store::bptree::BpTree`]) versus the std `BTreeMap` it
+//! replaced, at the fig08d row scales.
+//!
+//! The fig08d steady-state residual is almost entirely tree descents: at
+//! 10M inodes every point get walks a ~720 MB pointer graph, and each
+//! level is a DRAM + TLB miss. This bench isolates that cost from the
+//! simulator: identical keys, values, and access sequences against both
+//! engines, 64-byte values (the size of a packed
+//! [`lambda_namespace::Inode`] row), at 250k / 1M / 10M rows.
+//!
+//! Scenarios per scale:
+//!
+//! * `get/uni` — point gets, keys uniform over the table;
+//! * `get/zipf` — point gets, keys zipf(1)-distributed (hot directories:
+//!   rank sampled as `N^u`, which gives the 1/rank density without a
+//!   10M-entry CDF table);
+//! * `scan48` — 48-row range scans (one directory listing in the fig08d
+//!   namespace), visitor-folded, no per-scan allocation on the B+ side;
+//! * `insert` — random insert/remove churn (splits, frees, recycling);
+//! * `build` — dense bulk build from an ascending stream vs
+//!   `BTreeMap::from_iter`.
+//!
+//! Results (per-scale rates for both engines plus speedups) go to
+//! `results/BENCH_store.json`; `--smoke` runs small scales for CI
+//! liveness.
+//!
+//! Flags: `--smoke`, `--seed=N`.
+
+use lambda_bench::{arg_flag, arg_u64, fmt_ops, print_table, write_json};
+use lambda_sim::SimRng;
+use lambda_store::bptree::BpTree;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+// With `--features alloc-stats` the counting allocator is live, which also
+// turns on its huge-page advice for the arena tables — the configuration
+// the recorded fig08d numbers run under, so the engine comparison here
+// must match it.
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static COUNTING_ALLOC: lambda_allocstats::CountingAlloc = lambda_allocstats::CountingAlloc;
+
+/// A 64-byte row, the size of the packed inode row the store actually
+/// holds at the fig08d scales.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Row([u64; 8]);
+
+impl Row {
+    fn new(k: u64) -> Self {
+        Row([k; 8])
+    }
+}
+
+/// Zipf(s≈1) rank in `[0, n)`: `n^u` has density ∝ 1/rank, so hot keys
+/// dominate the way hot directories dominate a metadata workload.
+fn zipf_rank(rng: &mut SimRng, n: u64) -> u64 {
+    let u = rng.gen_unit();
+    ((n as f64).powf(u) as u64).min(n - 1)
+}
+
+/// One engine's measured rates at one scale, in ops/sec.
+#[derive(Debug, Clone, Copy)]
+struct EngineRates {
+    get_uniform: f64,
+    get_zipf: f64,
+    scan48: f64,
+    churn: f64,
+    build: f64,
+}
+
+/// Ops and reps per scenario, scaled down under `--smoke`.
+struct Budget {
+    gets: u64,
+    scans: u64,
+    churn: u64,
+    reps: u32,
+}
+
+/// Best-of-`reps` wall-clock rate for `run`, which returns executed ops.
+fn measure(reps: u32, mut run: impl FnMut() -> u64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let ops = run();
+        let rate = ops as f64 / started.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(rate);
+    }
+    best
+}
+
+/// Minimal ordered-map surface both engines expose to the scenarios.
+trait Engine {
+    fn build(rows: u64) -> Self;
+    fn get(&self, k: &u64) -> Option<&Row>;
+    fn insert(&mut self, k: u64, v: Row) -> Option<Row>;
+    fn remove(&mut self, k: &u64) -> Option<Row>;
+    /// Folds the half-open range `[lo, hi)` through `visit`.
+    fn scan_range(&self, lo: u64, hi: u64, visit: impl FnMut(&u64, &Row));
+}
+
+impl Engine for BpTree<u64, Row> {
+    fn build(rows: u64) -> Self {
+        BpTree::from_ascending((0..rows).map(|k| (k, Row::new(k))))
+    }
+    fn get(&self, k: &u64) -> Option<&Row> {
+        BpTree::get(self, k)
+    }
+    fn insert(&mut self, k: u64, v: Row) -> Option<Row> {
+        BpTree::insert(self, k, v)
+    }
+    fn remove(&mut self, k: &u64) -> Option<Row> {
+        BpTree::remove(self, k)
+    }
+    fn scan_range(&self, lo: u64, hi: u64, visit: impl FnMut(&u64, &Row)) {
+        self.scan_with(&(lo..hi), visit);
+    }
+}
+
+impl Engine for BTreeMap<u64, Row> {
+    fn build(rows: u64) -> Self {
+        (0..rows).map(|k| (k, Row::new(k))).collect()
+    }
+    fn get(&self, k: &u64) -> Option<&Row> {
+        BTreeMap::get(self, k)
+    }
+    fn insert(&mut self, k: u64, v: Row) -> Option<Row> {
+        BTreeMap::insert(self, k, v)
+    }
+    fn remove(&mut self, k: &u64) -> Option<Row> {
+        BTreeMap::remove(self, k)
+    }
+    fn scan_range(&self, lo: u64, hi: u64, mut visit: impl FnMut(&u64, &Row)) {
+        for (k, v) in self.range(lo..hi) {
+            visit(k, v);
+        }
+    }
+}
+
+fn run_engine<E: Engine>(rows: u64, seed: u64, budget: &Budget) -> EngineRates {
+    // Build once for the read scenarios (and time it).
+    let mut built: Option<E> = None;
+    let build = measure(budget.reps.min(2), || {
+        built = Some(E::build(rows));
+        rows
+    });
+    let table = built.expect("built at least once");
+
+    let get_uniform = measure(budget.reps, || {
+        let mut rng = SimRng::new(seed);
+        let mut hits = 0u64;
+        for _ in 0..budget.gets {
+            let k = rng.gen_range(0..rows);
+            if table.get(&k).is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, budget.gets, "all sampled keys exist");
+        budget.gets
+    });
+
+    let get_zipf = measure(budget.reps, || {
+        let mut rng = SimRng::new(seed ^ 0x5eed);
+        let mut hits = 0u64;
+        for _ in 0..budget.gets {
+            let k = zipf_rank(&mut rng, rows);
+            if table.get(&k).is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, budget.gets);
+        budget.gets
+    });
+
+    // 48-row listings: one simulated directory per scan, zipf-hot.
+    let dirs = rows / 48;
+    let scan48 = measure(budget.reps, || {
+        let mut rng = SimRng::new(seed ^ 0xd1f5);
+        let mut seen = 0u64;
+        for _ in 0..budget.scans {
+            let d = zipf_rank(&mut rng, dirs.max(1));
+            table.scan_range(d * 48, (d + 1) * 48, |_, v| {
+                seen += u64::from(v.0[0] != u64::MAX);
+            });
+        }
+        assert_eq!(seen, budget.scans * 48, "every listing is full");
+        budget.scans
+    });
+    drop(table);
+
+    // Churn on a fresh mid-size table: uniform inserts and removes over a
+    // keyspace 2x the live size (so both hit and miss paths run). The
+    // rebuild per rep is setup, not churn — it stays outside the clock.
+    let churn_rows = rows.min(1_000_000);
+    let churn = {
+        let mut best = 0.0f64;
+        for _ in 0..budget.reps {
+            let mut t = E::build(churn_rows);
+            let mut rng = SimRng::new(seed ^ 0xc4c4);
+            let started = Instant::now();
+            for _ in 0..budget.churn {
+                let k = rng.gen_range(0..churn_rows * 2);
+                if rng.gen_bool(0.5) {
+                    t.insert(k, Row::new(k));
+                } else {
+                    t.remove(&k);
+                }
+            }
+            let rate = budget.churn as f64 / started.elapsed().as_secs_f64().max(1e-12);
+            best = best.max(rate);
+        }
+        best
+    };
+
+    EngineRates { get_uniform, get_zipf, scan48, churn, build }
+}
+
+fn main() {
+    let seed = arg_u64("seed", 17);
+    let smoke = arg_flag("smoke");
+    let only_rows = arg_u64("rows", 0);
+    let scales: &[u64] = if only_rows > 0 {
+        &[0] // placeholder, replaced below
+    } else if smoke {
+        &[25_000, 100_000]
+    } else {
+        &[250_000, 1_000_000, 10_000_000]
+    };
+    let scales_owned: Vec<u64> =
+        if only_rows > 0 { vec![only_rows] } else { scales.to_vec() };
+    let scales = &scales_owned[..];
+    let budget = if smoke {
+        Budget { gets: 200_000, scans: 20_000, churn: 100_000, reps: 1 }
+    } else {
+        Budget { gets: 2_000_000, scans: 100_000, churn: 1_000_000, reps: 3 }
+    };
+
+    let mut json = String::from("{\n  \"scales\": [\n");
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    for (i, &rows) in scales.iter().enumerate() {
+        let bp = run_engine::<BpTree<u64, Row>>(rows, seed, &budget);
+        let std = run_engine::<BTreeMap<u64, Row>>(rows, seed, &budget);
+        for (name, b, s) in [
+            ("get/uni", bp.get_uniform, std.get_uniform),
+            ("get/zipf", bp.get_zipf, std.get_zipf),
+            ("scan48", bp.scan48, std.scan48),
+            ("churn", bp.churn, std.churn),
+            ("build", bp.build, std.build),
+        ] {
+            rows_out.push(vec![
+                rows.to_string(),
+                name.to_string(),
+                fmt_ops(b),
+                fmt_ops(s),
+                format!("{:.2}x", b / s),
+            ]);
+        }
+        json.push_str(&format!(
+            "    {{\"rows\": {rows}, \"bptree\": {{\"get_uniform\": {:.1}, \"get_zipf\": {:.1}, \"scan48\": {:.1}, \"churn\": {:.1}, \"build\": {:.1}}}, \"btreemap\": {{\"get_uniform\": {:.1}, \"get_zipf\": {:.1}, \"scan48\": {:.1}, \"churn\": {:.1}, \"build\": {:.1}}}}}{}\n",
+            bp.get_uniform,
+            bp.get_zipf,
+            bp.scan48,
+            bp.churn,
+            bp.build,
+            std.get_uniform,
+            std.get_zipf,
+            std.scan48,
+            std.churn,
+            std.build,
+            if i + 1 == scales.len() { "" } else { "," },
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"seed\": {seed},\n  \"smoke\": {smoke}\n}}\n"));
+
+    print_table(
+        &format!("Store engine: arena B+ tree vs std BTreeMap (seed {seed}{})",
+            if smoke { ", smoke" } else { "" }),
+        &["rows", "scenario", "bptree/s", "btreemap/s", "speedup"],
+        &rows_out,
+    );
+    let path = write_json(if smoke { "BENCH_store_smoke" } else { "BENCH_store" }, &json);
+    println!("wrote {}", path.display());
+}

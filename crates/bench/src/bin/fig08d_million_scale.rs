@@ -28,7 +28,12 @@
 //! allocator counters are process-global), `--seed=N`, `--phase-timings`
 //! (print a per-point wall-clock breakdown of build/bootstrap/start/
 //! prewarm/warmup/issue/drain — the profile that directs scale-cliff
-//! work; the same breakdown is always emitted into the JSON).
+//! work; the same breakdown is always emitted into the JSON),
+//! `--point=N` (run only the N-th sweep point, 1-based, and skip the JSON
+//! write — for iterating on one scale without clobbering the committed
+//! results), `--clients=N --dirs=N` (run one custom point instead of the
+//! sweep), `--ops=N` (override the issue-phase op count). All three
+//! diagnostic flags skip the JSON write.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -37,7 +42,7 @@ use std::time::Instant;
 use lambda_allocstats as mem;
 use lambda_bench::*;
 use lambda_fs::{DfsService, LambdaFs, LambdaFsConfig};
-use lambda_namespace::{interned, DfsPath, FsOp};
+use lambda_namespace::{DfsPath, FsOp, InodeName};
 use lambda_sim::{every, Sim, SimDuration, SimRng};
 
 #[cfg(feature = "alloc-stats")]
@@ -107,8 +112,8 @@ fn run_lean_reads(
     rate: f64,
     seed: u64,
 ) -> u64 {
-    let file_names: Vec<&'static str> =
-        (0..FILES_PER_DIR).map(|f| interned(&format!("file{f:05}"))).collect();
+    let file_names: Vec<InodeName> =
+        (0..FILES_PER_DIR).map(|f| InodeName::new(&format!("file{f:05}"))).collect();
     let issued = Rc::new(Cell::new(0u64));
     let rng = RefCell::new(SimRng::new(seed ^ 0x00F1_608D));
     let n_clients = fs.client_lib().client_count();
@@ -131,7 +136,7 @@ fn run_lean_reads(
                         rng.gen_bool(0.7),
                     )
                 };
-                let path = dirs[d].join(file_names[f]).expect("valid component");
+                let path = dirs[d].join_interned(file_names[f]);
                 let op = if read { FsOp::ReadFile(path) } else { FsOp::Stat(path) };
                 issued.set(issued.get() + 1);
                 fs.submit(sim, client, op, Box::new(|_sim, _result| {}));
@@ -294,7 +299,23 @@ fn main() {
     } else {
         &[(25_000, 5_103), (100_000, 20_409), (500_000, 204_082), (1_000_000, 244_898)]
     };
+    let only_point = arg_u64("point", 0) as usize;
+    let points: &[(u32, usize)] = if only_point > 0 {
+        assert!(only_point <= points.len(), "--point={only_point} out of range");
+        &points[only_point - 1..only_point]
+    } else {
+        points
+    };
+    // `--clients=N --dirs=N`: one custom point, for separating client-count
+    // from namespace-size effects when chasing a cliff. Implies no JSON.
+    let custom_point = [(arg_u64("clients", 0) as u32, arg_u64("dirs", 0) as usize)];
+    let custom = custom_point[0].0 > 0 && custom_point[0].1 > 0;
+    let points = if custom { &custom_point[..] } else { points };
     let (total_ops, rate) = if smoke { (1_500, 500.0) } else { (20_000, 4_000.0) };
+    let total_ops = match arg_u64("ops", 0) {
+        0 => total_ops,
+        n => n,
+    };
 
     println!("scale-25 reference (fig08a λFS system):");
     let reference = scale25_reference(seed);
@@ -424,6 +445,10 @@ fn main() {
         fmt_opt(client_reduction),
         entries.join(",\n")
     );
+    if only_point > 0 || custom || arg_u64("ops", 0) > 0 {
+        println!("(--point/--clients/--ops set: JSON not written)");
+        return;
+    }
     let name = if smoke { "BENCH_scale_smoke" } else { "BENCH_scale" };
     let path = write_json(name, &json);
     println!("wrote {}", path.display());

@@ -232,7 +232,7 @@ impl OpEngine {
         // ancestor directories) is served from memory — a partial fill —
         // which keeps the store shard holding the root row from becoming
         // a hotspot.
-        let Some(hinted) = self.schema.peek_chain(&self.db, &path) else {
+        let Some(hinted) = self.schema.peek_chain_ids(&self.db, &path) else {
             done(sim, Err(FsError::NotFound(path.to_string())));
             return;
         };
@@ -241,7 +241,7 @@ impl OpEngine {
                 let prefix = cache.borrow_mut().lookup_prefix(&path);
                 // The prefix is only usable if it agrees with the hints
                 // (a concurrent mv may have relinked an ancestor).
-                let agrees = prefix.iter().zip(hinted.iter()).all(|(c, h)| c.id == h.id);
+                let agrees = prefix.iter().zip(hinted.iter()).all(|(c, &h)| c.id == h);
                 if agrees {
                     prefix
                 } else {
@@ -250,8 +250,7 @@ impl OpEngine {
             }
             _ => Vec::new(),
         };
-        let missing_ids: Vec<InodeId> =
-            hinted.iter().skip(prefix.len()).map(|i| i.id).collect();
+        let missing_ids: Vec<InodeId> = hinted[prefix.len()..].to_vec();
         debug_assert!(!missing_ids.is_empty(), "full hits are handled above");
         let txn = self.db.begin();
         let this = self.clone();
@@ -365,13 +364,15 @@ impl OpEngine {
                             return done(sim, Err(FsError::Retryable("ls commit".into())));
                         }
                         let this4 = this3.clone();
-                        this3.db.scan(
+                        this3.db.scan_with(
                             sim,
                             this3.schema.children,
                             (dir, NameKey::MIN)..(dir + 1, NameKey::MIN),
-                            move |sim, rows| {
-                                let names: Vec<String> =
-                                    rows.into_iter().map(|((_, name), _)| name.as_str().to_string()).collect();
+                            Vec::new,
+                            |names: &mut Vec<String>, (_, name), _| {
+                                names.push(name.as_str().to_string());
+                            },
+                            move |sim, names| {
                                 if allow_cache {
                                     if let Some(cache) = &this4.cache {
                                         cache.borrow_mut().cache_listing(dir, names.clone());
@@ -538,13 +539,10 @@ impl OpEngine {
                 };
                 let target = chain.last().expect("non-empty").clone();
                 if target.is_dir()
-                    && !this2
-                        .db
-                        .peek_range(
-                            this2.schema.children,
-                            (target.id, NameKey::MIN)..(target.id + 1, NameKey::MIN),
-                        )
-                        .is_empty()
+                    && this2.db.peek_count_range(
+                        this2.schema.children,
+                        (target.id, NameKey::MIN)..(target.id + 1, NameKey::MIN),
+                    ) > 0
                 {
                     // Non-empty directory: subtree operation.
                     let sub = crate::subtree::SubtreeExecutor::new(this2.clone());
@@ -582,13 +580,10 @@ impl OpEngine {
             // Re-validate: target still present, still leaf.
             let target_now = this.db.peek(this.schema.inodes, &target.id);
             let parent_now = this.db.peek(this.schema.inodes, &target.parent);
-            let still_leaf = this
-                .db
-                .peek_range(
-                    this.schema.children,
-                    (target.id, NameKey::MIN)..(target.id + 1, NameKey::MIN),
-                )
-                .is_empty();
+            let still_leaf = this.db.peek_count_range(
+                this.schema.children,
+                (target.id, NameKey::MIN)..(target.id + 1, NameKey::MIN),
+            ) == 0;
             if target_now.is_none() || parent_now.is_none() || !still_leaf {
                 this.db.abort(sim, txn);
                 return done(sim, Err(FsError::Retryable("delete target changed".into())));
@@ -809,15 +804,25 @@ impl OpEngine {
             return;
         }
         let this = self.clone();
-        self.db.scan(sim, self.schema.subtree_locks, .., move |sim, rows| {
-            let _ = &this;
-            let blocked = rows.into_iter().find_map(|(_, row)| {
-                let locked: DfsPath = row.path.parse().ok()?;
-                (path.starts_with(&locked) || locked.starts_with(&path))
-                    .then(|| locked.to_string())
-            });
-            done(sim, blocked);
-        });
+        self.db.scan_with(
+            sim,
+            self.schema.subtree_locks,
+            ..,
+            || None,
+            move |blocked: &mut Option<String>, _, row| {
+                if blocked.is_some() {
+                    return;
+                }
+                let Ok(locked) = row.path.parse::<DfsPath>() else { return };
+                if path.starts_with(&locked) || locked.starts_with(&path) {
+                    *blocked = Some(locked.to_string());
+                }
+            },
+            move |sim, blocked| {
+                let _ = &this;
+                done(sim, blocked);
+            },
+        );
     }
 }
 

@@ -253,31 +253,39 @@ impl Function for NameNode {
                 let db = sweep_db.clone();
                 let schema = sweep_schema.clone();
                 let coord = sweep_coord.clone();
-                sweep_db.scan(sim, sweep_schema.subtree_locks, .., move |sim, rows| {
-                    for (root, row) in rows {
-                        if coord.is_alive(SessionId::from_raw(row.holder)) {
-                            continue;
+                sweep_db.scan_with(
+                    sim,
+                    sweep_schema.subtree_locks,
+                    ..,
+                    Vec::new,
+                    move |dead: &mut Vec<_>, &root, row| {
+                        if !coord.is_alive(SessionId::from_raw(row.holder)) {
+                            dead.push(root);
                         }
-                        let txn = db.begin();
-                        let key = db.lock_key(schema.subtree_locks, &root);
-                        let db2 = db.clone();
-                        let schema2 = schema.clone();
-                        db.lock(
-                            sim,
-                            txn,
-                            vec![key],
-                            lambda_store::LockMode::Exclusive,
-                            move |sim, r| {
-                                if r.is_err() {
-                                    db2.abort(sim, txn);
-                                    return;
-                                }
-                                let _ = db2.remove(txn, schema2.subtree_locks, root);
-                                db2.commit(sim, txn, |_sim, _r| {});
-                            },
-                        );
-                    }
-                });
+                    },
+                    move |sim, dead| {
+                        for root in dead {
+                            let txn = db.begin();
+                            let key = db.lock_key(schema.subtree_locks, &root);
+                            let db2 = db.clone();
+                            let schema2 = schema.clone();
+                            db.lock(
+                                sim,
+                                txn,
+                                vec![key],
+                                lambda_store::LockMode::Exclusive,
+                                move |sim, r| {
+                                    if r.is_err() {
+                                        db2.abort(sim, txn);
+                                        return;
+                                    }
+                                    let _ = db2.remove(txn, schema2.subtree_locks, root);
+                                    db2.commit(sim, txn, |_sim, _r| {});
+                                },
+                            );
+                        }
+                    },
+                );
                 true
             },
         );

@@ -210,17 +210,22 @@ impl SubtreeExecutor {
                     return done(sim, Err(FsError::Retryable("subtree lock wait".into())));
                 }
                 // Subtree isolation: no overlapping active subtree op.
-                let overlap = this2
-                    .engine
-                    .db
-                    .peek_range(this2.engine.schema.subtree_locks, ..)
-                    .into_iter()
-                    .find(|(_, row)| {
-                        row.path
-                            .parse::<DfsPath>()
-                            .map(|p| p.starts_with(&path2) || path2.starts_with(&p))
-                            .unwrap_or(false)
-                    });
+                let mut overlap = None;
+                this2.engine.db.peek_range_with(
+                    this2.engine.schema.subtree_locks,
+                    ..,
+                    |locked_root, row| {
+                        if overlap.is_none()
+                            && row
+                                .path
+                                .parse::<DfsPath>()
+                                .map(|p| p.starts_with(&path2) || path2.starts_with(&p))
+                                .unwrap_or(false)
+                        {
+                            overlap = Some((*locked_root, *row));
+                        }
+                    },
+                );
                 if let Some((locked_root, row)) = overlap {
                     let holder_alive = this2
                         .engine
@@ -303,7 +308,7 @@ impl SubtreeExecutor {
         &self,
         sim: &mut Sim,
         mut queue: VecDeque<InodeId>,
-        mut acc: Vec<SubtreeItem>,
+        acc: Vec<SubtreeItem>,
         done: CollectDone,
     ) {
         let Some(dir) = queue.pop_front() else {
@@ -313,22 +318,24 @@ impl SubtreeExecutor {
             return done(sim, acc);
         };
         let this = self.clone();
-        self.engine.db.scan(
+        let walker = self.clone();
+        self.engine.db.scan_with(
             sim,
             self.engine.schema.children,
             (dir, NameKey::MIN)..(dir + 1, NameKey::MIN),
-            move |sim, rows| {
-                for ((parent, name), id) in rows {
-                    let is_dir = this
-                        .engine
-                        .db
-                        .peek(this.engine.schema.inodes, &id)
-                        .is_some_and(|i| i.is_dir());
-                    if is_dir {
-                        queue.push_back(id);
-                    }
-                    acc.push(SubtreeItem { id, parent, name: name.as_str() });
+            move || (queue, acc),
+            move |(queue, acc), &(parent, name), &id| {
+                let is_dir = walker
+                    .engine
+                    .db
+                    .peek(walker.engine.schema.inodes, &id)
+                    .is_some_and(|i| i.is_dir());
+                if is_dir {
+                    queue.push_back(id);
                 }
+                acc.push(SubtreeItem { id, parent, name: name.as_str() });
+            },
+            move |sim, (queue, acc)| {
                 this.collect_step(sim, queue, acc, done);
             },
         );

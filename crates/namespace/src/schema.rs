@@ -105,6 +105,28 @@ impl MetadataSchema {
         Some(chain)
     }
 
+    /// The id chain for `path` (root inclusive) against the committed
+    /// state — the same hints as [`MetadataSchema::peek_chain`] without
+    /// materializing inode rows: one children-table probe per component,
+    /// no inode-table touches. Committed state is transactionally
+    /// consistent (children and inode rows change together), so a
+    /// resolving id chain implies the rows exist; callers that need the
+    /// rows re-read them under locks anyway, which is why hinting fetches
+    /// them only to drop them.
+    #[must_use]
+    pub fn peek_chain_ids(&self, db: &Db, path: &DfsPath) -> Option<Vec<InodeId>> {
+        let comps = path.components();
+        let mut ids = Vec::with_capacity(comps.size_hint().0 + 1);
+        ids.push(ROOT_INODE_ID);
+        let mut parent = ROOT_INODE_ID;
+        for comp in comps {
+            let child = db.peek(self.children, &(parent, NameKey::new(comp)))?;
+            parent = child;
+            ids.push(child);
+        }
+        Some(ids)
+    }
+
     /// Bulk-loads a directory at `path` (parents must exist), returning
     /// its id. Pre-run loading only; see [`Db::bootstrap_insert`].
     ///
@@ -276,7 +298,12 @@ impl MetadataSchema {
                 }),
             )
         });
-        db.bootstrap_bulk_load(self.inodes, inode_rows);
+        // `flat_map` erases the stream length; both lengths are known
+        // arithmetically, and an exact hint lets the bulk build reserve
+        // its arenas in one allocation (single huge-page-advised fault-in
+        // instead of doubling reallocs — see BpTree::from_ascending).
+        let rows = dir_names.len() * (file_names.len() + 1);
+        db.bootstrap_bulk_load(self.inodes, KnownLen { inner: inode_rows, remaining: rows });
 
         // The children stream must ascend by (parent id, name). Generation
         // order is not name order once numbered names grow a digit
@@ -297,7 +324,10 @@ impl MetadataSchema {
                 .iter()
                 .map(move |&f| ((did, file_names[f as usize].key()), did + 1 + u64::from(f)))
         });
-        db.bootstrap_bulk_load(self.children, root_block.chain(file_blocks));
+        db.bootstrap_bulk_load(
+            self.children,
+            KnownLen { inner: root_block.chain(file_blocks), remaining: rows },
+        );
     }
 
     /// Total number of inodes currently stored.
@@ -349,6 +379,32 @@ impl MetadataSchema {
             }
         }
         problems
+    }
+}
+
+/// Iterator adapter pinning an exact `size_hint` onto a stream whose
+/// length is known arithmetically but erased by `flat_map`/`chain`
+/// (their lower bounds are 0); the bulk build reserves arenas off the
+/// hint, so losing it means doubling reallocs over a gigabyte-scale
+/// buffer.
+struct KnownLen<I> {
+    inner: I,
+    remaining: usize,
+}
+
+impl<I: Iterator> Iterator for KnownLen<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 

@@ -772,6 +772,36 @@ impl Db {
         self.with_table(table, |t| t.scan(range))
     }
 
+    /// Visits a range in ascending key order with no lock, no capacity
+    /// charge, and no allocation — the visitor sibling of
+    /// [`Db::peek_range`] for guard checks on hot paths (directory
+    /// emptiness, lock-overlap probes) that only need to look at rows, not
+    /// own them.
+    pub fn peek_range_with<K, V, R>(
+        &self,
+        table: TableHandle<K, V>,
+        range: R,
+        visit: impl FnMut(&K, &V),
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+        R: RangeBounds<K>,
+    {
+        self.with_table(table, |t| t.scan_with(range, visit));
+    }
+
+    /// Number of rows in `range` with no lock and no capacity charge
+    /// (guard-check peephole; allocation-free).
+    #[must_use]
+    pub fn peek_count_range<K, V, R>(&self, table: TableHandle<K, V>, range: R) -> usize
+    where
+        K: KeyCodec,
+        V: Clone + 'static,
+        R: RangeBounds<K>,
+    {
+        self.with_table(table, |t| t.count_range(range))
+    }
+
     fn shard_of(shards: usize, enc: &[u8]) -> usize {
         // FNV-1a over the encoded key.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -1001,22 +1031,66 @@ impl Db {
         R: RangeBounds<K> + 'static,
         F: FnOnce(&mut Sim, Vec<(K, V)>) + 'static,
     {
+        self.scan_with(sim, table, range, Vec::new, |rows, k, v| rows.push((k.clone(), v.clone())), cont);
+    }
+
+    /// Range-scans `table` like [`Db::scan`], but folds the rows through a
+    /// visitor instead of materializing a `Vec<(K, V)>` of clones.
+    ///
+    /// `init` builds the accumulator once the scan's capacity charge has
+    /// drained, `step` is called per row in ascending key order under the
+    /// table borrow, and `cont` receives the finished accumulator. The
+    /// capacity charge (per-shard batch read + per-row share) is computed
+    /// and sampled identically to [`Db::scan`], so swapping one for the
+    /// other cannot perturb a simulation trace. Same isolation contract as
+    /// [`Db::scan`].
+    pub fn scan_with<K, V, R, T, I, S, F>(
+        &self,
+        sim: &mut Sim,
+        table: TableHandle<K, V>,
+        range: R,
+        init: I,
+        mut step: S,
+        cont: F,
+    ) where
+        K: KeyCodec,
+        V: Clone + 'static,
+        R: RangeBounds<K> + 'static,
+        T: 'static,
+        I: FnOnce() -> T + 'static,
+        S: FnMut(&mut T, &K, &V) + 'static,
+        F: FnOnce(&mut Sim, T) + 'static,
+    {
         self.inner.borrow_mut().stats.scans += 1;
         let n = self.with_table(table, |t| {
             t.count_range((range.start_bound().cloned(), range.end_bound().cloned()))
         });
+        let db = self.clone();
+        let finish = move |sim: &mut Sim| {
+            let acc = db.with_table(table, |t| {
+                let mut acc = init();
+                t.scan_with(range, |k, v| step(&mut acc, k, v));
+                acc
+            });
+            cont(sim, acc);
+        };
+        self.charge_scan(sim, n, finish);
+    }
+
+    /// Charges the per-shard capacity of a range scan touching `rows` rows
+    /// (ascending shard order, one batch-read sample plus a per-row share
+    /// per shard), then runs `finish`. Both [`Db::scan`] and
+    /// [`Db::scan_with`] funnel through here so their rng sample streams
+    /// are identical by construction.
+    fn charge_scan<F>(&self, sim: &mut Sim, rows: usize, finish: F)
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
         let (shards, params) = {
             let inner = self.inner.borrow();
             (Rc::clone(&inner.shards), Rc::clone(&inner.params))
         };
-        let per_shard_rows = (n as u64).div_ceil(shards.len() as u64);
-        let db = self.clone();
-        let finish = move |sim: &mut Sim| {
-            let rows = db.with_table(table, |t| {
-                t.scan((range.start_bound().cloned(), range.end_bound().cloned()))
-            });
-            cont(sim, rows);
-        };
+        let per_shard_rows = (rows as u64).div_ceil(shards.len() as u64);
         let remaining = Rc::new(Cell::new(shards.len()));
         let finish = Rc::new(RefCell::new(Some(finish)));
         for station in shards.iter() {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod bptree;
 mod db;
 mod error;
 mod key;

@@ -1,18 +1,25 @@
 //! Typed tables behind a type-erased registry.
 //!
 //! The [`Db`](crate::Db) owns a heterogeneous set of tables (inodes,
-//! children index, blocks, leases, …). Each table is a `BTreeMap<K, V>`
-//! wrapped in a [`TypedTable`]; the registry stores them as `dyn AnyTable`
-//! and hands callers a typed, copyable [`TableHandle<K, V>`] that restores
-//! the concrete type on access.
+//! children index, blocks, leases, …). Each table is an arena-backed
+//! [`BpTree`] wrapped in a [`TypedTable`]; the registry stores them as
+//! `dyn AnyTable` and hands callers a typed, copyable
+//! [`TableHandle<K, V>`] that restores the concrete type on access.
+//!
+//! The engine swap (std `BTreeMap` → [`BpTree`], see the
+//! [`bptree`](crate::bptree) module docs) is invisible at this layer:
+//! `TypedTable` keeps the exact same surface and semantics, and
+//! `tests/engine_differential.rs` pins the equivalence against the std
+//! map. The pre-overhaul store in [`baseline`](crate::baseline) still
+//! runs on `BTreeMap`, serving as the end-to-end oracle.
 
 use std::any::Any;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::RangeBounds;
 use std::rc::Rc;
 
+use crate::bptree::BpTree;
 use crate::key::KeyCodec;
 
 /// Identifies a table within one [`Db`](crate::Db).
@@ -87,12 +94,12 @@ pub(crate) trait AnyTable {
 #[derive(Debug)]
 pub(crate) struct TypedTable<K, V> {
     name: Rc<str>,
-    pub(crate) rows: BTreeMap<K, V>,
+    pub(crate) rows: BpTree<K, V>,
 }
 
 impl<K: KeyCodec, V: Clone + 'static> TypedTable<K, V> {
     pub(crate) fn new(name: impl Into<String>) -> Self {
-        TypedTable { name: name.into().into(), rows: BTreeMap::new() }
+        TypedTable { name: name.into().into(), rows: BpTree::new() }
     }
 
     pub(crate) fn get(&self, key: &K) -> Option<&V> {
@@ -108,35 +115,42 @@ impl<K: KeyCodec, V: Clone + 'static> TypedTable<K, V> {
     }
 
     pub(crate) fn scan<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
-        self.rows.range(range).map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.rows.range(&range).map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Visits every row in `range` in ascending key order without
+    /// materializing anything — the allocation-free sibling of
+    /// [`scan`](TypedTable::scan) for the hot listing/read paths.
+    pub(crate) fn scan_with<R: RangeBounds<K>>(&self, range: R, visit: impl FnMut(&K, &V)) {
+        self.rows.scan_with(&range, visit);
     }
 
     pub(crate) fn count_range<R: RangeBounds<K>>(&self, range: R) -> usize {
-        self.rows.range(range).count()
+        self.rows.count_range(&range)
     }
 
-    /// Rebuilds the backing B-tree from its own (already sorted) contents.
+    /// Rebuilds the backing B+ tree from its own (already sorted) contents.
     ///
-    /// Ascending insertion — exactly what a bulk load produces — splits
-    /// every node on the rightmost edge and leaves the tree ~half full, so
-    /// a freshly bootstrapped table carries nearly 2× the node memory it
-    /// needs. `BTreeMap::from_iter` on a sorted iterator bulk-builds dense
-    /// nodes instead. Purely a memory/locality transform: iteration order,
-    /// lookups, and every observable behavior are unchanged.
+    /// Random insertion splits nodes at ~50% and lazy deletion leaves
+    /// sparse nodes behind, so a churned table can carry up to 2× the node
+    /// memory it needs. The rebuild streams the sorted contents through the
+    /// engine's dense bulk build ([`BpTree::from_ascending`]), packing
+    /// every node 100% full. Purely a memory/locality transform: iteration
+    /// order, lookups, and every observable behavior are unchanged.
     fn repack(&mut self) {
-        self.rows = std::mem::take(&mut self.rows).into_iter().collect();
+        self.rows.repack();
     }
 
     /// Builds the table directly from a strictly ascending stream of fresh
     /// rows, merged with whatever the table already holds.
     ///
     /// This is the streaming successor to insert-then-[`repack`]: instead
-    /// of pushing every row through `BTreeMap::insert` (rightmost-edge
-    /// splits, half-full nodes) and densifying afterwards, the sorted
-    /// stream goes straight into `BTreeMap::from_iter`'s dense bulk build.
-    /// The resulting table is logically identical to inserting the same
-    /// rows and repacking — same contents, same iteration order, same node
-    /// occupancy — which `tests/bulk_build.rs` pins differentially.
+    /// of pushing every row through `insert` (rightmost-edge splits,
+    /// half-full nodes) and densifying afterwards, the sorted stream goes
+    /// straight into the engine's dense bulk build. The resulting table is
+    /// logically identical to inserting the same rows and repacking — same
+    /// contents, same iteration order, same node occupancy — which
+    /// `tests/bulk_build.rs` pins differentially.
     ///
     /// [`repack`]: TypedTable::repack
     ///
@@ -160,16 +174,15 @@ impl<K: KeyCodec, V: Clone + 'static> TypedTable<K, V> {
         });
         let old = std::mem::take(&mut self.rows);
         if old.is_empty() {
-            self.rows = rows.collect();
+            self.rows = BpTree::from_ascending(rows);
             return;
         }
         let name = Rc::clone(&self.name);
-        self.rows = MergeAscending {
-            old: old.into_iter().peekable(),
+        self.rows = BpTree::from_ascending(MergeAscending {
+            old: old.into_entries().peekable(),
             new: rows.peekable(),
             name,
-        }
-        .collect();
+        });
     }
 }
 
@@ -198,6 +211,15 @@ impl<K: Ord, V, A: Iterator<Item = (K, V)>, B: Iterator<Item = (K, V)>> Iterator
             (Some(_), None) => self.old.next(),
             (None, _) => self.new.next(),
         }
+    }
+
+    // Collisions panic rather than merge, so the output length is the sum
+    // of the inputs'. An exact hint here lets the bulk build reserve its
+    // arenas in one allocation.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (al, ah) = self.old.size_hint();
+        let (bl, bh) = self.new.size_hint();
+        (al + bl, ah.zip(bh).map(|(a, b)| a + b))
     }
 }
 

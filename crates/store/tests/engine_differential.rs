@@ -1,0 +1,226 @@
+//! Differential property tests: the arena-backed B+ tree engine
+//! ([`lambda_store::bptree::BpTree`]) against a `std::collections::BTreeMap`
+//! oracle.
+//!
+//! The engine swap under [`TypedTable`] is only sound if the two maps are
+//! observationally identical — same insert/remove return values, same
+//! sorted iteration order, same range contents under every bound shape,
+//! same counts — under *arbitrary interleavings*, not just the clean
+//! streams the bootstrap uses. These tests drive randomized op scripts
+//! over both engines and compare after every step, on both `u64` keys
+//! (the inodes table) and composite `(u64, NameKey)` keys (the children
+//! index, where ordering mixes integer and string comparison).
+//!
+//! Occupancy pins mirror `bulk_build.rs`: a bulk-built tree must be dense
+//! (≈100% full leaves) and a churned-then-repacked tree must return to
+//! density without changing contents.
+//!
+//! [`TypedTable`]: lambda_store::Db
+
+use lambda_store::bptree::{BpTree, LEAF_CAP};
+use lambda_store::NameKey;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// One scripted engine operation. Keys are drawn from a small space so
+/// scripts revisit keys (exercising replace, remove-hit, and remove-miss).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    /// Compare `scan_with`, `range`, and `count_range` over `[lo, hi)`.
+    Scan(u64, u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => (0..key_space).prop_map(Op::Remove),
+        1 => (0..key_space, 0..key_space).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+/// Interns a test name: differential scripts generate names dynamically,
+/// so back `NameKey`'s `&'static str` with a leaked allocation (test-only;
+/// the real store uses the component interner).
+fn name(s: &str) -> NameKey {
+    NameKey::new(Box::leak(s.to_string().into_boxed_str()))
+}
+
+fn assert_same_u64(tree: &BpTree<u64, u64>, model: &BTreeMap<u64, u64>) {
+    assert_eq!(tree.len(), model.len(), "len diverged");
+    let got: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want, "iteration order diverged");
+    tree.check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary insert/remove/scan interleavings on `u64` keys: every
+    /// individual return value and every range view matches the oracle.
+    #[test]
+    fn u64_scripts_match_btreemap(ops in proptest::collection::vec(op_strategy(512), 1..400)) {
+        let mut tree: BpTree<u64, u64> = BpTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v), "insert({})", k);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k), "remove({})", k);
+                    prop_assert_eq!(tree.get(&k), None);
+                }
+                Op::Scan(lo, hi) => {
+                    let got: Vec<(u64, u64)> =
+                        tree.range(&(lo..hi)).map(|(k, v)| (*k, *v)).collect();
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(&got, &want, "range {}..{}", lo, hi);
+                    let mut visited = Vec::new();
+                    tree.scan_with(&(lo..hi), |k, v| visited.push((*k, *v)));
+                    prop_assert_eq!(&visited, &want, "scan_with {}..{}", lo, hi);
+                    prop_assert_eq!(tree.count_range(&(lo..hi)), want.len());
+                }
+            }
+        }
+        assert_same_u64(&tree, &model);
+    }
+
+    /// Every bound shape (inclusive/exclusive/unbounded on either side)
+    /// yields exactly `BTreeMap::range`'s view, after churn has left
+    /// routing separators that no longer exist in any leaf.
+    #[test]
+    fn range_bounds_match_after_churn(
+        seed_keys in proptest::collection::btree_set(0u64..2_048, 32..256),
+        remove_stride in 2u64..7,
+        lo in 0u64..2_048,
+        span in 0u64..1_024,
+    ) {
+        let mut tree: BpTree<u64, u64> = BpTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for &k in &seed_keys {
+            tree.insert(k, k ^ 0xA5A5);
+            model.insert(k, k ^ 0xA5A5);
+        }
+        for &k in seed_keys.iter().filter(|k| *k % remove_stride == 0) {
+            tree.remove(&k);
+            model.remove(&k);
+        }
+        let hi = lo + span;
+        let bounds = [
+            (Bound::Included(lo), Bound::Excluded(hi)),
+            (Bound::Included(lo), Bound::Included(hi)),
+            (Bound::Excluded(lo), Bound::Unbounded),
+            (Bound::Unbounded, Bound::Included(hi)),
+            (Bound::Unbounded, Bound::Unbounded),
+        ];
+        for r in bounds {
+            let got: Vec<u64> = tree.range(&r).map(|(k, _)| *k).collect();
+            let want: Vec<u64> = model.range(r).map(|(k, _)| *k).collect();
+            prop_assert_eq!(&got, &want, "bounds {:?}", r);
+            prop_assert_eq!(tree.count_range(&r), want.len(), "count over {:?}", r);
+        }
+        assert_same_u64(&tree, &model);
+    }
+
+    /// Composite `(u64, NameKey)` keys — the children index's shape, where
+    /// ordering falls through an integer compare into a string compare and
+    /// per-directory blocks sit back to back. Scans slice one parent's
+    /// block the way `ls` does.
+    #[test]
+    fn composite_key_scripts_match_btreemap(
+        parents in proptest::collection::btree_set(0u64..24, 1..6),
+        names in proptest::collection::btree_set("[a-z]{1,12}", 1..24),
+        remove_mask in any::<u64>(),
+        ls_parent in 0u64..24,
+    ) {
+        let names: Vec<NameKey> = names.iter().map(|n| name(n)).collect();
+        let mut tree: BpTree<(u64, NameKey), u64> = BpTree::new();
+        let mut model: BTreeMap<(u64, NameKey), u64> = BTreeMap::new();
+        for &p in &parents {
+            for (i, &n) in names.iter().enumerate() {
+                let v = p << 8 | i as u64;
+                prop_assert_eq!(tree.insert((p, n), v), model.insert((p, n), v));
+            }
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            for (j, &n) in names.iter().enumerate() {
+                if remove_mask >> ((i * 7 + j) % 64) & 1 == 1 {
+                    prop_assert_eq!(tree.remove(&(p, n)), model.remove(&(p, n)));
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        let got: Vec<(u64, NameKey)> = tree.iter().map(|(k, _)| *k).collect();
+        let want: Vec<(u64, NameKey)> = model.keys().copied().collect();
+        prop_assert_eq!(got, want, "composite iteration order diverged");
+        tree.check_invariants();
+
+        // One directory's listing: the per-parent block slice.
+        let r = (ls_parent, NameKey::MIN)..(ls_parent + 1, NameKey::MIN);
+        let got: Vec<NameKey> = tree.range(&r).map(|((_, n), _)| *n).collect();
+        let want: Vec<NameKey> = model.range(r.clone()).map(|((_, n), _)| *n).collect();
+        prop_assert_eq!(&got, &want, "listing of parent {}", ls_parent);
+        prop_assert_eq!(tree.count_range(&r), want.len());
+    }
+
+    /// `from_ascending` equals insert-then-repack observationally *and*
+    /// structurally: same contents and order, and both sit at ≈100% leaf
+    /// occupancy (the bulk build's reason to exist).
+    #[test]
+    fn bulk_build_matches_inserts_and_is_dense(
+        keys in proptest::collection::btree_set(0u64..100_000, 1..1_500),
+    ) {
+        let bulk: BpTree<u64, u64> =
+            BpTree::from_ascending(keys.iter().map(|&k| (k, k * 3)));
+        let mut serial: BpTree<u64, u64> = BpTree::new();
+        for &k in &keys {
+            serial.insert(k, k * 3);
+        }
+        serial.repack();
+
+        let got: Vec<(u64, u64)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u64, u64)> = serial.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        bulk.check_invariants();
+
+        // Occupancy pin, mirroring bulk_build.rs: every leaf except
+        // possibly the last is full.
+        for t in [&bulk, &serial] {
+            let stats = t.node_stats();
+            prop_assert!(
+                stats.leaves <= keys.len() / LEAF_CAP + 1,
+                "sparse leaves after dense build: {:?}",
+                stats
+            );
+        }
+    }
+}
+
+/// Deterministic worst-case churn: drain the tree through every removal
+/// order a script is unlikely to hit (ascending, descending, inside-out)
+/// and make sure it collapses to a usable empty tree each time.
+#[test]
+fn drain_orders_collapse_cleanly() {
+    let n = 3 * 1024u64;
+    let orders: [Box<dyn Fn(u64) -> u64>; 3] = [
+        Box::new(|i| i),
+        Box::new(move |i| n - 1 - i),
+        Box::new(move |i| if i % 2 == 0 { n / 2 + i / 2 } else { n / 2 - 1 - i / 2 }),
+    ];
+    for order in orders {
+        let mut t: BpTree<u64, u64> = BpTree::from_ascending((0..n).map(|k| (k, k)));
+        for i in 0..n {
+            assert_eq!(t.remove(&order(i)), Some(order(i)));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.node_stats().height, 1);
+        t.insert(7, 7);
+        assert_eq!(t.get(&7), Some(&7));
+        t.check_invariants();
+    }
+}

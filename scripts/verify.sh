@@ -37,6 +37,15 @@
 #      loading fresh trees at >=500k inodes/sec and stay at least as
 #      dense per inode as insert+repack (crates/bench/tests/
 #      bootstrap_budget.rs, release + alloc-stats).
+#  14. store engine bench smoke: bench_store --smoke runs the arena B+
+#      tree vs std-BTreeMap microbench at small scales (liveness; the
+#      full-scale numbers live in results/BENCH_store.json). The engine's
+#      observational equivalence is pinned by the differential proptests
+#      in crates/store/tests/engine_differential.rs, which run as part of
+#      tier-1 `cargo test`.
+#  15. per-op allocation regression: lean reads (point gets + visitor
+#      scans) against a 250k-inode tree must make zero heap allocations
+#      (crates/bench/tests/alloc_per_op.rs, release + alloc-stats).
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
@@ -58,6 +67,7 @@ cargo build --release --offline -p lambda-bench --bin fig15_fault_tolerance
 cargo build --release --offline -p lambda-bench --bin fig15b_chaos
 cargo build --release --offline -p lambda-bench --bin bench_parallel
 cargo build --release --offline -p lambda-bench --bin fig08d_million_scale --features alloc-stats
+cargo build --release --offline -p lambda-bench --bin bench_store
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
@@ -107,5 +117,11 @@ cargo test -q --release --offline -p lambda-bench --features alloc-stats --test 
 
 echo "== bootstrap budget regression (throughput floor + bulk density) =="
 cargo test -q --release --offline -p lambda-bench --features alloc-stats --test bootstrap_budget
+
+echo "== store engine bench smoke (arena B+ tree vs std BTreeMap) =="
+./target/release/bench_store --smoke
+
+echo "== per-op allocation regression (lean reads allocate zero) =="
+cargo test -q --release --offline -p lambda-bench --features alloc-stats --test alloc_per_op
 
 echo "verify.sh: all checks passed"
