@@ -8,7 +8,10 @@
 //! transactions, no orphaned invocations, op-count conservation). The
 //! binary exits nonzero if any audit fails, so it doubles as a CI gate.
 //!
-//! `--smoke` shortens the measured window; `--seed=N` reseeds every run.
+//! `--smoke` shortens the measured window; `--seed=N` reseeds every run;
+//! `--durable` swaps in the WAL-backed durable store backend, so shard
+//! failovers recover by WAL replay and the audit additionally checks
+//! post-crash shadow↔table agreement.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -82,7 +85,7 @@ impl Driver {
     }
 }
 
-fn run_chaos(seed: u64, label: &'static str, spec: &str, secs: u64) -> ChaosReport {
+fn run_chaos(seed: u64, label: &'static str, spec: &str, secs: u64, durable: bool) -> ChaosReport {
     let plan = FaultPlan::parse(spec).expect("valid fault spec");
     let mut sim = Sim::new(seed);
     let fs = Rc::new(LambdaFs::build(
@@ -92,6 +95,7 @@ fn run_chaos(seed: u64, label: &'static str, spec: &str, secs: u64) -> ChaosRepo
             clients: 16,
             client_vms: 4,
             cluster_vcpus: 64,
+            durability: durable.then(lambda_store::DurabilityConfig::default),
             ..Default::default()
         },
     ));
@@ -144,6 +148,7 @@ fn run_chaos(seed: u64, label: &'static str, spec: &str, secs: u64) -> ChaosRepo
 fn main() {
     let seed = arg_u64("seed", 52);
     let secs = if arg_flag("smoke") { 5 } else { 20 };
+    let durable = arg_flag("durable");
     // Windows are absolute sim times; the workload occupies roughly
     // [3s, 3s + secs], so every class lands inside the measured window.
     let classes: Vec<(&'static str, String)> = vec![
@@ -165,7 +170,7 @@ fn main() {
     let jobs: Vec<Box<dyn FnOnce() -> ChaosReport + Send>> = classes
         .into_iter()
         .map(|(label, spec)| {
-            Box::new(move || run_chaos(seed, label, &spec, secs))
+            Box::new(move || run_chaos(seed, label, &spec, secs, durable))
                 as Box<dyn FnOnce() -> ChaosReport + Send>
         })
         .collect();
@@ -192,7 +197,10 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Fig. 15(b): deterministic chaos sweep (seed {seed}, {secs}s window)"),
+        &format!(
+            "Fig. 15(b): deterministic chaos sweep (seed {seed}, {secs}s window{})",
+            if durable { ", durable backend" } else { "" }
+        ),
         &[
             "fault class",
             "avg tp",

@@ -99,6 +99,12 @@ pub struct LambdaFsConfig {
     pub pricing: LambdaPricing,
     /// Store lock-wait timeout (aborts the waiter).
     pub lock_timeout: SimDuration,
+    /// Store persistence model: `None` (default) runs the volatile
+    /// in-memory backend with fixed-takeover crash semantics; `Some`
+    /// selects the WAL-backed durable backend, whose shard crashes run
+    /// deterministic WAL-replay recovery (see
+    /// [`lambda_store::DurabilityConfig`]).
+    pub durability: Option<lambda_store::DurabilityConfig>,
 }
 
 impl Default for LambdaFsConfig {
@@ -137,6 +143,7 @@ impl Default for LambdaFsConfig {
             faas: FaasParams::default(),
             pricing: LambdaPricing::default(),
             lock_timeout: SimDuration::from_secs(5),
+            durability: None,
         }
     }
 }

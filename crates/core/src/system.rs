@@ -79,7 +79,10 @@ impl LambdaFs {
     pub fn build(sim: &mut Sim, config: LambdaFsConfig) -> Self {
         let _ = &sim; // future: seed-forked sub-streams per component
         let config = Rc::new(config);
-        let db = Db::new(&config.store, config.lock_timeout);
+        let db = match &config.durability {
+            None => Db::new(&config.store, config.lock_timeout),
+            Some(d) => Db::new_durable(&config.store, config.lock_timeout, d.clone()),
+        };
         let schema = MetadataSchema::install(&db);
         let coord: Coordinator<CoherenceMsg> = match config.coordinator {
             lambda_coord::CoordinatorKind::ZooKeeper => {
@@ -382,6 +385,10 @@ impl LambdaFs {
         report.check(locked == 0, || format!("store: {locked} row locks leaked"));
         let seqs = self.db.pending_seq_count();
         report.check(seqs == 0, || format!("store: {seqs} lock-wait sequences still parked"));
+        let dv = self.db.durability_violations();
+        report.check(dv.is_empty(), || {
+            format!("durability: {} post-crash divergence(s): {}", dv.len(), dv.join("; "))
+        });
         let invocations = self.platform.pending_invocations();
         report
             .check(invocations == 0, || format!("faas: {invocations} invocation records leaked"));

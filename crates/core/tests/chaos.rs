@@ -77,8 +77,10 @@ fn random_plan(rng: &mut SimRng) -> FaultPlan {
 type Trace = Vec<(SimTime, usize, String)>;
 
 /// Runs a tiny mixed workload under `plan`; returns the completion trace
-/// and the audit report.
-fn run_case(seed: u64, plan: &FaultPlan, ops: usize) -> (Trace, lambda_fs::AuditReport) {
+/// and the audit report. `durable` selects the WAL-backed store backend
+/// (shard outages then recover by WAL replay instead of fixed takeover,
+/// and the auditor additionally checks post-crash shadow↔table agreement).
+fn run_case(seed: u64, plan: &FaultPlan, ops: usize, durable: bool) -> (Trace, lambda_fs::AuditReport) {
     let mut sim = Sim::new(seed);
     let fs = Rc::new(LambdaFs::build(
         &mut sim,
@@ -87,6 +89,7 @@ fn run_case(seed: u64, plan: &FaultPlan, ops: usize) -> (Trace, lambda_fs::Audit
             clients: 6,
             client_vms: 2,
             cluster_vcpus: 32,
+            durability: durable.then(lambda_store::DurabilityConfig::default),
             ..Default::default()
         },
     ));
@@ -141,15 +144,22 @@ proptest! {
 
     /// Under arbitrary fault plans, every op terminates and the auditor
     /// stays green: no leaked lock, transaction, or invocation; namespace
-    /// and store agree; op accounting conserves.
+    /// and store agree; op accounting conserves. Half the cases (by seed
+    /// parity) run the WAL-backed durable store backend, whose shard
+    /// outages recover by replay and face the extra post-crash
+    /// shadow↔table consistency check.
     #[test]
     fn arbitrary_plans_terminate_and_audit_clean(case_seed in 0u64..1 << 48) {
         let mut rng = SimRng::new(case_seed);
         let plan = random_plan(&mut rng);
         let ops = 24;
-        let (trace, report) = run_case(case_seed ^ 0xC4A0_5, &plan, ops);
+        let durable = case_seed & 1 == 1;
+        let (trace, report) = run_case(case_seed ^ 0xC4A0_5, &plan, ops, durable);
         prop_assert_eq!(trace.len(), ops, "non-terminating ops under plan {:?}", plan);
-        prop_assert!(report.is_clean(), "audit failed under plan {:?}: {}", plan, report);
+        prop_assert!(
+            report.is_clean(),
+            "audit failed under plan {:?} (durable={}): {}", plan, durable, report
+        );
     }
 }
 
@@ -163,8 +173,8 @@ fn same_seed_and_plan_replay_identically() {
          shard@3s:shard=1,down=2s;kill@4s:count=2;storm@2s-7s:x=5",
     )
     .expect("valid spec");
-    let (trace_a, report_a) = run_case(1234, &plan, 32);
-    let (trace_b, report_b) = run_case(1234, &plan, 32);
+    let (trace_a, report_a) = run_case(1234, &plan, 32, false);
+    let (trace_b, report_b) = run_case(1234, &plan, 32, false);
     assert_eq!(trace_a, trace_b, "completion trace diverged between replays");
     assert_eq!(report_a, report_b, "audit report diverged between replays");
     assert_eq!(trace_a.len(), 32);
@@ -173,8 +183,42 @@ fn same_seed_and_plan_replay_identically() {
     // A different seed under the same plan is allowed to differ — and in
     // practice does, which guards against the trace being vacuously
     // constant.
-    let (trace_c, _) = run_case(4321, &plan, 32);
+    let (trace_c, _) = run_case(4321, &plan, 32, false);
     assert_ne!(trace_a, trace_c, "distinct seeds should produce distinct traces");
+}
+
+/// The durable backend is as deterministic as the in-memory one: WAL
+/// append order, group-commit boundaries, and replay costing draw no RNG,
+/// so the same `(seed, plan)` replays bit-identically with crashes
+/// recovering through WAL replay mid-run.
+#[test]
+fn durable_backend_replays_identically_and_audits_clean() {
+    let plan = FaultPlan::parse(
+        "drop@1s-4s:p=0.2;shard@3s:shard=1,down=2s;shard@4.5s:shard=0,down=2s;kill@4s:count=2",
+    )
+    .expect("valid spec");
+    let (trace_a, report_a) = run_case(1234, &plan, 32, true);
+    let (trace_b, report_b) = run_case(1234, &plan, 32, true);
+    assert_eq!(trace_a, trace_b, "durable completion trace diverged between replays");
+    assert_eq!(report_a, report_b, "durable audit report diverged between replays");
+    assert_eq!(trace_a.len(), 32);
+    assert!(report_a.is_clean(), "durable pinned plan must audit clean: {report_a}");
+}
+
+/// A shard crash racing the first post-bootstrap transactions: the
+/// freshly bulk-loaded namespace (`bootstrap_tree` → streamed
+/// `bootstrap_bulk_load`) takes a crash right as the first ops arrive, so
+/// in-flight writers must abort cleanly through the undo log — on both
+/// backends, with the durable one also passing its post-crash
+/// shadow↔table check over the just-loaded rows.
+#[test]
+fn crash_racing_bootstrap_aborts_cleanly_on_both_backends() {
+    let plan = FaultPlan::parse("shard@0.55s:shard=0,down=2s").expect("valid spec");
+    for durable in [false, true] {
+        let (trace, report) = run_case(777, &plan, 24, durable);
+        assert_eq!(trace.len(), 24, "non-terminating ops (durable={durable})");
+        assert!(report.is_clean(), "audit failed (durable={durable}): {report}");
+    }
 }
 
 /// Fault-plan installation is exactly nothing when the plan is empty: the
@@ -182,11 +226,11 @@ fn same_seed_and_plan_replay_identically() {
 #[test]
 fn empty_plan_is_a_strict_noop() {
     let empty = FaultPlan::default();
-    let (with_install, report) = run_case(99, &empty, 16);
+    let (with_install, report) = run_case(99, &empty, 16, false);
     assert!(report.is_clean());
     // Re-run without installing anything by parsing an empty spec (also
     // empty) — same code path as never installing.
-    let (without, _) = run_case(99, &FaultPlan::parse("").expect("empty"), 16);
+    let (without, _) = run_case(99, &FaultPlan::parse("").expect("empty"), 16, false);
     assert_eq!(with_install, without);
     assert!(with_install.iter().all(|(_, _, kind)| kind == "ok"));
 }

@@ -31,7 +31,7 @@ mod wal;
 
 pub use bloom::BloomFilter;
 pub use sstable::{Entry, SsTable};
-pub use tree::{LsmConfig, LsmStats, LsmTree};
+pub use tree::{LsmConfig, LsmStats, LsmTree, RecoveryReport};
 pub use wal::{Wal, WalRecord};
 
 #[cfg(test)]

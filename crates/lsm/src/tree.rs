@@ -99,6 +99,27 @@ impl LsmStats {
     }
 }
 
+/// What a crash-recovery pass did: how much of the WAL was lost vs
+/// replayed, and the SSTable work the replay itself triggered. The durable
+/// store backend costs recovery sim-time from these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Unsynced WAL records dropped by the crash (the lost window).
+    pub lost_records: u64,
+    /// Bytes of dropped WAL records.
+    pub lost_bytes: u64,
+    /// Surviving WAL records replayed into the rebuilt memtable.
+    pub replayed_records: u64,
+    /// Bytes of replayed WAL records.
+    pub replayed_bytes: u64,
+    /// Memtable flushes the replay triggered.
+    pub flushes: u64,
+    /// Compactions the replay triggered.
+    pub compactions: u64,
+    /// SSTable bytes written during the replay (flushes + compactions).
+    pub bytes_compacted: u64,
+}
+
 /// A log-structured merge tree (LevelDB analog).
 ///
 /// # Examples
@@ -121,6 +142,12 @@ pub struct LsmTree {
     /// `levels[0]` is L0 (newest table first); `levels[i>=1]` are sorted,
     /// non-overlapping runs.
     levels: Vec<Vec<SsTable>>,
+    /// WAL sequence number of the newest record applied to the memtable.
+    /// Normally equals `wal.last_seq()` (every append is applied
+    /// immediately); during crash-replay it trails behind, and it is the
+    /// flush checkpoint — a flush covers exactly the applied prefix, so
+    /// [`Wal::truncate_upto`] must not discard anything above it.
+    applied_seq: u64,
     stats: LsmStats,
 }
 
@@ -134,8 +161,16 @@ impl LsmTree {
             memtable: BTreeMap::new(),
             memtable_bytes: 0,
             levels: vec![Vec::new()],
+            applied_seq: 0,
             stats: LsmStats::default(),
         }
+    }
+
+    /// Replaces the tuning knobs in place (e.g. recovering under a smaller
+    /// memory budget than the writer ran with). Takes effect lazily: an
+    /// over-threshold memtable flushes on the next write.
+    pub fn reconfigure(&mut self, config: LsmConfig) {
+        self.config = config;
     }
 
     /// Cumulative statistics.
@@ -156,23 +191,52 @@ impl LsmTree {
         self.levels.iter().map(Vec::len).collect()
     }
 
-    /// Inserts or replaces a key.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+    /// Inserts or replaces a key. Returns the mutation's WAL sequence
+    /// number (the write is volatile until that sequence is synced or
+    /// flushed; see [`LsmTree::sync_wal`]).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> u64 {
         let key = Bytes::copy_from_slice(key);
         let value = Bytes::copy_from_slice(value);
-        self.wal.append(WalRecord::Put { key: key.clone(), value: value.clone() });
+        let seq = self.wal.append(WalRecord::Put { key: key.clone(), value: value.clone() });
+        self.applied_seq = seq;
         self.stats.user_writes += 1;
         self.stats.bytes_ingested += (key.len() + value.len()) as u64;
         self.apply(key, Entry::Put(value));
+        seq
     }
 
-    /// Deletes a key (writes a tombstone).
-    pub fn delete(&mut self, key: &[u8]) {
+    /// Deletes a key (writes a tombstone). Returns the mutation's WAL
+    /// sequence number, like [`LsmTree::put`].
+    pub fn delete(&mut self, key: &[u8]) -> u64 {
         let key = Bytes::copy_from_slice(key);
-        self.wal.append(WalRecord::Delete { key: key.clone() });
+        let seq = self.wal.append(WalRecord::Delete { key: key.clone() });
+        self.applied_seq = seq;
         self.stats.user_writes += 1;
         self.stats.bytes_ingested += key.len() as u64;
         self.apply(key, Entry::Tombstone);
+        seq
+    }
+
+    /// Makes every appended WAL record durable — one group-commit `fsync`.
+    /// A subsequent crash cannot lose anything at or below the returned
+    /// sequence number.
+    pub fn sync_wal(&mut self) -> u64 {
+        self.wal.mark_synced();
+        self.wal.synced_seq()
+    }
+
+    /// Newest durable WAL sequence number: records above it would be lost
+    /// by a crash right now. Advanced by [`LsmTree::sync_wal`] and by
+    /// flushes (an SSTable persists the records it covers).
+    #[must_use]
+    pub fn durable_seq(&self) -> u64 {
+        self.wal.synced_seq()
+    }
+
+    /// Sequence number of the newest mutation ever accepted.
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.wal.last_seq()
     }
 
     fn apply(&mut self, key: Bytes, entry: Entry) {
@@ -259,7 +323,11 @@ impl LsmTree {
             .collect()
     }
 
-    /// Flushes the memtable into a new L0 table and truncates the WAL.
+    /// Flushes the memtable into a new L0 table and truncates the WAL up
+    /// to the flush checkpoint (`applied_seq` — the newest mutation the
+    /// memtable actually holds). During normal operation that equals the
+    /// newest WAL record; during crash replay it trails, and the
+    /// checkpoint keeps the unreplayed tail retained.
     ///
     /// No-op when the memtable is empty.
     pub fn flush(&mut self) {
@@ -273,8 +341,78 @@ impl LsmTree {
         self.stats.bytes_compacted += table.size_bytes() as u64;
         self.stats.flushes += 1;
         self.levels[0].insert(0, table);
-        self.wal.truncate();
+        self.wal.truncate_upto(self.applied_seq);
         self.maybe_compact();
+    }
+
+    /// Ordered scan of **all** live keys — [`LsmTree::scan`] without range
+    /// bounds. Used by the durable store backend's post-crash consistency
+    /// check (shadow state ↔ authoritative tables).
+    #[must_use]
+    pub fn scan_all(&self) -> Vec<(Bytes, Bytes)> {
+        let mut merged: BTreeMap<Bytes, Entry> = BTreeMap::new();
+        for (k, e) in &self.memtable {
+            merged.entry(k.clone()).or_insert_with(|| e.clone());
+        }
+        for table in &self.levels[0] {
+            for (k, e) in table.rows() {
+                merged.entry(k.clone()).or_insert_with(|| e.clone());
+            }
+        }
+        for level in &self.levels[1..] {
+            for table in level {
+                for (k, e) in table.rows() {
+                    merged.entry(k.clone()).or_insert_with(|| e.clone());
+                }
+            }
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, e)| e.value().cloned().map(|v| (k, v)))
+            .collect()
+    }
+
+    /// Simulates a crash and runs recovery: the unsynced WAL tail and all
+    /// volatile state (memtable) are discarded, then the surviving WAL
+    /// prefix is replayed in sequence order on top of the persisted
+    /// SSTables. Returns what recovery cost — the caller converts the
+    /// record/byte counts into simulated downtime.
+    ///
+    /// Replay re-executes only the memtable application, not the original
+    /// write: records are **not** re-appended to the WAL and user-facing
+    /// ingest stats don't double-count. Auto-flushes triggered mid-replay
+    /// are safe because [`LsmTree::flush`] truncates only up to the replay
+    /// cursor (`applied_seq`).
+    pub fn crash_and_recover(&mut self) -> RecoveryReport {
+        let before = self.stats;
+        let (lost_records, lost_bytes) = self.wal.drop_unsynced_tail();
+        self.memtable.clear();
+        self.memtable_bytes = 0;
+        // Nothing replayed yet: the flush checkpoint starts at the durable
+        // horizon and advances with the replay cursor below.
+        self.applied_seq = self.wal.synced_seq();
+        let replay: Vec<(u64, WalRecord)> =
+            self.wal.entries().map(|(s, r)| (s, r.clone())).collect();
+        let mut replayed = 0u64;
+        let mut replayed_bytes = 0u64;
+        for (seq, record) in replay {
+            self.applied_seq = seq;
+            replayed += 1;
+            replayed_bytes += record.size_bytes() as u64;
+            match record {
+                WalRecord::Put { key, value } => self.apply(key, Entry::Put(value)),
+                WalRecord::Delete { key } => self.apply(key, Entry::Tombstone),
+            }
+        }
+        RecoveryReport {
+            lost_records,
+            lost_bytes,
+            replayed_records: replayed,
+            replayed_bytes,
+            flushes: self.stats.flushes - before.flushes,
+            compactions: self.stats.compactions - before.compactions,
+            bytes_compacted: self.stats.bytes_compacted - before.bytes_compacted,
+        }
     }
 
     fn level_target_bytes(&self, level: usize) -> usize {
@@ -478,9 +616,9 @@ mod tests {
     fn wal_truncates_on_flush() {
         let mut t = LsmTree::new(LsmConfig::default());
         t.put(b"k", b"v");
-        assert_eq!(t.wal().records().len(), 1);
+        assert_eq!(t.wal().len(), 1);
         t.flush();
-        assert!(t.wal().records().is_empty());
+        assert!(t.wal().is_empty());
         assert_eq!(t.wal().total_appends(), 1);
     }
 

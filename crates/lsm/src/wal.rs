@@ -4,8 +4,21 @@
 //! memtable; the log is replayed after a crash and truncated after a flush.
 //! The reproduction keeps the log as an in-memory record sequence (there is
 //! no real disk in the simulation), but preserves the semantics the
-//! IndexFS/λIndexFS substrate needs: replayability, truncation on flush,
-//! and size accounting.
+//! IndexFS/λIndexFS substrate and the durable store backend need:
+//! replayability, checkpoint-aware truncation on flush, group-commit sync
+//! tracking, and size accounting.
+//!
+//! Every record carries a monotonically increasing **sequence number**
+//! (1, 2, 3, … — never reused, even across truncation or crash). Three
+//! positions in that sequence define the log's state:
+//!
+//! * `last_seq` — the newest record ever appended;
+//! * `synced_seq` — the newest record made durable (`fsync` analog);
+//!   records above it are lost by a crash;
+//! * the **retained set** — records not yet covered by a flushed SSTable.
+//!   [`Wal::truncate_upto`] drops only records at or below its checkpoint,
+//!   so a flush can never discard log entries it did not persist (the tail
+//!   stays replayable).
 
 use bytes::Bytes;
 
@@ -27,7 +40,9 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
-    fn size_bytes(&self) -> usize {
+    /// Modeled on-log size of the record (key + value + framing).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
         match self {
             WalRecord::Put { key, value } => key.len() + value.len() + 16,
             WalRecord::Delete { key } => key.len() + 16,
@@ -35,35 +50,83 @@ impl WalRecord {
     }
 }
 
-/// An append-only mutation log with truncation.
+/// An append-only mutation log with sequence numbers, durability (sync)
+/// tracking, and checkpoint-aware truncation.
+///
+/// Each retained record is stored with its sequence number: after a crash
+/// drops the unsynced tail, the next append continues the numbering (drops
+/// are never reused), so the retained sequence can have gaps and positional
+/// arithmetic would misattribute records.
 #[derive(Debug, Clone, Default)]
 pub struct Wal {
-    records: Vec<WalRecord>,
+    records: Vec<(u64, WalRecord)>,
     bytes: usize,
     total_appends: u64,
+    /// Sequence number of the next appended record (first append gets 1).
+    /// Unlike `total_appends`, this is the authority for numbering:
+    /// sequence numbers are never reused, even after a crash drops records.
+    next_seq: u64,
+    /// Newest durable record; records above this are lost by a crash.
+    synced_seq: u64,
 }
 
 impl Wal {
     /// Creates an empty log.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Wal { next_seq: 1, ..Self::default() }
     }
 
-    /// Appends a record.
-    pub fn append(&mut self, record: WalRecord) {
+    /// Appends a record, returning its sequence number.
+    pub fn append(&mut self, record: WalRecord) -> u64 {
+        if self.next_seq == 0 {
+            // A `Default`-constructed log: align with `new()`.
+            self.next_seq = 1;
+        }
         self.bytes += record.size_bytes();
         self.total_appends += 1;
-        self.records.push(record);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push((seq, record));
+        seq
     }
 
-    /// Records currently in the log (since the last truncation).
+    /// Number of records currently retained (since the last truncation).
     #[must_use]
-    pub fn records(&self) -> &[WalRecord] {
-        &self.records
+    pub fn len(&self) -> usize {
+        self.records.len()
     }
 
-    /// Current log size in bytes.
+    /// Whether the retained log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Retained records with their sequence numbers, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &WalRecord)> {
+        self.records.iter().map(|(s, r)| (*s, r))
+    }
+
+    /// Sequence number of the newest record ever appended (0 if none).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.saturating_sub(1)
+    }
+
+    /// Newest durable sequence number (see [`Wal::mark_synced`]).
+    #[must_use]
+    pub fn synced_seq(&self) -> u64 {
+        self.synced_seq
+    }
+
+    /// Marks every appended record durable — the group-commit `fsync`
+    /// analog.
+    pub fn mark_synced(&mut self) {
+        self.synced_seq = self.last_seq();
+    }
+
+    /// Current retained log size in bytes.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.bytes
@@ -75,10 +138,41 @@ impl Wal {
         self.total_appends
     }
 
-    /// Drops all records (called after the memtable they cover is flushed).
+    /// Drops records with sequence numbers `<= checkpoint` — the records a
+    /// flushed SSTable now covers. Records above the checkpoint stay
+    /// retained and replayable.
+    ///
+    /// Everything at or below the checkpoint is durably persisted by that
+    /// flush, so `synced_seq` advances to at least the checkpoint.
+    pub fn truncate_upto(&mut self, checkpoint: u64) {
+        let drop = self.records.partition_point(|(s, _)| *s <= checkpoint);
+        for (_, r) in self.records.drain(..drop) {
+            self.bytes -= r.size_bytes();
+        }
+        self.synced_seq = self.synced_seq.max(checkpoint.min(self.last_seq()));
+    }
+
+    /// Drops all retained records (unconditional; equivalent to
+    /// `truncate_upto(last_seq)`). Prefer [`Wal::truncate_upto`] with an
+    /// explicit checkpoint when the log may hold records beyond the
+    /// flushed state.
     pub fn truncate(&mut self) {
-        self.records.clear();
-        self.bytes = 0;
+        self.truncate_upto(self.last_seq());
+    }
+
+    /// Crash: drops the unsynced tail (records with sequence numbers above
+    /// `synced_seq`), returning `(records, bytes)` lost. The surviving
+    /// prefix is what recovery replays. Sequence numbers of dropped records
+    /// are **not** reused.
+    pub fn drop_unsynced_tail(&mut self) -> (u64, u64) {
+        let keep = self.records.partition_point(|(s, _)| *s <= self.synced_seq);
+        let lost = (self.records.len() - keep) as u64;
+        let mut lost_bytes = 0u64;
+        for (_, r) in self.records.drain(keep..) {
+            lost_bytes += r.size_bytes() as u64;
+            self.bytes -= r.size_bytes();
+        }
+        (lost, lost_bytes)
     }
 }
 
@@ -96,8 +190,9 @@ mod tests {
         wal.append(WalRecord::Put { key: b("a"), value: b("1") });
         wal.append(WalRecord::Delete { key: b("a") });
         wal.append(WalRecord::Put { key: b("b"), value: b("2") });
-        assert_eq!(wal.records().len(), 3);
-        assert_eq!(wal.records()[1], WalRecord::Delete { key: b("a") });
+        assert_eq!(wal.len(), 3);
+        let (seq, rec) = wal.entries().nth(1).unwrap();
+        assert_eq!((seq, rec.clone()), (2, WalRecord::Delete { key: b("a") }));
         assert!(wal.size_bytes() > 0);
     }
 
@@ -106,8 +201,56 @@ mod tests {
         let mut wal = Wal::new();
         wal.append(WalRecord::Put { key: b("k"), value: b("v") });
         wal.truncate();
-        assert!(wal.records().is_empty());
+        assert!(wal.is_empty());
         assert_eq!(wal.size_bytes(), 0);
         assert_eq!(wal.total_appends(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_and_survive_truncation() {
+        let mut wal = Wal::new();
+        assert_eq!(wal.append(WalRecord::Put { key: b("a"), value: b("1") }), 1);
+        assert_eq!(wal.append(WalRecord::Put { key: b("b"), value: b("2") }), 2);
+        wal.truncate();
+        assert_eq!(wal.append(WalRecord::Put { key: b("c"), value: b("3") }), 3);
+        assert_eq!(wal.last_seq(), 3);
+        let seqs: Vec<u64> = wal.entries().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![3]);
+    }
+
+    /// The checkpoint-aware truncation contract: a flush checkpoint strictly
+    /// below the newest record must leave the tail retained and replayable.
+    #[test]
+    fn truncate_upto_keeps_the_tail_above_the_checkpoint() {
+        let mut wal = Wal::new();
+        wal.append(WalRecord::Put { key: b("a"), value: b("1") });
+        wal.append(WalRecord::Put { key: b("b"), value: b("2") });
+        wal.append(WalRecord::Put { key: b("c"), value: b("3") });
+        wal.truncate_upto(2);
+        let tail: Vec<(u64, WalRecord)> =
+            wal.entries().map(|(s, r)| (s, r.clone())).collect();
+        assert_eq!(tail, vec![(3, WalRecord::Put { key: b("c"), value: b("3") })]);
+        // Flushed records are durable: the checkpoint advances synced_seq.
+        assert_eq!(wal.synced_seq(), 2);
+        // Re-truncating below the retained range is a no-op.
+        wal.truncate_upto(1);
+        assert_eq!(wal.len(), 1);
+    }
+
+    #[test]
+    fn crash_drops_only_the_unsynced_tail() {
+        let mut wal = Wal::new();
+        wal.append(WalRecord::Put { key: b("a"), value: b("1") });
+        wal.append(WalRecord::Put { key: b("b"), value: b("2") });
+        wal.mark_synced();
+        wal.append(WalRecord::Put { key: b("c"), value: b("3") });
+        wal.append(WalRecord::Delete { key: b("a") });
+        let (lost, lost_bytes) = wal.drop_unsynced_tail();
+        assert_eq!(lost, 2);
+        assert!(lost_bytes > 0);
+        let seqs: Vec<u64> = wal.entries().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        // Dropped sequence numbers are never reused.
+        assert_eq!(wal.append(WalRecord::Put { key: b("d"), value: b("4") }), 5);
     }
 }

@@ -1,0 +1,184 @@
+//! Crash/replay differential tests for the LSM tree.
+//!
+//! The model under test: every mutation is WAL-logged before it is
+//! applied, syncs and flushes advance the durability horizon, and a crash
+//! loses exactly the unsynced tail — recovery replays the surviving WAL
+//! prefix and must reconstruct the pre-crash durable state exactly,
+//! including tombstones and in-flight memtable contents.
+
+use std::collections::BTreeMap;
+
+use lambda_lsm::{LsmConfig, LsmTree};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Flush,
+    Sync,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 256, v)),
+        3 => any::<u16>().prop_map(|k| Op::Delete(k % 256)),
+        1 => Just(Op::Flush),
+        2 => Just(Op::Sync),
+        1 => Just(Op::Crash),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+fn tiny_config() -> LsmConfig {
+    // Small thresholds so the op sequences exercise auto-flushes and
+    // compactions, not just the memtable.
+    LsmConfig {
+        memtable_bytes: 160,
+        l0_compaction_trigger: 2,
+        level_multiplier: 3,
+        l1_target_bytes: 512,
+        index_interval: 3,
+        bloom_bits_per_key: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential crash/replay check: a shadow model tracks both the
+    /// live state (`now`) and the durable state (`durable`, what a crash
+    /// must roll back to). After every crash — at an arbitrary point in a
+    /// random put/delete/flush/sync interleaving — the recovered tree must
+    /// equal the durable model exactly, and the recovery report's lost
+    /// window must match the ops issued since the last durability point.
+    #[test]
+    fn wal_replay_reconstructs_pre_crash_state(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        let mut tree = LsmTree::new(tiny_config());
+        let mut now: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut durable = now.clone();
+        let mut unsynced: u64 = 0;
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let (k, v) = (key(*k), vec![*v]);
+                    let before = tree.stats().flushes;
+                    tree.put(&k, &v);
+                    now.insert(k, v);
+                    unsynced += 1;
+                    if tree.stats().flushes > before {
+                        // Auto-flush persists everything applied so far.
+                        durable = now.clone();
+                        unsynced = 0;
+                    }
+                }
+                Op::Delete(k) => {
+                    let k = key(*k);
+                    let before = tree.stats().flushes;
+                    tree.delete(&k);
+                    now.remove(&k);
+                    unsynced += 1;
+                    if tree.stats().flushes > before {
+                        durable = now.clone();
+                        unsynced = 0;
+                    }
+                }
+                Op::Flush => {
+                    tree.flush();
+                    durable = now.clone();
+                    unsynced = 0;
+                }
+                Op::Sync => {
+                    tree.sync_wal();
+                    durable = now.clone();
+                    unsynced = 0;
+                }
+                Op::Crash => {
+                    let report = tree.crash_and_recover();
+                    prop_assert_eq!(report.lost_records, unsynced);
+                    now = durable.clone();
+                    unsynced = 0;
+                    // The recovered tree must match the durable model on
+                    // every key in the domain (point reads) and as a whole
+                    // (scan), tombstones included.
+                    let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+                        .scan_all()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                        .collect();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> =
+                        now.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+
+        // Final check regardless of whether the sequence ended in a crash.
+        for k in 0..256u16 {
+            let k = key(k);
+            prop_assert_eq!(tree.get(&k).map(|b| b.to_vec()), now.get(&k).cloned());
+        }
+    }
+}
+
+/// Regression for the unconditional-truncate bug: a flush during recovery
+/// replay must truncate the WAL only up to the replay cursor. With the old
+/// `Wal::truncate`, the first recovery's auto-flush would discard the
+/// not-yet-replayed WAL tail, so a *second* crash silently lost durable
+/// records. Two back-to-back recoveries must both be lossless.
+#[test]
+fn flush_during_replay_keeps_the_wal_tail_replayable() {
+    // Large memtable: nothing flushes while the workload runs.
+    let mut tree = LsmTree::new(LsmConfig {
+        memtable_bytes: 1 << 20,
+        ..tiny_config()
+    });
+    for i in 0..64u32 {
+        tree.put(format!("row{i:04}").as_bytes(), format!("val{i}").as_bytes());
+    }
+    tree.sync_wal();
+
+    // Shrink the memtable so replay auto-flushes partway through the WAL.
+    tree.reconfigure(LsmConfig { memtable_bytes: 160, ..tiny_config() });
+
+    let first = tree.crash_and_recover();
+    assert_eq!(first.lost_records, 0);
+    assert_eq!(first.replayed_records, 64);
+    assert!(first.flushes >= 1, "replay must trigger auto-flushes");
+
+    // Second crash immediately after: every record was durable (synced or
+    // flushed), so recovery must again lose nothing…
+    let second = tree.crash_and_recover();
+    assert_eq!(second.lost_records, 0);
+
+    // …and the full state must still be readable.
+    for i in 0..64u32 {
+        assert_eq!(
+            tree.get(format!("row{i:04}").as_bytes()).as_deref(),
+            Some(format!("val{i}").as_bytes()),
+            "row{i:04} lost after flush-then-crash"
+        );
+    }
+}
+
+/// A crash with nothing synced rolls back to the last flush checkpoint.
+#[test]
+fn unsynced_writes_are_the_lost_window()  {
+    let mut tree = LsmTree::new(LsmConfig::default());
+    tree.put(b"kept", b"1");
+    tree.flush();
+    tree.put(b"lost-a", b"2");
+    tree.delete(b"kept");
+    let report = tree.crash_and_recover();
+    assert_eq!(report.lost_records, 2);
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(tree.get(b"kept").as_deref(), Some(&b"1"[..]));
+    assert_eq!(tree.get(b"lost-a"), None);
+}

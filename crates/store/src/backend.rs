@@ -1,0 +1,490 @@
+//! Store persistence backends.
+//!
+//! The [`Db`](crate::Db) routes every durability-relevant event — bulk
+//! loads, commit write sets, shard crashes — through a [`StoreBackend`].
+//! Two implementations exist:
+//!
+//! * [`InMemoryBackend`] (the default): pure no-ops. A shard crash is
+//!   modeled as a fixed takeover window, exactly the pre-existing fault
+//!   semantics; no event, charge, or RNG draw is added anywhere, so
+//!   simulation traces are bit-identical to a build without the trait
+//!   seam.
+//! * [`DurableBackend`]: every committed transaction's writes are appended
+//!   to a per-shard `lambda-lsm` write-ahead log *before* the commit
+//!   completes (WAL-ordered commit), made durable by group-commit syncs on
+//!   a tunable flush interval, and a shard crash triggers deterministic
+//!   WAL replay into rebuilt memtable/SSTable state instead of waiting
+//!   out a modeled takeover constant. Commits whose WAL records were still
+//!   in the lost window abort through the undo log, mirroring what a real
+//!   redo-log store loses on power failure.
+//!
+//! ## The shadow model
+//!
+//! The durable backend does not replace the in-memory tables — they stay
+//! the authoritative row store (values included). Instead it maintains a
+//! per-shard **shadow** LSM tree keyed by `table-id ‖ encoded-key` with
+//! synthetic fixed-size values, which is exactly the part of a persistent
+//! store that matters for crash semantics: which keys exist, in what
+//! order writes became durable, and how much log/compaction work recovery
+//! must redo. After every crash the backend checks the recovered shadow's
+//! key set against the authoritative tables (restricted to the crashed
+//! shard) and records any divergence as a violation for the invariant
+//! auditor.
+
+use lambda_lsm::{LsmConfig, LsmStats, LsmTree};
+use lambda_sim::{SimDuration, SimTime};
+
+use crate::db::shard_of;
+use crate::key::EncodedKey;
+use crate::table::{AnyTable, TableId};
+use crate::txn::TxnId;
+
+/// Which persistence backend a [`Db`](crate::Db) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Volatile tables; crashes cost a fixed takeover window (default).
+    InMemory,
+    /// WAL-backed shadow persistence with crash recovery by replay.
+    Durable,
+}
+
+/// Tuning for the durable backend.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Group-commit boundary: a commit's WAL records become durable at the
+    /// next multiple of this interval (the `fsync` batching knob).
+    pub flush_interval: SimDuration,
+    /// Fixed crash-to-replay-start cost: failure detection plus process
+    /// restart of the shard's store node.
+    pub detect_restart: SimDuration,
+    /// Replay cost per surviving WAL record.
+    pub replay_per_record: SimDuration,
+    /// Replay cost per byte of WAL payload replayed plus SSTable bytes
+    /// written by replay-triggered flushes/compactions.
+    pub replay_per_byte: SimDuration,
+    /// Shadow LSM tuning (memtable size governs flush-induced
+    /// checkpointing; see [`LsmConfig`]).
+    pub lsm: LsmConfig,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            flush_interval: SimDuration::from_millis(2),
+            detect_restart: SimDuration::from_millis(500),
+            replay_per_record: SimDuration::from_micros(2),
+            replay_per_byte: SimDuration::from_nanos(20),
+            lsm: LsmConfig::default(),
+        }
+    }
+}
+
+/// Cumulative counters kept by the durable backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended (commit writes + bootstrap rows).
+    pub wal_appends: u64,
+    /// Group-commit syncs that made at least one record durable.
+    pub group_syncs: u64,
+    /// Commits aborted because a crash lost their WAL records.
+    pub lost_window_aborts: u64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// WAL records lost across all recoveries (the lost windows).
+    pub lost_records: u64,
+    /// Total simulated recovery downtime, in nanoseconds.
+    pub recovery_nanos_total: u64,
+    /// Longest single recovery, in nanoseconds.
+    pub recovery_nanos_max: u64,
+}
+
+/// One row write captured from a transaction, replayed into the shadow WAL
+/// at commit time.
+pub(crate) struct ShadowWrite {
+    pub(crate) table: TableId,
+    pub(crate) shard: u32,
+    pub(crate) key: EncodedKey,
+    pub(crate) val_len: u32,
+    pub(crate) tombstone: bool,
+    /// Whether the row existed before this write — what compensation must
+    /// restore if the commit is lost to a crash.
+    pub(crate) prior_exists: bool,
+}
+
+/// What a shard crash means for the caller.
+pub(crate) enum CrashOutcome {
+    /// In-memory semantics: wait out the caller-provided takeover window.
+    Takeover,
+    /// Durable semantics: the shard is down while WAL replay runs.
+    Recovered {
+        /// Deterministically costed recovery downtime.
+        down_for: SimDuration,
+        /// Mid-commit transactions whose WAL records on the crashed shard
+        /// were still in the lost window; the caller must abort them
+        /// through their undo logs.
+        lost_txns: Vec<TxnId>,
+    },
+}
+
+/// Outcome of a commit as far as durability is concerned.
+pub(crate) enum CommitFate {
+    /// The backend was not tracking this commit (in-memory backend, or a
+    /// read-only transaction).
+    Untracked,
+    /// The commit's WAL records survived; the commit stands.
+    Durable,
+    /// A crash on `shard` lost the commit's WAL records; the transaction
+    /// was already rolled back and the commit must report failure.
+    Lost {
+        /// The shard whose crash lost the records.
+        shard: u32,
+    },
+}
+
+/// The seam between the transactional store and its persistence model.
+pub(crate) trait StoreBackend {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Records one pre-run bootstrap row (already durable by definition).
+    fn bootstrap_row(&mut self, table: TableId, shard: u32, enc: &[u8], val_len: usize);
+
+    /// Appends a committing transaction's writes to the WAL (commit order =
+    /// log order). Returns the sim-time instant at which the records become
+    /// durable (the next group-commit boundary), or `None` if the backend
+    /// does not log (in-memory).
+    fn begin_commit(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        writes: Vec<ShadowWrite>,
+    ) -> Option<SimTime>;
+
+    /// Group-commit boundary reached: everything appended so far becomes
+    /// durable.
+    fn sync_boundary(&mut self, txn: TxnId);
+
+    /// Resolves a finishing commit against any crash that happened since
+    /// [`StoreBackend::begin_commit`].
+    fn finish_commit(&mut self, txn: TxnId) -> CommitFate;
+
+    /// Crashes `shard`: volatile state is lost, recovery runs.
+    fn crash_shard(&mut self, shard: u32) -> CrashOutcome;
+
+    /// After the caller has aborted every crash victim: checks the
+    /// recovered shadow state against the authoritative tables, recording
+    /// divergence as violations.
+    fn post_crash_check(&mut self, shard: u32, shard_count: usize, tables: &[Box<dyn AnyTable>]);
+
+    /// Accumulated consistency violations (auditor feed; empty = healthy).
+    fn violations(&self) -> &[String];
+
+    /// Durability counters, if this backend keeps them.
+    fn durability_stats(&self) -> Option<DurabilityStats>;
+
+    /// Aggregated shadow-LSM counters, if this backend keeps them.
+    fn lsm_stats(&self) -> Option<LsmStats>;
+}
+
+/// The default backend: volatile tables, fixed-takeover crash model, zero
+/// added events.
+pub(crate) struct InMemoryBackend;
+
+impl StoreBackend for InMemoryBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::InMemory
+    }
+    fn bootstrap_row(&mut self, _table: TableId, _shard: u32, _enc: &[u8], _val_len: usize) {}
+    fn begin_commit(
+        &mut self,
+        _now: SimTime,
+        _txn: TxnId,
+        _writes: Vec<ShadowWrite>,
+    ) -> Option<SimTime> {
+        None
+    }
+    fn sync_boundary(&mut self, _txn: TxnId) {}
+    fn finish_commit(&mut self, _txn: TxnId) -> CommitFate {
+        CommitFate::Untracked
+    }
+    fn crash_shard(&mut self, _shard: u32) -> CrashOutcome {
+        CrashOutcome::Takeover
+    }
+    fn post_crash_check(
+        &mut self,
+        _shard: u32,
+        _shard_count: usize,
+        _tables: &[Box<dyn AnyTable>],
+    ) {
+    }
+    fn violations(&self) -> &[String] {
+        &[]
+    }
+    fn durability_stats(&self) -> Option<DurabilityStats> {
+        None
+    }
+    fn lsm_stats(&self) -> Option<LsmStats> {
+        None
+    }
+}
+
+/// A commit whose WAL records are appended but whose completion callback
+/// has not run yet — the window in which a crash can lose it.
+struct PendingCommit {
+    txn: TxnId,
+    writes: Vec<ShadowWrite>,
+    /// Highest WAL sequence number this commit appended per shard.
+    marks: Vec<(u32, u64)>,
+    /// Set when a crash lost the commit's records on that shard.
+    lost: Option<u32>,
+}
+
+/// WAL-backed persistence: per-shard shadow LSM trees fed in commit order.
+pub(crate) struct DurableBackend {
+    config: DurabilityConfig,
+    shards: Vec<LsmTree>,
+    pending: Vec<PendingCommit>,
+    stats: DurabilityStats,
+    violations: Vec<String>,
+    key_scratch: Vec<u8>,
+    val_scratch: Vec<u8>,
+}
+
+impl DurableBackend {
+    pub(crate) fn new(config: DurabilityConfig, shard_count: usize) -> Self {
+        DurableBackend {
+            shards: (0..shard_count).map(|_| LsmTree::new(config.lsm.clone())).collect(),
+            config,
+            pending: Vec::new(),
+            stats: DurabilityStats::default(),
+            violations: Vec::new(),
+            key_scratch: Vec::new(),
+            val_scratch: Vec::new(),
+        }
+    }
+
+    /// Shadow row key: table id (big-endian) followed by the encoded row
+    /// key — injective because the prefix is fixed-width.
+    fn shadow_key<'a>(scratch: &'a mut Vec<u8>, table: TableId, enc: &[u8]) -> &'a [u8] {
+        scratch.clear();
+        scratch.extend_from_slice(&table.raw().to_be_bytes());
+        scratch.extend_from_slice(enc);
+        scratch
+    }
+
+    /// Appends one shadow write to its shard's WAL, returning the record's
+    /// sequence number.
+    fn append_write(&mut self, txn: TxnId, w: &ShadowWrite) -> u64 {
+        let key = Self::shadow_key(&mut self.key_scratch, w.table, w.key.as_slice());
+        let tree = &mut self.shards[w.shard as usize];
+        self.stats.wal_appends += 1;
+        if w.tombstone {
+            tree.delete(key)
+        } else {
+            let val = {
+                self.val_scratch.clear();
+                self.val_scratch.extend_from_slice(&txn.raw().to_le_bytes());
+                self.val_scratch.resize((w.val_len as usize).max(8), 0);
+                &self.val_scratch
+            };
+            tree.put(key, val)
+        }
+    }
+
+    /// Undoes the shadow effect of a lost commit's writes: each key's
+    /// first write (log order) carries the pre-transaction existence, so
+    /// restoring it mirrors what the undo log does to the authoritative
+    /// tables. New compensation records are synced immediately — the
+    /// failover coordinator durably records the abort.
+    fn compensate_lost(&mut self, lost: &[usize]) {
+        for &pi in lost {
+            let writes = std::mem::take(&mut self.pending[pi].writes);
+            let txn = self.pending[pi].txn;
+            for (i, w) in writes.iter().enumerate() {
+                let first_for_key = writes[..i]
+                    .iter()
+                    .all(|p| !(p.table == w.table && p.key == w.key && p.shard == w.shard));
+                if !first_for_key {
+                    continue;
+                }
+                let key = Self::shadow_key(&mut self.key_scratch, w.table, w.key.as_slice());
+                let tree = &mut self.shards[w.shard as usize];
+                if w.prior_exists {
+                    let val = {
+                        self.val_scratch.clear();
+                        self.val_scratch.extend_from_slice(&txn.raw().to_le_bytes());
+                        self.val_scratch.resize((w.val_len as usize).max(8), 0);
+                        &self.val_scratch
+                    };
+                    tree.put(key, val);
+                } else {
+                    tree.delete(key);
+                }
+                tree.sync_wal();
+            }
+        }
+    }
+}
+
+impl StoreBackend for DurableBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Durable
+    }
+
+    fn bootstrap_row(&mut self, table: TableId, shard: u32, enc: &[u8], val_len: usize) {
+        let key = Self::shadow_key(&mut self.key_scratch, table, enc);
+        let tree = &mut self.shards[shard as usize];
+        self.val_scratch.clear();
+        self.val_scratch.resize(val_len.max(8), 0);
+        tree.put(key, &self.val_scratch);
+        // Bulk loads land durable: the loader syncs before the run starts.
+        tree.sync_wal();
+        self.stats.wal_appends += 1;
+    }
+
+    fn begin_commit(
+        &mut self,
+        now: SimTime,
+        txn: TxnId,
+        writes: Vec<ShadowWrite>,
+    ) -> Option<SimTime> {
+        if writes.is_empty() {
+            return None;
+        }
+        let mut marks: Vec<(u32, u64)> = Vec::new();
+        for w in &writes {
+            let seq = self.append_write(txn, w);
+            let shard = w.shard;
+            match marks.iter_mut().find(|(s, _)| *s == shard) {
+                Some(m) => m.1 = seq,
+                None => marks.push((shard, seq)),
+            }
+        }
+        self.pending.push(PendingCommit { txn, writes, marks, lost: None });
+        let interval = self.config.flush_interval.as_nanos().max(1);
+        Some(SimTime::from_nanos((now.as_nanos() / interval + 1) * interval))
+    }
+
+    fn sync_boundary(&mut self, _txn: TxnId) {
+        let mut any = false;
+        for tree in &mut self.shards {
+            if tree.last_seq() > tree.durable_seq() {
+                any = true;
+            }
+            tree.sync_wal();
+        }
+        if any {
+            self.stats.group_syncs += 1;
+        }
+    }
+
+    fn finish_commit(&mut self, txn: TxnId) -> CommitFate {
+        let Some(pos) = self.pending.iter().position(|p| p.txn == txn) else {
+            return CommitFate::Untracked;
+        };
+        // `remove`, not `swap_remove`: pending order is log order and must
+        // stay deterministic for crash processing.
+        let p = self.pending.remove(pos);
+        match p.lost {
+            Some(shard) => {
+                self.stats.lost_window_aborts += 1;
+                CommitFate::Lost { shard }
+            }
+            None => CommitFate::Durable,
+        }
+    }
+
+    fn crash_shard(&mut self, shard: u32) -> CrashOutcome {
+        // A commit is lost iff any of its records on the crashed shard sits
+        // above the durable horizon. Group commits sync whole WAL prefixes,
+        // so a commit's records there are all-durable or all-lost — except
+        // when a flush checkpointed part of the run, which compensation
+        // below repairs.
+        let durable = self.shards[shard as usize].durable_seq();
+        let mut lost_idx = Vec::new();
+        let mut lost_txns = Vec::new();
+        for (i, p) in self.pending.iter_mut().enumerate() {
+            let lost_here =
+                p.lost.is_none() && p.marks.iter().any(|&(s, seq)| s == shard && seq > durable);
+            if lost_here {
+                p.lost = Some(shard);
+                lost_idx.push(i);
+                lost_txns.push(p.txn);
+            }
+        }
+        // Discard volatile state and replay the surviving WAL prefix.
+        let report = self.shards[shard as usize].crash_and_recover();
+        // Undo lost commits' already-durable traces (on this shard a flush
+        // may have checkpointed a prefix of the commit's records; on other
+        // shards the records may be fully durable).
+        self.compensate_lost(&lost_idx);
+        let down_for = self.config.detect_restart
+            + self.config.replay_per_record * report.replayed_records
+            + self.config.replay_per_byte * (report.replayed_bytes + report.bytes_compacted);
+        self.stats.recoveries += 1;
+        self.stats.replayed_records += report.replayed_records;
+        self.stats.lost_records += report.lost_records;
+        self.stats.recovery_nanos_total += down_for.as_nanos();
+        self.stats.recovery_nanos_max = self.stats.recovery_nanos_max.max(down_for.as_nanos());
+        lost_txns.sort_unstable();
+        CrashOutcome::Recovered { down_for, lost_txns }
+    }
+
+    fn post_crash_check(&mut self, shard: u32, shard_count: usize, tables: &[Box<dyn AnyTable>]) {
+        // Authoritative key set of the crashed shard, shadow-key encoded.
+        let mut expect: Vec<Vec<u8>> = Vec::new();
+        for (tid, table) in tables.iter().enumerate() {
+            let prefix = (tid as u32).to_be_bytes();
+            table.for_each_encoded_key(&mut |enc| {
+                if shard_of(shard_count, enc) == shard as usize {
+                    let mut k = Vec::with_capacity(4 + enc.len());
+                    k.extend_from_slice(&prefix);
+                    k.extend_from_slice(enc);
+                    expect.push(k);
+                }
+            });
+        }
+        expect.sort_unstable();
+        let got: Vec<Vec<u8>> = self.shards[shard as usize]
+            .scan_all()
+            .into_iter()
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        if expect != got {
+            let missing = expect.iter().filter(|k| !got.contains(k)).count();
+            let extra = got.iter().filter(|k| !expect.contains(k)).count();
+            self.violations.push(format!(
+                "shard {shard} post-recovery divergence: tables hold {} keys, shadow holds {} \
+                 ({missing} missing from shadow, {extra} extra)",
+                expect.len(),
+                got.len(),
+            ));
+        }
+    }
+
+    fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    fn durability_stats(&self) -> Option<DurabilityStats> {
+        Some(self.stats)
+    }
+
+    fn lsm_stats(&self) -> Option<LsmStats> {
+        let mut total = LsmStats::default();
+        for tree in &self.shards {
+            let s = tree.stats();
+            total.user_writes += s.user_writes;
+            total.user_reads += s.user_reads;
+            total.bytes_compacted += s.bytes_compacted;
+            total.bytes_ingested += s.bytes_ingested;
+            total.flushes += s.flushes;
+            total.compactions += s.compactions;
+            total.bloom_skips += s.bloom_skips;
+            total.tables_probed += s.tables_probed;
+        }
+        Some(total)
+    }
+}

@@ -45,10 +45,15 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::RangeBounds;
 use std::rc::Rc;
 
+use lambda_lsm::LsmStats;
 use lambda_sim::fault::ShardOutage;
 use lambda_sim::params::StoreParams;
 use lambda_sim::{Sim, SimDuration, SimTime, Station, StationRef};
 
+use crate::backend::{
+    BackendKind, CommitFate, CrashOutcome, DurabilityConfig, DurabilityStats, DurableBackend,
+    InMemoryBackend, ShadowWrite, StoreBackend,
+};
 use crate::error::{StoreError, StoreResult};
 use crate::key::{EncodedKey, KeyCodec};
 use crate::lock::{Acquire, LockKey, LockManager, LockMode, WaiterToken};
@@ -147,6 +152,12 @@ struct DbInner {
     /// injection). All-`None` in a healthy run.
     down_until: Vec<Option<SimTime>>,
     stats: DbStats,
+    /// Persistence model (WAL/commit-order/crash-recovery seam).
+    backend: Box<dyn StoreBackend>,
+    /// Whether writes must be captured into the transaction's shadow log
+    /// for the backend (`false` for the in-memory backend, keeping the
+    /// write path allocation behavior unchanged).
+    log_writes: bool,
 }
 
 impl DbInner {
@@ -206,6 +217,16 @@ impl DbInner {
         keys.clear();
         self.key_pool.push(keys);
     }
+}
+
+/// Routes an encoded key to its owning shard (FNV-1a over the key bytes).
+pub(crate) fn shard_of(shards: usize, enc: &[u8]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in enc {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
 }
 
 /// Records one encoded key in an under-construction charge plan.
@@ -283,8 +304,41 @@ enum TxnCheck {
 impl Db {
     /// Creates a store with the capacity model in `params`; lock waits
     /// longer than `lock_timeout` abort the waiting transaction.
+    ///
+    /// The store runs on the volatile [`BackendKind::InMemory`] backend;
+    /// see [`Db::new_durable`] for the WAL-backed alternative.
     #[must_use]
     pub fn new(params: &StoreParams, lock_timeout: SimDuration) -> Self {
+        Self::with_backend(params, lock_timeout, Box::new(InMemoryBackend), false)
+    }
+
+    /// Creates a store on the WAL-backed [`BackendKind::Durable`] backend:
+    /// committed writes are appended to per-shard write-ahead logs before
+    /// the commit completes, made durable at `durability.flush_interval`
+    /// group-commit boundaries, and a [`Db::crash_shard`] triggers WAL
+    /// replay recovery (costed deterministically from replay volume)
+    /// instead of a fixed takeover window.
+    #[must_use]
+    pub fn new_durable(
+        params: &StoreParams,
+        lock_timeout: SimDuration,
+        durability: DurabilityConfig,
+    ) -> Self {
+        let shard_count = params.shards.max(1) as usize;
+        Self::with_backend(
+            params,
+            lock_timeout,
+            Box::new(DurableBackend::new(durability, shard_count)),
+            true,
+        )
+    }
+
+    fn with_backend(
+        params: &StoreParams,
+        lock_timeout: SimDuration,
+        backend: Box<dyn StoreBackend>,
+        log_writes: bool,
+    ) -> Self {
         let shards: Rc<[StationRef]> = (0..params.shards.max(1))
             .map(|i| Station::new(format!("ndb-shard-{i}"), params.workers_per_shard.max(1)))
             .collect();
@@ -307,8 +361,36 @@ impl Db {
                 enc_scratch: Vec::new(),
                 down_until: vec![None; shard_count],
                 stats: DbStats::default(),
+                backend,
+                log_writes,
             })),
         }
+    }
+
+    /// Which persistence backend this store runs on.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.borrow().backend.kind()
+    }
+
+    /// Durability counters, if the store runs on the durable backend.
+    #[must_use]
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.inner.borrow().backend.durability_stats()
+    }
+
+    /// Aggregated shadow-LSM counters (WAL/flush/compaction volume), if the
+    /// store runs on the durable backend.
+    #[must_use]
+    pub fn lsm_stats(&self) -> Option<LsmStats> {
+        self.inner.borrow().backend.lsm_stats()
+    }
+
+    /// Durable-backend consistency violations found by post-crash checks
+    /// (auditor feed; empty = healthy, always empty in-memory).
+    #[must_use]
+    pub fn durability_violations(&self) -> Vec<String> {
+        self.inner.borrow().backend.violations().to_vec()
     }
 
     /// Registers a new, empty table.
@@ -574,15 +656,25 @@ impl Db {
         }
     }
 
-    /// Crashes `shard` (fault injection): the shard is unavailable until
-    /// its node-group replica finishes taking over, `takeover` from now.
+    /// Crashes `shard` (fault injection), discarding the node's volatile
+    /// state.
+    ///
+    /// How long the shard stays unavailable depends on the backend: under
+    /// [`BackendKind::InMemory`] a node-group replica takes over after the
+    /// modeled `takeover` window; under [`BackendKind::Durable`] the
+    /// `takeover` argument is ignored and the shard is down while WAL
+    /// replay rebuilds its state (a deterministic cost derived from the
+    /// surviving log volume), after which a post-crash consistency check
+    /// compares the recovered shadow state against the tables.
     ///
     /// Every in-flight transaction that has written the shard is aborted
-    /// through its undo log (it would lose those writes with the node), and
-    /// its pending lock sequences are cancelled; their continuations
-    /// observe [`StoreError::ShardUnavailable`]. Unlocked reads and scans
-    /// keep being served (read replicas survive the node failure); locked
-    /// reads and commits touching the shard fail until takeover completes.
+    /// through its undo log (it would lose those writes with the node), as
+    /// is every mid-commit transaction whose WAL records on the shard were
+    /// still in the lost (unsynced) window; their pending lock sequences
+    /// are cancelled and their continuations observe
+    /// [`StoreError::ShardUnavailable`]. Unlocked reads and scans keep
+    /// being served (read replicas survive the node failure); locked reads
+    /// and commits touching the shard fail until the shard is back.
     ///
     /// # Panics
     ///
@@ -591,8 +683,22 @@ impl Db {
         let (granted, conts) = {
             let mut inner = self.inner.borrow_mut();
             assert!((shard as usize) < inner.down_until.len(), "shard {shard} out of range");
-            inner.down_until[shard as usize] = Some(sim.now() + takeover);
             inner.stats.shard_crashes += 1;
+            let (down_for, lost_txns) = match inner.backend.crash_shard(shard) {
+                CrashOutcome::Takeover => (takeover, Vec::new()),
+                CrashOutcome::Recovered { down_for, lost_txns } => (down_for, lost_txns),
+            };
+            inner.down_until[shard as usize] = Some(sim.now() + down_for);
+            let mut granted = Vec::new();
+            let mut conts = Vec::new();
+            // Mid-commit transactions whose redo records the crash lost:
+            // their commits can no longer stand, so they roll back through
+            // their (still intact) undo logs before the victim scan below.
+            for txn in lost_txns {
+                inner.stats.failover_aborts += 1;
+                Self::abort_in(&mut inner, txn, &mut granted);
+                Self::cancel_seqs_of(&mut inner, txn, &mut granted, &mut conts);
+            }
             // Victims in TxnId order: HashMap iteration order must not leak
             // into the (deterministic) event schedule.
             let mut victims: Vec<TxnId> = inner
@@ -602,13 +708,15 @@ impl Db {
                 .map(|(id, _)| *id)
                 .collect();
             victims.sort_unstable();
-            let mut granted = Vec::new();
-            let mut conts = Vec::new();
             for txn in victims {
                 inner.stats.failover_aborts += 1;
                 Self::abort_in(&mut inner, txn, &mut granted);
                 Self::cancel_seqs_of(&mut inner, txn, &mut granted, &mut conts);
             }
+            // With every victim rolled back, recovered shadow state and
+            // authoritative tables must agree on the crashed shard.
+            let inner = &mut *inner;
+            inner.backend.post_crash_check(shard, inner.shards.len(), &inner.tables);
             (granted, conts)
         };
         self.dispatch_grants(sim, granted);
@@ -683,10 +791,21 @@ impl Db {
         V: Clone + 'static,
     {
         let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
         assert!(
             inner.txns.is_empty(),
             "bootstrap_insert is only allowed before any transaction starts"
         );
+        if inner.log_writes {
+            let enc = EncodedKey::encode(&key, &mut inner.enc_scratch);
+            let shard = shard_of(inner.shards.len(), enc.as_slice()) as u32;
+            inner.backend.bootstrap_row(
+                table.id(),
+                shard,
+                enc.as_slice(),
+                std::mem::size_of::<V>(),
+            );
+        }
         let t = inner.tables[table.id().raw() as usize]
             .as_any_mut()
             .downcast_mut::<TypedTable<K, V>>()
@@ -717,15 +836,31 @@ impl Db {
         V: Clone + 'static,
     {
         let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
         assert!(
             inner.txns.is_empty(),
             "bootstrap_bulk_load is only allowed before any transaction starts"
         );
-        let t = inner.tables[table.id().raw() as usize]
+        let DbInner { tables, backend, shards, log_writes, .. } = inner;
+        let t = tables[table.id().raw() as usize]
             .as_any_mut()
             .downcast_mut::<TypedTable<K, V>>()
             .expect("table handle type mismatch");
-        t.bulk_build(rows);
+        if *log_writes {
+            // Mirror every streamed row into the backend without breaking
+            // the stream (the table build stays single-pass).
+            let shard_count = shards.len();
+            let backend = &mut *backend;
+            let mut scratch = Vec::new();
+            t.bulk_build(rows.inspect(move |(k, _)| {
+                scratch.clear();
+                k.encode_into(&mut scratch);
+                let shard = shard_of(shard_count, &scratch) as u32;
+                backend.bootstrap_row(table.id(), shard, &scratch, std::mem::size_of::<V>());
+            }));
+        } else {
+            t.bulk_build(rows);
+        }
     }
 
     /// Repacks every table's B-tree into dense nodes. Call once after a
@@ -800,16 +935,6 @@ impl Db {
         R: RangeBounds<K>,
     {
         self.with_table(table, |t| t.count_range(range))
-    }
-
-    fn shard_of(shards: usize, enc: &[u8]) -> usize {
-        // FNV-1a over the encoded key.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in enc {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        (h % shards as u64) as usize
     }
 
     fn recycle_plan(&self, mut plan: ChargePlan) {
@@ -934,7 +1059,7 @@ impl Db {
             let mut plan = inner.plan_pool.pop().unwrap_or_default();
             let shard_count = inner.shards.len();
             for lk in &lock_keys {
-                let shard = Self::shard_of(shard_count, lk.key.as_slice());
+                let shard = shard_of(shard_count, lk.key.as_slice());
                 plan_note(&mut inner.shard_rows, &mut plan, shard);
             }
             plan_seal(&mut inner.shard_rows, &mut plan);
@@ -1003,7 +1128,7 @@ impl Db {
             for k in &keys {
                 inner.enc_scratch.clear();
                 k.encode_into(&mut inner.enc_scratch);
-                let shard = Self::shard_of(shard_count, &inner.enc_scratch);
+                let shard = shard_of(shard_count, &inner.enc_scratch);
                 plan_note(&mut inner.shard_rows, &mut plan, shard);
             }
             plan_seal(&mut inner.shard_rows, &mut plan);
@@ -1141,7 +1266,7 @@ impl Db {
         if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
             return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
         }
-        let shard = Self::shard_of(inner.shards.len(), lk.key.as_slice()) as u32;
+        let shard = shard_of(inner.shards.len(), lk.key.as_slice()) as u32;
         let old = {
             let t = inner.tables[table.id().raw() as usize]
                 .as_any_mut()
@@ -1150,8 +1275,19 @@ impl Db {
             t.insert(key.clone(), value)
         };
         inner.stats.rows_written += 1;
+        let log_writes = inner.log_writes;
         let state = inner.txns.get_mut(&txn).expect("checked above");
         *state.writes_per_shard.entry(shard).or_default() += 1;
+        if log_writes {
+            state.shadow_log.push(ShadowWrite {
+                table: table.id(),
+                shard,
+                key: lk.key.clone(),
+                val_len: std::mem::size_of::<V>() as u32,
+                tombstone: false,
+                prior_exists: old.is_some(),
+            });
+        }
         state.undo.push(Box::new(move |tables| {
             let t = tables[table.id().raw() as usize]
                 .as_any_mut()
@@ -1195,7 +1331,7 @@ impl Db {
         if !inner.locks.holds(txn, &lk, LockMode::Exclusive) {
             return Err(StoreError::LockNotHeld { txn, row: lk.to_string() });
         }
-        let shard = Self::shard_of(inner.shards.len(), lk.key.as_slice()) as u32;
+        let shard = shard_of(inner.shards.len(), lk.key.as_slice()) as u32;
         let old = {
             let t = inner.tables[table.id().raw() as usize]
                 .as_any_mut()
@@ -1204,8 +1340,19 @@ impl Db {
             t.remove(&key)
         };
         inner.stats.rows_written += 1;
+        let log_writes = inner.log_writes;
         let state = inner.txns.get_mut(&txn).expect("checked above");
         *state.writes_per_shard.entry(shard).or_default() += 1;
+        if log_writes {
+            state.shadow_log.push(ShadowWrite {
+                table: table.id(),
+                shard,
+                key: lk.key.clone(),
+                val_len: std::mem::size_of::<V>() as u32,
+                tombstone: true,
+                prior_exists: old.is_some(),
+            });
+        }
         let undo_old = old.clone();
         state.undo.push(Box::new(move |tables| {
             if let Some(v) = undo_old {
@@ -1229,17 +1376,18 @@ impl Db {
     {
         // Claim the write set without cloning it; the undo log stays in
         // place until `finish`, so a concurrent abort still rolls back.
-        let (writes, granted) = {
+        let (writes, sync_at, granted) = {
             let mut inner = self.inner.borrow_mut();
             let now = sim.now();
             let mut granted = Vec::new();
+            let mut sync_at = None;
             let writes: Result<BTreeMap<u32, u32>, StoreError> =
                 match Self::check_txn(&inner, txn) {
                     TxnCheck::Fail(e) => Err(e),
                     TxnCheck::Ok => {
-                        let writes = std::mem::take(
-                            &mut inner.txns.get_mut(&txn).expect("checked").writes_per_shard,
-                        );
+                        let state = inner.txns.get_mut(&txn).expect("checked");
+                        let writes = std::mem::take(&mut state.writes_per_shard);
+                        let shadow = std::mem::take(&mut state.shadow_log);
                         match writes
                             .keys()
                             .copied()
@@ -1253,11 +1401,20 @@ impl Db {
                                 Self::abort_in(&mut inner, txn, &mut granted);
                                 Err(StoreError::ShardUnavailable { shard })
                             }
-                            None => Ok(writes),
+                            None => {
+                                if !writes.is_empty() {
+                                    // WAL-ordered commit: the redo records
+                                    // go to the log now; they become
+                                    // durable at the group-commit boundary
+                                    // returned here.
+                                    sync_at = inner.backend.begin_commit(now, txn, shadow);
+                                }
+                                Ok(writes)
+                            }
                         }
                     }
                 };
-            (writes, granted)
+            (writes, sync_at, granted)
         };
         self.dispatch_grants(sim, granted);
         let writes = match writes {
@@ -1269,16 +1426,34 @@ impl Db {
         };
         let db = self.clone();
         let finish = move |sim: &mut Sim| {
-            let granted = {
+            let (granted, fate) = {
                 let mut inner = db.inner.borrow_mut();
-                if inner.txns.remove(&txn).is_some() {
-                    // Undo log dropped with the state: the writes are durable.
-                    inner.stats.commits += 1;
+                let fate = inner.backend.finish_commit(txn);
+                match fate {
+                    CommitFate::Lost { .. } => {
+                        // A crash lost this commit's WAL records while the
+                        // capacity charge was in flight; the crash path
+                        // already rolled the transaction back through its
+                        // undo log, so only the error delivery is left.
+                        inner.stats.unavailable_errors += 1;
+                    }
+                    CommitFate::Untracked | CommitFate::Durable => {
+                        if inner.txns.remove(&txn).is_some() {
+                            // Undo log dropped with the state: the writes
+                            // are durable.
+                            inner.stats.commits += 1;
+                        }
+                    }
                 }
-                inner.locks.release_all(txn)
+                (inner.locks.release_all(txn), fate)
             };
             db.dispatch_grants(sim, granted);
-            cont(sim, Ok(()));
+            match fate {
+                CommitFate::Lost { shard } => {
+                    cont(sim, Err(StoreError::ShardUnavailable { shard }));
+                }
+                CommitFate::Untracked | CommitFate::Durable => cont(sim, Ok(())),
+            }
         };
         if writes.is_empty() {
             finish(sim);
@@ -1287,7 +1462,9 @@ impl Db {
         // Charge each written shard; commit overhead lands on the
         // transaction-coordinator shard (chosen per transaction so the
         // coordination load spreads evenly across data nodes, as NDB's
-        // round-robin transaction coordinators do).
+        // round-robin transaction coordinators do). Under the durable
+        // backend the commit additionally waits for its group-commit sync
+        // leg, so completion implies the redo records are durable.
         let (shards, params) = {
             let inner = self.inner.borrow();
             (Rc::clone(&inner.shards), Rc::clone(&inner.params))
@@ -1296,7 +1473,7 @@ impl Db {
             .keys()
             .nth((txn.raw() % writes.len() as u64) as usize)
             .expect("non-empty write set");
-        let remaining = Rc::new(Cell::new(writes.len()));
+        let remaining = Rc::new(Cell::new(writes.len() + usize::from(sync_at.is_some())));
         let finish = Rc::new(RefCell::new(Some(finish)));
         for (&shard, &rows) in &writes {
             let mut service = sim.rng().sample_duration(&params.row_write) * u64::from(rows);
@@ -1306,6 +1483,20 @@ impl Db {
             let remaining = Rc::clone(&remaining);
             let finish = Rc::clone(&finish);
             Station::submit(&shards[shard as usize], sim, service, move |sim| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(finish) = finish.borrow_mut().take() {
+                        finish(sim);
+                    }
+                }
+            });
+        }
+        if let Some(at) = sync_at {
+            let db = self.clone();
+            let remaining = Rc::clone(&remaining);
+            let finish = Rc::clone(&finish);
+            sim.schedule_at(at, move |sim| {
+                db.inner.borrow_mut().backend.sync_boundary(txn);
                 remaining.set(remaining.get() - 1);
                 if remaining.get() == 0 {
                     if let Some(finish) = finish.borrow_mut().take() {

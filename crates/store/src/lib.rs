@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
 pub mod bptree;
 mod db;
@@ -31,7 +32,9 @@ mod lock;
 mod table;
 mod txn;
 
+pub use backend::{BackendKind, DurabilityConfig, DurabilityStats};
 pub use db::{Db, DbStats};
+pub use lambda_lsm::{LsmConfig, LsmStats};
 pub use error::{StoreError, StoreResult};
 pub use key::{EncodedKey, KeyCodec, NameKey};
 pub use lock::{Acquire, LockKey, LockManager, LockMode, WaiterToken};
@@ -471,6 +474,154 @@ mod tests {
         );
         sim.run();
         assert_eq!(db.stats().shard_crashes, 1);
+    }
+
+    /// A single-shard store on the durable (WAL-backed) backend.
+    fn one_shard_durable_db(flush_ms: u64) -> Db {
+        let params = StoreParams { shards: 1, ..StoreParams::default() };
+        Db::new_durable(
+            &params,
+            SimDuration::from_secs(5),
+            DurabilityConfig {
+                flush_interval: SimDuration::from_millis(flush_ms),
+                ..DurabilityConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn backend_kind_reflects_the_constructor() {
+        assert_eq!(new_db().backend_kind(), BackendKind::InMemory);
+        assert!(new_db().durability_stats().is_none());
+        assert_eq!(one_shard_durable_db(2).backend_kind(), BackendKind::Durable);
+    }
+
+    #[test]
+    fn durable_commit_survives_a_crash_via_wal_replay() {
+        let mut sim = Sim::new(30);
+        let db = one_shard_durable_db(2);
+        let t = db.create_table::<u64, u64>("t");
+        let txn = db.begin();
+        let db2 = db.clone();
+        db.lock(&mut sim, txn, vec![db.lock_key(t, &1)], LockMode::Exclusive, move |sim, r| {
+            r.unwrap();
+            db2.upsert(txn, t, 1, 7).unwrap();
+            db2.commit(sim, txn, |_s, r| r.unwrap());
+        });
+        sim.run();
+        let ds = db.durability_stats().unwrap();
+        assert_eq!(ds.wal_appends, 1);
+        assert_eq!(ds.group_syncs, 1, "commit waited for its group-commit boundary");
+        // Crash after the records are durable: recovery replays them and
+        // the committed row survives.
+        db.crash_shard(&mut sim, 0, SimDuration::from_secs(1));
+        sim.run();
+        assert_eq!(db.peek(t, &1), Some(7));
+        let ds = db.durability_stats().unwrap();
+        assert_eq!(ds.recoveries, 1);
+        assert_eq!(ds.lost_records, 0);
+        assert_eq!(ds.replayed_records, 1);
+        assert_eq!(ds.lost_window_aborts, 0);
+        assert_eq!(db.durability_violations(), Vec::<String>::new());
+        assert_eq!(db.stats().failover_aborts, 0);
+    }
+
+    #[test]
+    fn durable_crash_in_the_commit_window_loses_the_commit() {
+        let mut sim = Sim::new(31);
+        // Huge flush interval: the commit's sync leg is far in the future,
+        // so a crash shortly after commit lands in the lost window.
+        let db = one_shard_durable_db(10_000);
+        let t = db.create_table::<u64, u64>("t");
+        let result = Rc::new(RefCell::new(None));
+        let txn = db.begin();
+        let db2 = db.clone();
+        let out = Rc::clone(&result);
+        db.lock(&mut sim, txn, vec![db.lock_key(t, &1)], LockMode::Exclusive, move |sim, r| {
+            r.unwrap();
+            db2.upsert(txn, t, 1, 7).unwrap();
+            let out2 = Rc::clone(&out);
+            db2.commit(sim, txn, move |_s, r| {
+                *out2.borrow_mut() = Some(r);
+            });
+            let db3 = db2.clone();
+            sim.schedule(SimDuration::from_millis(5), move |sim| {
+                db3.crash_shard(sim, 0, SimDuration::from_millis(1));
+            });
+        });
+        sim.run();
+        assert_eq!(*result.borrow(), Some(Err(StoreError::ShardUnavailable { shard: 0 })));
+        assert_eq!(db.peek(t, &1), None, "lost commit rolled back through the undo log");
+        let ds = db.durability_stats().unwrap();
+        assert_eq!(ds.lost_window_aborts, 1);
+        assert_eq!(ds.lost_records, 1);
+        assert_eq!(ds.recoveries, 1);
+        assert_eq!(db.durability_violations(), Vec::<String>::new());
+        let stats = db.stats();
+        assert_eq!(stats.failover_aborts, 1);
+        assert_eq!(stats.unavailable_errors, 1);
+        assert_eq!(stats.commits, 0);
+        assert_eq!(db.active_txn_count(), 0);
+        assert_eq!(db.locked_rows(), 0);
+    }
+
+    #[test]
+    fn durable_recovery_takes_the_costed_replay_window_not_takeover() {
+        let mut sim = Sim::new(32);
+        let db = one_shard_durable_db(2);
+        let t = db.create_table::<u64, u64>("t");
+        // The takeover argument is ignored by the durable backend: the
+        // shard is down for detect_restart (500ms) + replay costs instead.
+        db.crash_shard(&mut sim, 0, SimDuration::from_secs(30));
+        let results = Rc::new(RefCell::new(Vec::new()));
+        for at_ms in [100u64, 700] {
+            let db2 = db.clone();
+            let out = Rc::clone(&results);
+            sim.schedule(SimDuration::from_millis(at_ms), move |sim| {
+                let txn = db2.begin();
+                let db3 = db2.clone();
+                db2.read_locked(sim, txn, t, vec![1], LockMode::Shared, move |sim, r| {
+                    out.borrow_mut().push(r.map(|_| ()));
+                    db3.commit(sim, txn, |_s, _r| {});
+                });
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *results.borrow(),
+            vec![Err(StoreError::ShardUnavailable { shard: 0 }), Ok(())],
+            "shard back after ~500ms recovery, long before the 30s takeover"
+        );
+    }
+
+    #[test]
+    fn durable_crash_right_after_bulk_load_keeps_the_namespace_and_aborts_writers() {
+        let mut sim = Sim::new(33);
+        let db = one_shard_durable_db(2);
+        let t = db.create_table::<u64, u64>("t");
+        db.bootstrap_bulk_load(t, (0..100u64).map(|k| (k, k * 10)));
+        // A writer dirties a fresh row; the crash lands before its commit.
+        let txn = db.begin();
+        let db2 = db.clone();
+        db.lock(&mut sim, txn, vec![db.lock_key(t, &1000)], LockMode::Exclusive, move |sim, r| {
+            r.unwrap();
+            db2.upsert(txn, t, 1000, 1).unwrap();
+            let db3 = db2.clone();
+            sim.schedule(SimDuration::from_millis(1), move |sim| {
+                db3.crash_shard(sim, 0, SimDuration::from_millis(50));
+            });
+        });
+        sim.run();
+        assert_eq!(db.peek(t, &1000), None, "in-flight write rolled back");
+        assert_eq!(db.table_len(t), 100, "bootstrap rows intact");
+        let ds = db.durability_stats().unwrap();
+        assert_eq!(ds.wal_appends, 100);
+        assert_eq!(ds.lost_records, 0, "bootstrap rows are durable by definition");
+        assert_eq!(ds.replayed_records, 100);
+        assert_eq!(db.durability_violations(), Vec::<String>::new());
+        assert_eq!(db.stats().failover_aborts, 1);
+        assert_eq!(db.active_txn_count(), 0);
+        assert_eq!(db.locked_rows(), 0);
     }
 
     #[test]

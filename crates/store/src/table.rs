@@ -88,6 +88,10 @@ pub(crate) trait AnyTable {
     /// Repacks the backing B-tree into dense nodes (see
     /// [`TypedTable::repack`]).
     fn repack(&mut self);
+    /// Visits every row's encoded key in ascending order — the durable
+    /// backend's post-crash consistency check compares these against the
+    /// recovered shadow key set.
+    fn for_each_encoded_key(&self, visit: &mut dyn FnMut(&[u8]));
 }
 
 /// A concrete table: an ordered map from `K` to `V`.
@@ -238,6 +242,14 @@ impl<K: KeyCodec, V: Clone + 'static> AnyTable for TypedTable<K, V> {
     }
     fn repack(&mut self) {
         TypedTable::repack(self);
+    }
+    fn for_each_encoded_key(&self, visit: &mut dyn FnMut(&[u8])) {
+        let mut buf = Vec::new();
+        self.rows.scan_with(&(..), |k: &K, _| {
+            buf.clear();
+            k.encode_into(&mut buf);
+            visit(&buf);
+        });
     }
 }
 

@@ -44,11 +44,19 @@ pub(crate) struct TxnState {
     pub(crate) undo: Vec<UndoOp>,
     /// Rows written per shard (drives the commit capacity charge).
     pub(crate) writes_per_shard: BTreeMap<u32, u32>,
+    /// Write set in program order, handed to the durable backend's WAL at
+    /// commit time. Stays empty under the in-memory backend.
+    pub(crate) shadow_log: Vec<crate::backend::ShadowWrite>,
 }
 
 impl TxnState {
     pub(crate) fn new() -> Self {
-        TxnState { phase: TxnPhase::Active, undo: Vec::new(), writes_per_shard: BTreeMap::new() }
+        TxnState {
+            phase: TxnPhase::Active,
+            undo: Vec::new(),
+            writes_per_shard: BTreeMap::new(),
+            shadow_log: Vec::new(),
+        }
     }
 
     pub(crate) fn total_writes(&self) -> u32 {

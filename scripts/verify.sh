@@ -46,6 +46,18 @@
 #  15. per-op allocation regression: lean reads (point gets + visitor
 #      scans) against a 250k-inode tree must make zero heap allocations
 #      (crates/bench/tests/alloc_per_op.rs, release + alloc-stats).
+#  16. LSM crash/replay differential: the lambda-lsm proptests (random
+#      put/delete/flush interleavings crashed at arbitrary points; WAL
+#      replay must reconstruct the exact pre-crash visible state) run
+#      explicitly in release mode.
+#  17. durable chaos smoke: fig15b_chaos --smoke --durable re-runs every
+#      fault class on the WAL-backed durable store backend — shard
+#      failovers recover by WAL replay, and the audit adds the
+#      post-crash shadow↔table consistency check.
+#  18. durability sweep smoke: fig15c_durability --smoke runs the
+#      flush-interval x crash-rate grid (recovery time, write
+#      amplification, lost-window aborts) and exits nonzero on any
+#      audit failure. Full-scale numbers: results/BENCH_durability.json.
 #
 # The smoke benches write results/BENCH_*_smoke.json and are
 # informational at that scale; the recorded full-size numbers live in
@@ -68,6 +80,7 @@ cargo build --release --offline -p lambda-bench --bin fig15b_chaos
 cargo build --release --offline -p lambda-bench --bin bench_parallel
 cargo build --release --offline -p lambda-bench --bin fig08d_million_scale --features alloc-stats
 cargo build --release --offline -p lambda-bench --bin bench_store
+cargo build --release --offline -p lambda-bench --bin fig15c_durability
 
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
@@ -123,5 +136,14 @@ echo "== store engine bench smoke (arena B+ tree vs std BTreeMap) =="
 
 echo "== per-op allocation regression (lean reads allocate zero) =="
 cargo test -q --release --offline -p lambda-bench --features alloc-stats --test alloc_per_op
+
+echo "== LSM crash/replay differential proptests =="
+cargo test -q --release --offline -p lambda-lsm --test crash_replay
+
+echo "== durable chaos smoke (WAL replay recovery + shadow check) =="
+./target/release/fig15b_chaos --smoke --durable
+
+echo "== durability sweep smoke (flush interval x crash rate) =="
+./target/release/fig15c_durability --smoke
 
 echo "verify.sh: all checks passed"
